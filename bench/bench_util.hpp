@@ -1,0 +1,44 @@
+// Shared helpers for the figure-regeneration harnesses.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "redist.hpp"
+
+namespace redist::bench {
+
+/// Evaluation-ratio statistics of one algorithm over `sims` random graphs.
+struct RatioStats {
+  RunningStats ggp;
+  RunningStats oggp;
+};
+
+/// Runs `sims` random instances with the given workload/config and records
+/// cost(algorithm) / lower-bound for both GGP and OGGP. `k_source` returns
+/// the k to use for a given instance (fixed for Fig 7/8, random for Fig 9).
+template <typename KSource>
+RatioStats ratio_experiment(Rng& rng, const RandomGraphConfig& config,
+                            Weight beta, int sims, KSource&& k_source) {
+  RatioStats stats;
+  for (int i = 0; i < sims; ++i) {
+    const BipartiteGraph g = random_bipartite(rng, config);
+    const int k = k_source(rng, g);
+    const LowerBound lb = kpbs_lower_bound(g, k, beta);
+    const double bound = lb.value_double();
+    const Schedule ggp = solve_kpbs(g, k, beta, Algorithm::kGGP);
+    const Schedule oggp = solve_kpbs(g, k, beta, Algorithm::kOGGP);
+    stats.ggp.add(static_cast<double>(ggp.cost(beta)) / bound);
+    stats.oggp.add(static_cast<double>(oggp.cost(beta)) / bound);
+  }
+  return stats;
+}
+
+/// Prints the standard preamble shared by every harness.
+inline void preamble(const std::string& figure, const std::string& what,
+                     const std::string& paper_expectation) {
+  std::cout << "=== " << figure << ": " << what << " ===\n"
+            << "paper: " << paper_expectation << "\n\n";
+}
+
+}  // namespace redist::bench

@@ -1,0 +1,99 @@
+// Shared implementation of Figures 10 and 11: brute-force TCP vs GGP/OGGP
+// total redistribution time on the paper's 10x10 testbed.
+//
+// Paper setup (Section 5.2): two clusters of 10 nodes, 100 Mbit cards
+// shaped with rshaper to 100/k Mbit/s, ~100 Mbit backbone; per-pair data
+// sizes uniform in [10, n] MB with n on the x-axis; series: brute-force
+// TCP, GGP, OGGP. Expected shape: GGP/OGGP 5-20% faster than brute force,
+// gap growing with k; GGP and OGGP nearly identical despite OGGP using
+// ~50% fewer steps; brute force nondeterministic (~10% spread).
+#pragma once
+
+#include <iostream>
+
+#include "bench_util.hpp"
+
+namespace redist::bench {
+
+inline int run_fig_10_11(int k, int argc, char** argv) {
+  Flags flags(argc, argv);
+  const int repeats = static_cast<int>(flags.get_int("repeats", 3));
+  const std::int64_t n_max = flags.get_int("nmax", 100);
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const double alpha = flags.get_double("alpha", 0.08);
+  const double jitter = flags.get_double("jitter", 0.03);
+  const double unfairness = flags.get_double("unfairness", 0.8);
+  const bool csv = flags.get_bool("csv", false);
+  flags.check_unused();
+
+  preamble("Figure " + std::string(k == 3 ? "10" : "11"),
+           "brute-force TCP vs GGP/OGGP, k=" + std::to_string(k) +
+               ", 10x10 nodes, sizes U[10,n] MB",
+           "scheduling 5-20% faster than brute force; benefit grows with k; "
+           "GGP ~= OGGP in time, OGGP with far fewer steps; brute force "
+           "varies ~10% run to run");
+
+  const Platform platform = paper_testbed(k, /*beta_seconds=*/0.01);
+  FluidOptions tcp;
+  tcp.congestion_alpha = alpha;
+  tcp.jitter_stddev = jitter;
+  tcp.unfairness_stddev = unfairness;
+
+  // One time unit worth of a scheduled communication: 1 second at the
+  // shaped card speed; beta (10 ms barriers) rounds up to 1 unit.
+  const double bytes_per_unit = platform.comm_speed_bps();
+  const Weight beta_units = 1;
+
+  Table table({"n_MB", "brute_s", "brute_min_s", "brute_max_s", "ggp_s",
+               "oggp_s", "ggp_steps", "oggp_steps", "gain_pct"});
+  for (std::int64_t n = 10; n <= n_max; n += 10) {
+    RunningStats brute;
+    double ggp_time = 0;
+    double oggp_time = 0;
+    std::size_t ggp_steps = 0;
+    std::size_t oggp_steps = 0;
+    for (int rep = 0; rep < repeats; ++rep) {
+      Rng rng(seed + static_cast<std::uint64_t>(n) * 131ULL +
+              static_cast<std::uint64_t>(rep));
+      const TrafficMatrix traffic = uniform_all_pairs_traffic(
+          rng, platform.n1, platform.n2, 10'000'000, n * 1'000'000);
+
+      FluidOptions run_opts = tcp;
+      run_opts.seed = rng.next();
+      brute.add(simulate_bruteforce(platform, traffic, run_opts)
+                    .total_seconds);
+
+      const BipartiteGraph g = traffic.to_graph(bytes_per_unit);
+      const Schedule ggp = solve_kpbs(g, k, beta_units, Algorithm::kGGP);
+      const Schedule oggp = solve_kpbs(g, k, beta_units, Algorithm::kOGGP);
+      ggp_time +=
+          execute_schedule(platform, traffic, ggp, bytes_per_unit, run_opts)
+              .total_seconds;
+      oggp_time +=
+          execute_schedule(platform, traffic, oggp, bytes_per_unit, run_opts)
+              .total_seconds;
+      ggp_steps += ggp.step_count();
+      oggp_steps += oggp.step_count();
+    }
+    ggp_time /= repeats;
+    oggp_time /= repeats;
+    const double gain =
+        100.0 * (1.0 - std::min(ggp_time, oggp_time) / brute.mean());
+    table.add_row(
+        {Table::fmt(n), Table::fmt(brute.mean(), 1),
+         Table::fmt(brute.min(), 1), Table::fmt(brute.max(), 1),
+         Table::fmt(ggp_time, 1), Table::fmt(oggp_time, 1),
+         Table::fmt(static_cast<std::int64_t>(ggp_steps / repeats)),
+         Table::fmt(static_cast<std::int64_t>(oggp_steps / repeats)),
+         Table::fmt(gain, 1)});
+  }
+  if (csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  return 0;
+}
+
+}  // namespace redist::bench

@@ -1,0 +1,10 @@
+// Figure 11 — brute-force TCP vs GGP/OGGP total time, k = 7.
+// See fig1011_common.hpp for the setup.
+//
+//   ./fig11_bruteforce_vs_scheduled_k7 [--repeats=3] [--nmax=100]
+//       [--alpha=0.25] [--jitter=0.03] [--seed=1] [--csv]
+#include "fig1011_common.hpp"
+
+int main(int argc, char** argv) {
+  return redist::bench::run_fig_10_11(7, argc, argv);
+}

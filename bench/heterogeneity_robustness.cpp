@@ -1,0 +1,77 @@
+// Robustness study — the K-PBS model assumes every card in a cluster has
+// the same effective throughput t. Real clusters drift (background load,
+// cabling, NIC variation). This bench plans schedules under the uniform
+// assumption, then executes them on platforms whose per-node card speeds
+// are log-normally dispersed around the nominal value, and reports the
+// degradation of scheduled vs brute-force execution.
+//
+//   ./heterogeneity_robustness [--seed=1] [--repeats=3] [--csv]
+#include <cmath>
+
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace redist;
+  Flags flags(argc, argv);
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const int repeats = static_cast<int>(flags.get_int("repeats", 3));
+  const bool csv = flags.get_bool("csv", false);
+  flags.check_unused();
+
+  bench::preamble(
+      "Robustness: heterogeneous cards",
+      "schedules planned with uniform t, executed on dispersed cards",
+      "scheduled time should degrade gracefully (slowest card in a step "
+      "stretches only that step); the relative ranking vs brute force "
+      "should survive moderate dispersion");
+
+  const int k = 4;
+  Table table({"sigma", "brute_s", "oggp_s", "oggp_vs_uniform_pct",
+               "gain_vs_brute_pct"});
+  double uniform_baseline = 0;
+  for (const double sigma : {0.0, 0.1, 0.2, 0.4, 0.8}) {
+    RunningStats brute_s;
+    RunningStats oggp_s;
+    for (int rep = 0; rep < repeats; ++rep) {
+      Rng rng(seed + static_cast<std::uint64_t>(rep) * 7001ULL +
+              static_cast<std::uint64_t>(sigma * 1000));
+      Platform platform = paper_testbed(k, 0.01);
+      // Disperse real card speeds around nominal (never exceeding it:
+      // interference only slows cards down).
+      for (NodeId i = 0; i < platform.n1; ++i) {
+        platform.t1_per_node.push_back(
+            platform.t1_bps * std::exp(-std::abs(rng.normal(0, sigma))));
+      }
+      for (NodeId j = 0; j < platform.n2; ++j) {
+        platform.t2_per_node.push_back(
+            platform.t2_bps * std::exp(-std::abs(rng.normal(0, sigma))));
+      }
+      const TrafficMatrix traffic = uniform_all_pairs_traffic(
+          rng, platform.n1, platform.n2, 10'000'000, 40'000'000);
+      FluidOptions tcp;
+      tcp.congestion_alpha = 0.08;
+      tcp.unfairness_stddev = 0.8;
+      tcp.seed = rng.next();
+      brute_s.add(simulate_bruteforce(platform, traffic, tcp).total_seconds);
+      // The schedule is planned assuming the NOMINAL uniform speed.
+      const double bytes_per_unit = platform.comm_speed_bps();
+      const BipartiteGraph g = traffic.to_graph(bytes_per_unit);
+      const Schedule s = solve_kpbs(g, k, 1, Algorithm::kOGGP);
+      oggp_s.add(execute_schedule(platform, traffic, s, bytes_per_unit, tcp)
+                     .total_seconds);
+    }
+    if (sigma == 0.0) uniform_baseline = oggp_s.mean();
+    table.add_row(
+        {Table::fmt(sigma, 1), Table::fmt(brute_s.mean(), 1),
+         Table::fmt(oggp_s.mean(), 1),
+         Table::fmt(100.0 * (oggp_s.mean() / uniform_baseline - 1.0), 1),
+         Table::fmt(100.0 * (1.0 - oggp_s.mean() / brute_s.mean()), 1)});
+  }
+  if (csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+// The "fully working redistribution library" (paper conclusion) in action:
+// a scheduled all-to-all-v collective over real loopback TCP. Every rank
+// contributes per-destination buffers; internally the collective gathers
+// the traffic matrix, solves K-PBS with OGGP at rank 0, broadcasts the
+// schedule and executes it with barrier-separated steps.
+//
+//   ./alltoallv_collective [--ranks=5] [--max-kb=64] [--k=0] [--seed=3]
+#include <atomic>
+#include <iostream>
+
+#include "redist.hpp"
+
+int main(int argc, char** argv) {
+  using namespace redist;
+  Flags flags(argc, argv);
+  const int ranks = static_cast<int>(flags.get_int("ranks", 5));
+  const Bytes max_bytes = flags.get_int("max-kb", 64) * 1000;
+  const int k = static_cast<int>(flags.get_int("k", 0));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(flags.get_int("seed", 3));
+  flags.check_unused();
+
+  // Every rank prepares a buffer for every other rank.
+  Rng rng(seed);
+  std::vector<std::vector<std::vector<char>>> send(
+      static_cast<std::size_t>(ranks));
+  Bytes total = 0;
+  for (int i = 0; i < ranks; ++i) {
+    send[static_cast<std::size_t>(i)].resize(
+        static_cast<std::size_t>(ranks));
+    for (int j = 0; j < ranks; ++j) {
+      const auto bytes =
+          static_cast<std::size_t>(rng.uniform_int(1000, max_bytes));
+      send[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)]
+          .assign(bytes, static_cast<char>('a' + (i + j) % 26));
+      total += static_cast<Bytes>(bytes);
+    }
+  }
+  std::cout << ranks << " ranks exchanging " << total / 1000
+            << " KB all-to-all over loopback TCP"
+            << (k > 0 ? " (k=" + std::to_string(k) + ")" : "") << "\n";
+
+  Mesh mesh(ranks);
+  AlltoallvOptions options;
+  options.k = k;
+  options.bytes_per_time_unit = 16384;
+  std::atomic<long> checked{0};
+  Stopwatch watch;
+  run_ranks(mesh, [&](Communicator& comm) {
+    const int me = comm.rank();
+    const auto got =
+        scheduled_alltoallv(comm, send[static_cast<std::size_t>(me)],
+                            options);
+    for (int src = 0; src < ranks; ++src) {
+      if (got[static_cast<std::size_t>(src)] !=
+          send[static_cast<std::size_t>(src)]
+              [static_cast<std::size_t>(me)]) {
+        std::cerr << "MISMATCH at rank " << me << " from " << src << "\n";
+        return;
+      }
+      ++checked;
+    }
+  });
+  std::cout << "completed in " << Table::fmt(watch.elapsed_seconds(), 3)
+            << " s; " << checked.load() << "/" << ranks * ranks
+            << " buffers verified byte-exact\n";
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Reproduces the worked example of the paper's Figure 2: k = 3, beta = 1,
+// a weight-8 communication preempted into 4 + 4, total cost 15.
+#include <iostream>
+
+#include "redist.hpp"
+
+int main() {
+  using namespace redist;
+
+  BipartiteGraph g(3, 3);
+  g.add_edge(0, 0, 8);  // the edge Figure 2 splits into 4 + 4
+  g.add_edge(1, 1, 5);
+  g.add_edge(1, 2, 3);
+  g.add_edge(2, 1, 3);
+  g.add_edge(2, 2, 4);
+
+  std::cout << "Figure 2 instance (k=3, beta=1):\n" << graph_to_dot(g) << '\n';
+
+  // The schedule drawn in the figure.
+  Schedule figure;
+  figure.add_step(Step{{{0, 0, 4}, {1, 1, 5}}});
+  figure.add_step(Step{{{1, 2, 3}, {2, 1, 3}}});
+  figure.add_step(Step{{{0, 0, 4}, {2, 2, 4}}});
+  validate_schedule(g, figure, 3);
+  std::cout << "Paper's schedule:\n"
+            << figure.to_string() << "  cost = (1+5)+(1+3)+(1+4) = "
+            << figure.cost(1) << "\n\n";
+
+  for (const Algorithm algo : {Algorithm::kGGP, Algorithm::kOGGP}) {
+    const Schedule s = solve_kpbs(g, 3, 1, algo);
+    validate_schedule(g, s, 3);
+    std::cout << algorithm_name(algo) << ":\n"
+              << s.to_string() << "  cost = " << s.cost(1)
+              << " (lower bound "
+              << kpbs_lower_bound(g, 3, 1).value().to_double() << ")\n\n";
+  }
+  return 0;
+}

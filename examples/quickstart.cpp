@@ -1,0 +1,64 @@
+// Quickstart: build a traffic matrix, schedule it with GGP and OGGP,
+// inspect the schedules, compare against the K-PBS lower bound, and
+// optionally render a Gantt chart.
+//
+//   ./quickstart [--k=3] [--beta=1] [--svg=schedule.svg]
+#include <fstream>
+#include <iostream>
+
+#include "redist.hpp"
+
+int main(int argc, char** argv) {
+  using namespace redist;
+  Flags flags(argc, argv);
+  const int k = static_cast<int>(flags.get_int("k", 3));
+  const Weight beta = flags.get_int("beta", 1);
+  const std::string svg_path = flags.get_string("svg", "");
+  flags.check_unused();
+
+  // Traffic matrix: bytes to move from each sender (rows, cluster C1) to
+  // each receiver (columns, cluster C2).
+  TrafficMatrix traffic(4, 4);
+  traffic.set(0, 0, 8'000'000);
+  traffic.set(0, 1, 2'000'000);
+  traffic.set(1, 1, 5'000'000);
+  traffic.set(1, 2, 3'000'000);
+  traffic.set(2, 2, 4'000'000);
+  traffic.set(2, 3, 3'000'000);
+  traffic.set(3, 0, 6'000'000);
+
+  // Convert to a communication graph: one time unit == 1 MB at link speed.
+  const double bytes_per_time_unit = 1'000'000.0;
+  const BipartiteGraph graph = traffic.to_graph(bytes_per_time_unit);
+
+  std::cout << "Demand graph: " << graph.left_count() << " senders, "
+            << graph.right_count() << " receivers, "
+            << graph.alive_edge_count() << " communications, P(G)="
+            << graph.total_weight() << " units, W(G)="
+            << graph.max_node_weight() << ", max degree "
+            << graph.max_degree() << "\n\n";
+
+  for (const Algorithm algo : {Algorithm::kGGP, Algorithm::kOGGP}) {
+    const Schedule schedule = solve_kpbs(graph, k, beta, algo);
+    validate_schedule(graph, schedule, clamp_k(graph, k));
+    const LowerBound lb = kpbs_lower_bound(graph, k, beta);
+    std::cout << algorithm_name(algo) << " (k=" << k << ", beta=" << beta
+              << "):\n"
+              << schedule.to_string() << "  cost          = "
+              << schedule.cost(beta) << " units\n"
+              << "  lower bound   = " << lb.value().to_double() << " units\n"
+              << "  ratio         = "
+              << evaluation_ratio(graph, schedule, k, beta) << "\n"
+              << "  analytics     = "
+              << analyze_schedule(graph, schedule, k).to_string() << "\n\n";
+    if (!svg_path.empty() && algo == Algorithm::kOGGP) {
+      GanttOptions options;
+      options.beta = beta;
+      options.title = "OGGP schedule, k=" + std::to_string(k);
+      std::ofstream os(svg_path);
+      os << schedule_to_svg(schedule, graph.left_count(), options);
+      std::cout << "Gantt chart written to " << svg_path << "\n\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+#include "aggregation/aggregate.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace redist {
+
+double AggregationPlan::local_phase_seconds(double local_bps) const {
+  REDIST_CHECK_MSG(local_bps > 0, "local_bps must be positive");
+  // Per-node local traffic (out for original senders, in for gateways).
+  std::vector<Bytes> node_bytes(
+      static_cast<std::size_t>(consolidated.senders()), 0);
+  for (const LocalTransfer& t : local) {
+    node_bytes[static_cast<std::size_t>(t.from)] += t.bytes;
+    node_bytes[static_cast<std::size_t>(t.to)] += t.bytes;
+  }
+  Bytes busiest = 0;
+  for (Bytes b : node_bytes) busiest = std::max(busiest, b);
+  return static_cast<double>(busiest) / local_bps;
+}
+
+AggregationPlan plan_aggregation(const TrafficMatrix& traffic,
+                                 Bytes threshold_bytes) {
+  AggregationPlan plan(traffic);
+  if (threshold_bytes <= 0) return plan;
+
+  for (NodeId j = 0; j < traffic.receivers(); ++j) {
+    // Gateway: the sender with the largest demand towards j.
+    NodeId gateway = kNoNode;
+    Bytes best = 0;
+    for (NodeId i = 0; i < traffic.senders(); ++i) {
+      const Bytes b = traffic.at(i, j);
+      if (b > best) {
+        best = b;
+        gateway = i;
+      }
+    }
+    if (gateway == kNoNode) continue;  // nobody sends to j
+
+    for (NodeId i = 0; i < traffic.senders(); ++i) {
+      const Bytes b = traffic.at(i, j);
+      if (i == gateway || b == 0 || b >= threshold_bytes) continue;
+      // Reroute i -> j through the gateway.
+      plan.consolidated.set(i, j, 0);
+      plan.consolidated.add(gateway, j, b);
+      plan.local.push_back(LocalTransfer{i, gateway, j, b});
+      plan.local_bytes += b;
+    }
+  }
+  REDIST_CHECK(plan.consolidated.total() == traffic.total());
+  return plan;
+}
+
+}  // namespace redist

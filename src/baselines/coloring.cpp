@@ -1,0 +1,41 @@
+#include "baselines/coloring.hpp"
+
+#include <algorithm>
+
+#include "kpbs/regularize.hpp"
+#include "matching/edge_coloring.hpp"
+
+namespace redist {
+
+Schedule coloring_schedule(const BipartiteGraph& demand, int k) {
+  Schedule schedule;
+  if (demand.empty()) return schedule;
+  k = clamp_k(demand, k);
+
+  const std::vector<Matching> colors = bipartite_edge_coloring(demand);
+  for (const Matching& color : colors) {
+    // Heaviest-first within the class, chopped into <= k comms per step so
+    // pieces of similar size share a step.
+    std::vector<EdgeId> edges = color.edges;
+    std::sort(edges.begin(), edges.end(), [&](EdgeId a, EdgeId b) {
+      const Weight wa = demand.edge(a).weight;
+      const Weight wb = demand.edge(b).weight;
+      return wa != wb ? wa > wb : a < b;
+    });
+    for (std::size_t from = 0; from < edges.size();
+         from += static_cast<std::size_t>(k)) {
+      Step step;
+      const std::size_t to =
+          std::min(edges.size(), from + static_cast<std::size_t>(k));
+      for (std::size_t e = from; e < to; ++e) {
+        const Edge& edge = demand.edge(edges[e]);
+        step.comms.push_back(
+            Communication{edge.left, edge.right, edge.weight});
+      }
+      schedule.add_step(std::move(step));
+    }
+  }
+  return schedule;
+}
+
+}  // namespace redist

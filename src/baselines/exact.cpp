@@ -1,0 +1,122 @@
+#include "baselines/exact.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "kpbs/regularize.hpp"
+
+namespace redist {
+
+namespace {
+
+struct SearchContext {
+  std::vector<NodeId> left;   // per considered edge
+  std::vector<NodeId> right;  // per considered edge
+  int k = 1;
+  Weight beta = 0;
+  std::map<std::vector<Weight>, Weight> memo;
+};
+
+// Enumerates matchings over edges with positive residual, recursing over the
+// edge index; for each maximal choice we also consider stopping early, so
+// every subset that is a matching is visited exactly once.
+void enumerate_matchings(const SearchContext& ctx,
+                         const std::vector<Weight>& residual, std::size_t from,
+                         std::vector<std::size_t>& current,
+                         std::vector<char>& left_used,
+                         std::vector<char>& right_used,
+                         std::vector<std::vector<std::size_t>>& out) {
+  if (!current.empty()) out.push_back(current);
+  if (current.size() == static_cast<std::size_t>(ctx.k)) return;
+  for (std::size_t e = from; e < residual.size(); ++e) {
+    if (residual[e] <= 0) continue;
+    const auto l = static_cast<std::size_t>(ctx.left[e]);
+    const auto r = static_cast<std::size_t>(ctx.right[e]);
+    if (left_used[l] || right_used[r]) continue;
+    left_used[l] = right_used[r] = 1;
+    current.push_back(e);
+    enumerate_matchings(ctx, residual, e + 1, current, left_used, right_used,
+                        out);
+    current.pop_back();
+    left_used[l] = right_used[r] = 0;
+  }
+}
+
+Weight best_cost(SearchContext& ctx, std::vector<Weight> residual,
+                 std::size_t n_left, std::size_t n_right) {
+  bool done = true;
+  for (Weight r : residual) {
+    if (r > 0) {
+      done = false;
+      break;
+    }
+  }
+  if (done) return 0;
+
+  if (auto it = ctx.memo.find(residual); it != ctx.memo.end()) {
+    return it->second;
+  }
+
+  std::vector<std::vector<std::size_t>> matchings;
+  {
+    std::vector<std::size_t> current;
+    std::vector<char> lu(n_left, 0);
+    std::vector<char> ru(n_right, 0);
+    enumerate_matchings(ctx, residual, 0, current, lu, ru, matchings);
+  }
+  REDIST_CHECK(!matchings.empty());
+
+  Weight best = std::numeric_limits<Weight>::max();
+  for (const auto& matching : matchings) {
+    Weight max_res = 0;
+    for (std::size_t e : matching) max_res = std::max(max_res, residual[e]);
+    for (Weight d = 1; d <= max_res; ++d) {
+      std::vector<Weight> next = residual;
+      Weight duration = 0;
+      for (std::size_t e : matching) {
+        const Weight sent = std::min(d, next[e]);
+        duration = std::max(duration, sent);
+        next[e] -= sent;
+      }
+      const Weight rest = best_cost(ctx, std::move(next), n_left, n_right);
+      best = std::min(best, ctx.beta + duration + rest);
+    }
+  }
+  ctx.memo.emplace(std::move(residual), best);
+  return best;
+}
+
+}  // namespace
+
+Weight exact_optimal_cost(const BipartiteGraph& demand, int k, Weight beta,
+                          const ExactLimits& limits) {
+  REDIST_CHECK_MSG(beta >= 0, "negative beta");
+  if (demand.empty()) return 0;
+  REDIST_CHECK_MSG(demand.alive_edge_count() <= limits.max_edges,
+                   "exact solver limited to " << limits.max_edges
+                                              << " edges, got "
+                                              << demand.alive_edge_count());
+  REDIST_CHECK_MSG(demand.total_weight() <= limits.max_total_weight,
+                   "exact solver limited to total weight "
+                       << limits.max_total_weight << ", got "
+                       << demand.total_weight());
+
+  SearchContext ctx;
+  ctx.k = clamp_k(demand, k);
+  ctx.beta = beta;
+  std::vector<Weight> residual;
+  for (EdgeId e = 0; e < demand.edge_count(); ++e) {
+    if (!demand.alive(e)) continue;
+    const Edge& edge = demand.edge(e);
+    ctx.left.push_back(edge.left);
+    ctx.right.push_back(edge.right);
+    residual.push_back(edge.weight);
+  }
+  return best_cost(ctx, std::move(residual),
+                   static_cast<std::size_t>(demand.left_count()),
+                   static_cast<std::size_t>(demand.right_count()));
+}
+
+}  // namespace redist

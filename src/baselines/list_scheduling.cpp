@@ -1,0 +1,62 @@
+#include "baselines/list_scheduling.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "kpbs/regularize.hpp"
+
+namespace redist {
+
+Schedule list_schedule(const BipartiteGraph& demand, int k) {
+  Schedule schedule;
+  if (demand.empty()) return schedule;
+  k = clamp_k(demand, k);
+
+  std::vector<EdgeId> order = demand.alive_edges();
+  std::sort(order.begin(), order.end(), [&](EdgeId a, EdgeId b) {
+    const Weight wa = demand.edge(a).weight;
+    const Weight wb = demand.edge(b).weight;
+    return wa != wb ? wa > wb : a < b;
+  });
+
+  struct OpenStep {
+    Step step;
+    std::vector<char> sender_used;
+    std::vector<char> receiver_used;
+  };
+  std::vector<OpenStep> open;
+
+  for (EdgeId e : order) {
+    const Edge& edge = demand.edge(e);
+    bool placed = false;
+    for (OpenStep& os : open) {
+      if (static_cast<int>(os.step.comms.size()) >= k) continue;
+      if (os.sender_used[static_cast<std::size_t>(edge.left)] ||
+          os.receiver_used[static_cast<std::size_t>(edge.right)]) {
+        continue;
+      }
+      os.step.comms.push_back(
+          Communication{edge.left, edge.right, edge.weight});
+      os.sender_used[static_cast<std::size_t>(edge.left)] = 1;
+      os.receiver_used[static_cast<std::size_t>(edge.right)] = 1;
+      placed = true;
+      break;
+    }
+    if (!placed) {
+      OpenStep os{Step{},
+                  std::vector<char>(
+                      static_cast<std::size_t>(demand.left_count()), 0),
+                  std::vector<char>(
+                      static_cast<std::size_t>(demand.right_count()), 0)};
+      os.step.comms.push_back(
+          Communication{edge.left, edge.right, edge.weight});
+      os.sender_used[static_cast<std::size_t>(edge.left)] = 1;
+      os.receiver_used[static_cast<std::size_t>(edge.right)] = 1;
+      open.push_back(std::move(os));
+    }
+  }
+  for (OpenStep& os : open) schedule.add_step(std::move(os.step));
+  return schedule;
+}
+
+}  // namespace redist

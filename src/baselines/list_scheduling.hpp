@@ -1,0 +1,20 @@
+// Non-preemptive list scheduling baseline.
+//
+// The related-work section cites list scheduling (Choi, Choi & Azizoglu) as
+// a 2-approximation for the k = n2 special case. This baseline generalizes
+// the idea to any k without preemption: communications are sorted by
+// decreasing duration and greedily placed into the first step whose sender
+// and receiver ports are free and which still has room (< k comms). It is
+// simple, fast and a natural ablation point for the value of preemption.
+#pragma once
+
+#include "common/types.hpp"
+#include "graph/bipartite_graph.hpp"
+#include "kpbs/schedule.hpp"
+
+namespace redist {
+
+/// Builds a valid (non-preemptive) K-PBS schedule by greedy list scheduling.
+Schedule list_schedule(const BipartiteGraph& demand, int k);
+
+}  // namespace redist

@@ -1,0 +1,140 @@
+#include "baselines/local_search.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+#include "kpbs/regularize.hpp"
+
+namespace redist {
+
+namespace {
+
+// Mutable working form of a schedule.
+struct WorkingSteps {
+  std::vector<std::vector<Communication>> steps;
+
+  Weight duration(std::size_t s) const {
+    Weight d = 0;
+    for (const Communication& c : steps[s]) d = std::max(d, c.amount);
+    return d;
+  }
+
+  Weight cost(Weight beta) const {
+    Weight total = 0;
+    for (std::size_t s = 0; s < steps.size(); ++s) {
+      if (!steps[s].empty()) total += beta + duration(s);
+    }
+    return total;
+  }
+
+  bool fits(std::size_t s, const Communication& c, int k,
+            std::size_t ignore_index = static_cast<std::size_t>(-1)) const {
+    int count = 0;
+    for (std::size_t i = 0; i < steps[s].size(); ++i) {
+      if (i == ignore_index) continue;
+      const Communication& other = steps[s][i];
+      if (other.sender == c.sender || other.receiver == c.receiver) {
+        return false;
+      }
+      ++count;
+    }
+    return count < k;
+  }
+};
+
+}  // namespace
+
+LocalSearchStats improve_schedule(const BipartiteGraph& demand, int k,
+                                  Weight beta, Schedule& schedule,
+                                  int max_passes) {
+  REDIST_CHECK_MSG(beta >= 0, "negative beta");
+  REDIST_CHECK_MSG(max_passes >= 1, "max_passes must be >= 1");
+  k = clamp_k(demand, k);
+  validate_schedule(demand, schedule, k);
+
+  WorkingSteps work;
+  for (const Step& step : schedule.steps()) work.steps.push_back(step.comms);
+
+  LocalSearchStats stats;
+  stats.initial_cost = schedule.cost(beta);
+
+  bool improved = true;
+  while (improved && stats.passes < max_passes) {
+    improved = false;
+    ++stats.passes;
+
+    // Relocations: try to move each comm into an earlier/other step.
+    for (std::size_t s = 0; s < work.steps.size(); ++s) {
+      for (std::size_t i = 0; i < work.steps[s].size(); ++i) {
+        const Communication c = work.steps[s][i];
+        for (std::size_t t = 0; t < work.steps.size(); ++t) {
+          if (t == s || !work.fits(t, c, k)) continue;
+          // Cost delta: source step may shrink or vanish; target step may
+          // stretch.
+          const Weight before =
+              (beta + work.duration(s)) +
+              (work.steps[t].empty() ? 0 : beta + work.duration(t));
+          WorkingSteps trial = work;
+          trial.steps[t].push_back(c);
+          trial.steps[s].erase(trial.steps[s].begin() +
+                               static_cast<std::ptrdiff_t>(i));
+          const Weight after =
+              (trial.steps[s].empty() ? 0 : beta + trial.duration(s)) +
+              (beta + trial.duration(t));
+          if (after < before) {
+            work = std::move(trial);
+            ++stats.relocations;
+            improved = true;
+            break;  // indices shifted; rescan this step
+          }
+        }
+        if (improved) break;
+      }
+      if (improved) break;
+    }
+    if (improved) continue;
+
+    // Swaps: exchange comms between two steps.
+    for (std::size_t s = 0; s < work.steps.size() && !improved; ++s) {
+      for (std::size_t t = s + 1; t < work.steps.size() && !improved; ++t) {
+        for (std::size_t i = 0; i < work.steps[s].size() && !improved; ++i) {
+          for (std::size_t j = 0; j < work.steps[t].size() && !improved;
+               ++j) {
+            const Communication a = work.steps[s][i];
+            const Communication b = work.steps[t][j];
+            WorkingSteps trial = work;
+            trial.steps[s].erase(trial.steps[s].begin() +
+                                 static_cast<std::ptrdiff_t>(i));
+            trial.steps[t].erase(trial.steps[t].begin() +
+                                 static_cast<std::ptrdiff_t>(j));
+            if (!trial.fits(s, b, k) || !trial.fits(t, a, k)) continue;
+            trial.steps[s].push_back(b);
+            trial.steps[t].push_back(a);
+            const Weight before =
+                (beta + work.duration(s)) + (beta + work.duration(t));
+            const Weight after =
+                (beta + trial.duration(s)) + (beta + trial.duration(t));
+            if (after < before) {
+              work = std::move(trial);
+              ++stats.swaps;
+              improved = true;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  Schedule out;
+  for (const auto& comms : work.steps) {
+    if (!comms.empty()) out.add_step(Step{comms});
+  }
+  schedule = std::move(out);
+  validate_schedule(demand, schedule, k);
+  stats.final_cost = schedule.cost(beta);
+  REDIST_CHECK(stats.final_cost <= stats.initial_cost);
+  return stats;
+}
+
+}  // namespace redist

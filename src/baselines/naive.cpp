@@ -1,0 +1,46 @@
+#include "baselines/naive.hpp"
+
+#include <algorithm>
+
+#include "kpbs/regularize.hpp"
+#include "matching/hopcroft_karp.hpp"
+
+namespace redist {
+
+Schedule naive_matching_schedule(const BipartiteGraph& demand, int k) {
+  Schedule schedule;
+  if (demand.empty()) return schedule;
+  k = clamp_k(demand, k);
+
+  BipartiteGraph residual(demand.left_count(), demand.right_count());
+  for (EdgeId e = 0; e < demand.edge_count(); ++e) {
+    if (!demand.alive(e)) continue;
+    const Edge& edge = demand.edge(e);
+    residual.add_edge(edge.left, edge.right, edge.weight);
+  }
+
+  while (!residual.empty()) {
+    Matching m = max_matching(residual);
+    REDIST_CHECK(!m.empty());
+    // Keep the k heaviest edges of the matching.
+    std::sort(m.edges.begin(), m.edges.end(), [&](EdgeId a, EdgeId b) {
+      const Weight wa = residual.edge(a).weight;
+      const Weight wb = residual.edge(b).weight;
+      return wa != wb ? wa > wb : a < b;
+    });
+    if (static_cast<int>(m.edges.size()) > k) {
+      m.edges.resize(static_cast<std::size_t>(k));
+    }
+    Step step;
+    for (EdgeId e : m.edges) {
+      const Edge& edge = residual.edge(e);
+      step.comms.push_back(
+          Communication{edge.left, edge.right, edge.weight});
+      residual.decrease_weight(e, edge.weight);
+    }
+    schedule.add_step(std::move(step));
+  }
+  return schedule;
+}
+
+}  // namespace redist

@@ -1,0 +1,48 @@
+// Error handling helpers.
+//
+// The library throws `redist::Error` (a std::runtime_error) for precondition
+// violations on public entry points, and uses REDIST_CHECK for internal
+// invariants that indicate a bug if broken.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace redist {
+
+/// Exception type thrown by the redistribution library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(const char* expr, const char* file, int line,
+                              const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace redist
+
+/// Internal invariant check; throws redist::Error with location info.
+/// Always enabled (the checks guarded by it are cheap relative to the
+/// algorithms around them).
+#define REDIST_CHECK(expr)                                            \
+  do {                                                                \
+    if (!(expr)) ::redist::detail::fail(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define REDIST_CHECK_MSG(expr, msg)                                   \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      std::ostringstream redist_check_os_;                            \
+      redist_check_os_ << msg;                                        \
+      ::redist::detail::fail(#expr, __FILE__, __LINE__,               \
+                             redist_check_os_.str());                 \
+    }                                                                 \
+  } while (0)

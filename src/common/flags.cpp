@@ -1,0 +1,70 @@
+#include "common/flags.hpp"
+
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace redist {
+
+Flags::Flags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    REDIST_CHECK_MSG(arg.rfind("--", 0) == 0,
+                     "expected --flag, got '" << arg << "'");
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";  // bare boolean flag
+    }
+  }
+}
+
+std::int64_t Flags::get_int(const std::string& name, std::int64_t def) {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  used_[name] = true;
+  char* end = nullptr;
+  const std::int64_t v = std::strtoll(it->second.c_str(), &end, 10);
+  REDIST_CHECK_MSG(end && *end == '\0',
+                   "flag --" << name << " is not an integer: " << it->second);
+  return v;
+}
+
+double Flags::get_double(const std::string& name, double def) {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  used_[name] = true;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  REDIST_CHECK_MSG(end && *end == '\0',
+                   "flag --" << name << " is not a number: " << it->second);
+  return v;
+}
+
+bool Flags::get_bool(const std::string& name, bool def) {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  used_[name] = true;
+  if (it->second == "true" || it->second == "1") return true;
+  if (it->second == "false" || it->second == "0") return false;
+  throw Error("flag --" + name + " is not a boolean: " + it->second);
+}
+
+std::string Flags::get_string(const std::string& name, const std::string& def) {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  used_[name] = true;
+  return it->second;
+}
+
+void Flags::check_unused() const {
+  for (const auto& [name, value] : values_) {
+    REDIST_CHECK_MSG(used_.count(name), "unknown flag --" << name);
+  }
+}
+
+}  // namespace redist

@@ -1,0 +1,32 @@
+// Minimal command-line flag parser for bench/example binaries.
+//
+// Supports `--name=value`, `--name value` and boolean `--name`. Unknown
+// flags are an error so typos do not silently fall back to defaults.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace redist {
+
+class Flags {
+ public:
+  /// Parses argv. Throws redist::Error on malformed input.
+  Flags(int argc, const char* const* argv);
+
+  std::int64_t get_int(const std::string& name, std::int64_t def);
+  double get_double(const std::string& name, double def);
+  bool get_bool(const std::string& name, bool def);
+  std::string get_string(const std::string& name, const std::string& def);
+
+  /// Call after all get_* calls: throws if any provided flag was never read.
+  void check_unused() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::map<std::string, bool> used_;
+};
+
+}  // namespace redist

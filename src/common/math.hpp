@@ -1,0 +1,15 @@
+// Small integer math helpers.
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.hpp"
+
+namespace redist {
+
+/// ceil(a / b) for a >= 0, b > 0.
+constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return a / b + (a % b != 0 ? 1 : 0);
+}
+
+}  // namespace redist

@@ -1,0 +1,123 @@
+#include "common/rational.hpp"
+
+#include <cstdlib>
+#include <numeric>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace redist {
+
+namespace {
+
+__extension__ typedef __int128 int128;
+
+// Checked narrowing from 128-bit to 64-bit.
+std::int64_t narrow(int128 v) {
+  REDIST_CHECK_MSG(v <= INT64_MAX && v >= INT64_MIN, "rational overflow");
+  return static_cast<std::int64_t>(v);
+}
+
+}  // namespace
+
+Rational::Rational(std::int64_t num, std::int64_t den) : num_(num), den_(den) {
+  REDIST_CHECK_MSG(den != 0, "rational with zero denominator");
+  reduce();
+}
+
+void Rational::reduce() {
+  if (den_ < 0) {
+    num_ = -num_;
+    den_ = -den_;
+  }
+  const std::int64_t g = std::gcd(num_ < 0 ? -num_ : num_, den_);
+  if (g > 1) {
+    num_ /= g;
+    den_ /= g;
+  }
+  if (num_ == 0) den_ = 1;
+}
+
+double Rational::to_double() const {
+  return static_cast<double>(num_) / static_cast<double>(den_);
+}
+
+std::string Rational::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::int64_t Rational::ceil() const {
+  std::int64_t q = num_ / den_;
+  if (num_ % den_ != 0 && num_ > 0) ++q;
+  return q;
+}
+
+std::int64_t Rational::floor() const {
+  std::int64_t q = num_ / den_;
+  if (num_ % den_ != 0 && num_ < 0) --q;
+  return q;
+}
+
+Rational Rational::operator-() const {
+  Rational r;
+  r.num_ = -num_;
+  r.den_ = den_;
+  return r;
+}
+
+Rational& Rational::operator+=(const Rational& o) {
+  const std::int64_t g = std::gcd(den_, o.den_);
+  const int128 lhs =
+      static_cast<int128>(num_) * (o.den_ / g);
+  const int128 rhs =
+      static_cast<int128>(o.num_) * (den_ / g);
+  const int128 den =
+      static_cast<int128>(den_) * (o.den_ / g);
+  num_ = narrow(lhs + rhs);
+  den_ = narrow(den);
+  reduce();
+  return *this;
+}
+
+Rational& Rational::operator-=(const Rational& o) { return *this += -o; }
+
+Rational& Rational::operator*=(const Rational& o) {
+  // Cross-reduce before multiplying to keep magnitudes small.
+  const std::int64_t g1 = std::gcd(num_ < 0 ? -num_ : num_, o.den_);
+  const std::int64_t g2 = std::gcd(o.num_ < 0 ? -o.num_ : o.num_, den_);
+  num_ = narrow(static_cast<int128>(num_ / g1) * (o.num_ / g2));
+  den_ = narrow(static_cast<int128>(den_ / g2) * (o.den_ / g1));
+  reduce();
+  return *this;
+}
+
+Rational& Rational::operator/=(const Rational& o) {
+  REDIST_CHECK_MSG(o.num_ != 0, "rational division by zero");
+  Rational inv;
+  inv.num_ = o.den_;
+  inv.den_ = o.num_;
+  if (inv.den_ < 0) {
+    inv.num_ = -inv.num_;
+    inv.den_ = -inv.den_;
+  }
+  return *this *= inv;
+}
+
+std::strong_ordering operator<=>(const Rational& a, const Rational& b) {
+  const int128 lhs = static_cast<int128>(a.num_) * b.den_;
+  const int128 rhs = static_cast<int128>(b.num_) * a.den_;
+  if (lhs < rhs) return std::strong_ordering::less;
+  if (lhs > rhs) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& r) {
+  os << r.num();
+  if (r.den() != 1) os << '/' << r.den();
+  return os;
+}
+
+}  // namespace redist

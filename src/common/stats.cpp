@@ -1,0 +1,90 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace redist {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const {
+  REDIST_CHECK(n_ > 0);
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  REDIST_CHECK(n_ > 0);
+  return min_;
+}
+
+double RunningStats::max() const {
+  REDIST_CHECK(n_ > 0);
+  return max_;
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n = static_cast<double>(n_ + other.n_);
+  m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                         static_cast<double>(other.n_) / n;
+  mean_ += delta * static_cast<double>(other.n_) / n;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  sum_ += other.sum_;
+  n_ += other.n_;
+}
+
+double SampleSet::mean() const {
+  REDIST_CHECK(!xs_.empty());
+  double s = 0.0;
+  for (double x : xs_) s += x;
+  return s / static_cast<double>(xs_.size());
+}
+
+double SampleSet::min() const {
+  REDIST_CHECK(!xs_.empty());
+  return *std::min_element(xs_.begin(), xs_.end());
+}
+
+double SampleSet::max() const {
+  REDIST_CHECK(!xs_.empty());
+  return *std::max_element(xs_.begin(), xs_.end());
+}
+
+double SampleSet::percentile(double p) const {
+  REDIST_CHECK(!xs_.empty());
+  REDIST_CHECK(p >= 0.0 && p <= 100.0);
+  std::vector<double> sorted = xs_;
+  std::sort(sorted.begin(), sorted.end());
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+  return sorted[rank == 0 ? 0 : rank - 1];
+}
+
+}  // namespace redist

@@ -1,0 +1,26 @@
+// Monotonic wall-clock stopwatch (the paper timed runs with ntp_gettime; we
+// use std::chrono::steady_clock for the same purpose).
+#pragma once
+
+#include <chrono>
+
+namespace redist {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace redist

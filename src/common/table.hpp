@@ -1,0 +1,38 @@
+// Console / CSV table writer for the figure-regeneration harnesses.
+//
+// Every bench binary prints the same rows/series a paper table or figure
+// reports; Table keeps them aligned for humans and optionally mirrors them
+// to CSV for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace redist {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string fmt(double v, int precision = 4);
+  static std::string fmt(std::int64_t v);
+
+  /// Render with aligned columns.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (RFC-4180-ish; fields containing commas/quotes quoted).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace redist

@@ -1,0 +1,27 @@
+// Fundamental scalar types shared across the redistribution library.
+#pragma once
+
+#include <cstdint>
+
+namespace redist {
+
+/// Index of a cluster node (left side = sender cluster C1, right side =
+/// receiver cluster C2). Indices are dense and zero-based.
+using NodeId = std::int32_t;
+
+/// Index of an edge inside a BipartiteGraph's edge array.
+using EdgeId = std::int32_t;
+
+/// Edge weight / communication duration, in abstract integer time units.
+/// The K-PBS core operates entirely on integers; conversions from bytes and
+/// throughputs happen at the TrafficMatrix boundary.
+using Weight = std::int64_t;
+
+/// Amount of payload data, in bytes.
+using Bytes = std::int64_t;
+
+/// Sentinel for "no node" / "no edge".
+inline constexpr NodeId kNoNode = -1;
+inline constexpr EdgeId kNoEdge = -1;
+
+}  // namespace redist

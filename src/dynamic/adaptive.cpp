@@ -1,0 +1,192 @@
+#include "dynamic/adaptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "common/error.hpp"
+#include "netsim/fluid.hpp"
+
+namespace redist {
+
+BackboneTrace::BackboneTrace(std::vector<Segment> segments)
+    : segments_(std::move(segments)) {
+  REDIST_CHECK_MSG(!segments_.empty(), "trace needs at least one segment");
+  double prev = 0;
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    REDIST_CHECK_MSG(segments_[i].backbone_bps > 0,
+                     "segment " << i << " has non-positive throughput");
+    if (i + 1 < segments_.size()) {
+      REDIST_CHECK_MSG(segments_[i].until_seconds > prev,
+                       "segment boundaries must increase");
+      prev = segments_[i].until_seconds;
+    }
+  }
+}
+
+double BackboneTrace::at(double t_seconds) const {
+  for (std::size_t i = 0; i + 1 < segments_.size(); ++i) {
+    if (t_seconds < segments_[i].until_seconds) {
+      return segments_[i].backbone_bps;
+    }
+  }
+  return segments_.back().backbone_bps;
+}
+
+BackboneTrace BackboneTrace::constant(double backbone_bps) {
+  return BackboneTrace({Segment{0, backbone_bps}});
+}
+
+namespace {
+
+// Executes one step's communications as a fluid round at the backbone
+// throughput ruling when the step starts. Amounts are clipped against the
+// residual demand, which is updated in place; pairs for which this is the
+// last scheduled occurrence flush their whole residual (absorbing rounding
+// slack). Returns the step duration (0 for an effectively empty step).
+double execute_step(const Platform& base, const BackboneTrace& trace,
+                    double now, const Step& step, double bytes_per_time_unit,
+                    TrafficMatrix& residual,
+                    const std::map<std::pair<NodeId, NodeId>, std::size_t>*
+                        last_occurrence,
+                    std::size_t step_index, const FluidOptions& options) {
+  std::vector<Flow> flows;
+  for (const Communication& c : step.comms) {
+    const Bytes have = residual.at(c.sender, c.receiver);
+    const double want =
+        static_cast<double>(c.amount) * bytes_per_time_unit;
+    Bytes send = std::min<Bytes>(have,
+                                 static_cast<Bytes>(std::llround(want)));
+    if (last_occurrence != nullptr) {
+      const auto it = last_occurrence->find({c.sender, c.receiver});
+      if (it != last_occurrence->end() && it->second == step_index) {
+        send = have;  // flush rounding slack on the pair's final chunk
+      }
+    }
+    if (send <= 0) continue;
+    residual.set(c.sender, c.receiver, have - send);
+    flows.push_back(Flow{c.sender, c.receiver, static_cast<double>(send)});
+  }
+  if (flows.empty()) return 0;
+  Platform p = base;
+  p.backbone_bps = trace.at(now);
+  return simulate_fluid(p, flows, options).makespan_seconds +
+         base.beta_seconds;
+}
+
+BipartiteGraph residual_graph(const TrafficMatrix& residual,
+                              double bytes_per_time_unit) {
+  return residual.to_graph(bytes_per_time_unit);
+}
+
+bool drained(const TrafficMatrix& m) { return m.total() == 0; }
+
+// Adaptive k policy: floor(T/t) never congests but can waste up to one
+// card's worth of backbone (k*t < T); ceil(T/t) fills the backbone at the
+// price of mild congestion. Pick whichever yields more goodput under the
+// run's congestion model.
+int choose_k(const Platform& p, const FluidOptions& options) {
+  const double t = p.comm_speed_bps();
+  const int cap = std::max(1, static_cast<int>(std::min(p.n1, p.n2)));
+  int k_floor = std::max(1, static_cast<int>(p.backbone_bps / t));
+  int k_ceil = k_floor +
+               (static_cast<double>(k_floor) * t < p.backbone_bps - 1e-9);
+  k_floor = std::min(k_floor, cap);
+  k_ceil = std::min(k_ceil, cap);
+  auto goodput = [&](int k) {
+    const double offered = static_cast<double>(k) * t;
+    double backbone = p.backbone_bps;
+    if (options.congestion_alpha > 0 && offered > backbone) {
+      backbone /= 1.0 + options.congestion_alpha *
+                            std::log2(offered / backbone);
+    }
+    return std::min(offered, backbone);
+  };
+  return goodput(k_ceil) > goodput(k_floor) ? k_ceil : k_floor;
+}
+
+}  // namespace
+
+DynamicRunResult run_static_under_trace(const Platform& base,
+                                        const BackboneTrace& trace,
+                                        const TrafficMatrix& traffic,
+                                        double bytes_per_time_unit,
+                                        Weight beta_units,
+                                        Algorithm algorithm,
+                                        const FluidOptions& options) {
+  REDIST_CHECK_MSG(bytes_per_time_unit >= 1.0,
+                   "time unit must be worth at least one byte");
+  Platform p0 = base;
+  p0.backbone_bps = trace.at(0);
+  const int k0 = p0.max_k();
+  const BipartiteGraph g = traffic.to_graph(bytes_per_time_unit);
+  const Schedule schedule = solve_kpbs(g, k0, beta_units, algorithm);
+
+  DynamicRunResult result;
+  result.replans = 1;
+  TrafficMatrix residual = traffic;
+  std::map<std::pair<NodeId, NodeId>, std::size_t> last;
+  for (std::size_t s = 0; s < schedule.step_count(); ++s) {
+    for (const Communication& c : schedule.steps()[s].comms) {
+      last[{c.sender, c.receiver}] = s;
+    }
+  }
+  for (std::size_t s = 0; s < schedule.step_count(); ++s) {
+    const double d =
+        execute_step(base, trace, result.total_seconds, schedule.steps()[s],
+                     bytes_per_time_unit, residual, &last, s, options);
+    if (d > 0) {
+      result.total_seconds += d;
+      ++result.steps;
+    }
+  }
+  REDIST_CHECK_MSG(drained(residual), "static plan left residual demand");
+  return result;
+}
+
+DynamicRunResult run_adaptive_under_trace(const Platform& base,
+                                          const BackboneTrace& trace,
+                                          const TrafficMatrix& traffic,
+                                          double bytes_per_time_unit,
+                                          Weight beta_units,
+                                          Algorithm algorithm,
+                                          int replan_period,
+                                          const FluidOptions& options) {
+  REDIST_CHECK_MSG(replan_period >= 1, "replan_period must be >= 1");
+  REDIST_CHECK_MSG(bytes_per_time_unit >= 1.0,
+                   "time unit must be worth at least one byte");
+  DynamicRunResult result;
+  TrafficMatrix residual = traffic;
+
+  // Safety bound: every executed step drains at least one unit.
+  const std::size_t max_rounds =
+      static_cast<std::size_t>(traffic.nonzero_count()) * 64 + 64;
+  std::size_t rounds = 0;
+  while (!drained(residual)) {
+    REDIST_CHECK_MSG(++rounds <= max_rounds,
+                     "adaptive execution failed to make progress");
+    Platform p = base;
+    p.backbone_bps = trace.at(result.total_seconds);
+    const int k = choose_k(p, options);
+    const BipartiteGraph g = residual_graph(residual, bytes_per_time_unit);
+    const Schedule plan = solve_kpbs(g, k, beta_units, algorithm);
+    ++result.replans;
+    REDIST_CHECK(plan.step_count() > 0);
+    const std::size_t execute =
+        std::min<std::size_t>(static_cast<std::size_t>(replan_period),
+                              plan.step_count());
+    for (std::size_t s = 0; s < execute; ++s) {
+      const double d = execute_step(base, trace, result.total_seconds,
+                                    plan.steps()[s], bytes_per_time_unit,
+                                    residual, nullptr, s, options);
+      if (d > 0) {
+        result.total_seconds += d;
+        ++result.steps;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace redist

@@ -1,0 +1,156 @@
+#include "dynamic/online.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace redist {
+
+namespace {
+
+void check_batches(const Platform& platform,
+                   const std::vector<ArrivalBatch>& batches,
+                   double bytes_per_time_unit) {
+  REDIST_CHECK_MSG(!batches.empty(), "no arrival batches");
+  REDIST_CHECK_MSG(bytes_per_time_unit >= 1.0,
+                   "time unit must be worth at least one byte");
+  double prev = -1;
+  for (const ArrivalBatch& b : batches) {
+    REDIST_CHECK_MSG(b.at_seconds >= 0 && b.at_seconds >= prev,
+                     "batch arrival times must be non-decreasing");
+    REDIST_CHECK_MSG(b.traffic.senders() == platform.n1 &&
+                         b.traffic.receivers() == platform.n2,
+                     "batch dimensions do not match the platform");
+    prev = b.at_seconds;
+  }
+}
+
+void merge_into(TrafficMatrix& pending, const TrafficMatrix& batch) {
+  for (NodeId i = 0; i < batch.senders(); ++i) {
+    for (NodeId j = 0; j < batch.receivers(); ++j) {
+      if (batch.at(i, j) > 0) pending.add(i, j, batch.at(i, j));
+    }
+  }
+}
+
+// Executes one step of `plan` against `pending`; returns its duration
+// (transmission + beta), or 0 if the step carried nothing.
+double execute_one(const Platform& platform, const Step& step,
+                   double bytes_per_time_unit, TrafficMatrix& pending,
+                   const FluidOptions& options) {
+  std::vector<Flow> flows;
+  for (const Communication& c : step.comms) {
+    const Bytes have = pending.at(c.sender, c.receiver);
+    const double want = static_cast<double>(c.amount) * bytes_per_time_unit;
+    const Bytes send =
+        std::min<Bytes>(have, static_cast<Bytes>(std::llround(want)));
+    if (send <= 0) continue;
+    pending.set(c.sender, c.receiver, have - send);
+    flows.push_back(Flow{c.sender, c.receiver, static_cast<double>(send)});
+  }
+  if (flows.empty()) return 0;
+  return simulate_fluid(platform, flows, options).makespan_seconds +
+         platform.beta_seconds;
+}
+
+}  // namespace
+
+OnlineResult run_online(const Platform& platform,
+                        const std::vector<ArrivalBatch>& batches,
+                        double bytes_per_time_unit, Weight beta_units,
+                        Algorithm algorithm, int steps_per_plan,
+                        const FluidOptions& options) {
+  check_batches(platform, batches, bytes_per_time_unit);
+  REDIST_CHECK_MSG(steps_per_plan >= 1, "steps_per_plan must be >= 1");
+  const int k = platform.max_k();
+
+  OnlineResult result;
+  TrafficMatrix pending(platform.n1, platform.n2);
+  std::size_t next_batch = 0;
+  Bytes total_demand = 0;
+  for (const ArrivalBatch& b : batches) total_demand += b.traffic.total();
+
+  const std::size_t max_rounds = batches.size() * 256 + 4096;
+  std::size_t rounds = 0;
+  for (;;) {
+    REDIST_CHECK_MSG(++rounds <= max_rounds, "online loop stuck");
+    // Absorb everything that has arrived by now.
+    while (next_batch < batches.size() &&
+           batches[next_batch].at_seconds <= result.total_seconds) {
+      merge_into(pending, batches[next_batch].traffic);
+      ++next_batch;
+    }
+    if (pending.total() == 0) {
+      if (next_batch >= batches.size()) break;  // done
+      // Idle until the next arrival.
+      const double gap =
+          batches[next_batch].at_seconds - result.total_seconds;
+      result.idle_seconds += gap;
+      result.total_seconds = batches[next_batch].at_seconds;
+      continue;
+    }
+    const BipartiteGraph g = pending.to_graph(bytes_per_time_unit);
+    const Schedule plan = solve_kpbs(g, k, beta_units, algorithm);
+    ++result.replans;
+    const std::size_t execute = std::min<std::size_t>(
+        static_cast<std::size_t>(steps_per_plan), plan.step_count());
+    for (std::size_t s = 0; s < execute; ++s) {
+      const double d = execute_one(platform, plan.steps()[s],
+                                   bytes_per_time_unit, pending, options);
+      if (d > 0) {
+        result.total_seconds += d;
+        ++result.steps;
+      }
+    }
+  }
+  return result;
+}
+
+OnlineResult run_batch_sequential(const Platform& platform,
+                                  const std::vector<ArrivalBatch>& batches,
+                                  double bytes_per_time_unit,
+                                  Weight beta_units, Algorithm algorithm,
+                                  const FluidOptions& options) {
+  check_batches(platform, batches, bytes_per_time_unit);
+  const int k = platform.max_k();
+
+  OnlineResult result;
+  for (const ArrivalBatch& batch : batches) {
+    if (batch.at_seconds > result.total_seconds) {
+      result.idle_seconds += batch.at_seconds - result.total_seconds;
+      result.total_seconds = batch.at_seconds;
+    }
+    if (batch.traffic.total() == 0) continue;
+    TrafficMatrix pending = batch.traffic;
+    const BipartiteGraph g = pending.to_graph(bytes_per_time_unit);
+    const Schedule plan = solve_kpbs(g, k, beta_units, algorithm);
+    ++result.replans;
+    for (const Step& step : plan.steps()) {
+      const double d = execute_one(platform, step, bytes_per_time_unit,
+                                   pending, options);
+      if (d > 0) {
+        result.total_seconds += d;
+        ++result.steps;
+      }
+    }
+    // Rounding slack: flush anything the plan's integer amounts missed.
+    for (NodeId i = 0; i < pending.senders(); ++i) {
+      for (NodeId j = 0; j < pending.receivers(); ++j) {
+        if (pending.at(i, j) > 0) {
+          Step flush;
+          flush.comms.push_back(Communication{i, j, 1});
+          const double d = execute_one(platform, flush, 1e18, pending,
+                                       options);
+          if (d > 0) {
+            result.total_seconds += d;
+            ++result.steps;
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace redist

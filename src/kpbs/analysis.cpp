@@ -1,0 +1,79 @@
+#include "kpbs/analysis.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "kpbs/regularize.hpp"
+
+namespace redist {
+
+ScheduleAnalysis analyze_schedule(const BipartiteGraph& demand,
+                                  const Schedule& schedule, int k) {
+  k = clamp_k(demand, k);
+  ScheduleAnalysis a;
+  a.steps = schedule.step_count();
+  a.total_transmission = schedule.total_transmission();
+  a.total_amount = schedule.total_amount();
+
+  std::map<std::pair<NodeId, NodeId>, std::size_t> fragments;
+  std::vector<Weight> sender_busy(
+      static_cast<std::size_t>(demand.left_count()), 0);
+  std::vector<Weight> receiver_busy(
+      static_cast<std::size_t>(demand.right_count()), 0);
+
+  double width_sum = 0;
+  double waste_weighted = 0;
+  for (const Step& step : schedule.steps()) {
+    const Weight duration = step.duration();
+    width_sum += static_cast<double>(step.size());
+    Weight step_amount = 0;
+    for (const Communication& c : step.comms) {
+      step_amount += c.amount;
+      fragments[{c.sender, c.receiver}] += 1;
+      sender_busy[static_cast<std::size_t>(c.sender)] += c.amount;
+      receiver_busy[static_cast<std::size_t>(c.receiver)] += c.amount;
+    }
+    if (duration > 0 && !step.comms.empty()) {
+      const double capacity =
+          static_cast<double>(duration) * static_cast<double>(step.size());
+      waste_weighted += (1.0 - static_cast<double>(step_amount) / capacity) *
+                        static_cast<double>(duration);
+    }
+  }
+  if (a.steps > 0) {
+    a.mean_step_width = width_sum / static_cast<double>(a.steps);
+  }
+  if (a.total_transmission > 0) {
+    a.intra_step_waste =
+        waste_weighted / static_cast<double>(a.total_transmission);
+    a.slot_utilization =
+        static_cast<double>(a.total_amount) /
+        (static_cast<double>(k) * static_cast<double>(a.total_transmission));
+  }
+  for (const auto& [pair, count] : fragments) {
+    if (count > 1) ++a.preempted_pairs;
+    a.max_fragments = std::max(a.max_fragments, count);
+  }
+  for (Weight w : sender_busy) a.max_sender_busy = std::max(a.max_sender_busy, w);
+  for (Weight w : receiver_busy) {
+    a.max_receiver_busy = std::max(a.max_receiver_busy, w);
+  }
+  return a;
+}
+
+std::string ScheduleAnalysis::to_string() const {
+  std::ostringstream os;
+  os << steps << " steps, transmission " << total_transmission
+     << ", amount " << total_amount << ", mean width "
+     << static_cast<int>(mean_step_width * 100) / 100.0
+     << ", intra-step waste " << static_cast<int>(intra_step_waste * 1000) / 10.0
+     << "%, slot utilization "
+     << static_cast<int>(slot_utilization * 1000) / 10.0 << "%, "
+     << preempted_pairs << " preempted pair(s), max fragments "
+     << max_fragments;
+  return os.str();
+}
+
+}  // namespace redist

@@ -1,0 +1,48 @@
+// Schedule analytics: the quantities one inspects when judging a K-PBS
+// solution beyond its cost — per-step parallelism, bandwidth waste inside
+// steps (the step lasts as long as its longest communication; shorter ones
+// idle), per-node busy time, and fragmentation from preemption.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/bipartite_graph.hpp"
+#include "kpbs/schedule.hpp"
+
+namespace redist {
+
+struct ScheduleAnalysis {
+  std::size_t steps = 0;
+  Weight total_transmission = 0;   ///< sum of step durations
+  Weight total_amount = 0;         ///< sum of all transferred amounts
+  double mean_step_width = 0;      ///< average communications per step
+
+  /// Inside-step idle fraction: 1 - amount / (duration * width), averaged
+  /// over steps weighted by duration. 0 means every communication spans
+  /// its whole step (WRGP's uniform peeling achieves this by design).
+  double intra_step_waste = 0;
+
+  /// Slot utilization against k: amount / (k * total_transmission).
+  /// 1 means every step keeps k communications busy for its full duration.
+  double slot_utilization = 0;
+
+  /// Number of (sender, receiver) pairs split across more than one step,
+  /// and the largest fragment count (preemption pressure).
+  std::size_t preempted_pairs = 0;
+  std::size_t max_fragments = 0;
+
+  /// Busy time of the busiest sender / receiver.
+  Weight max_sender_busy = 0;
+  Weight max_receiver_busy = 0;
+
+  std::string to_string() const;
+};
+
+/// Computes analytics for a schedule targeting `demand` with bound `k`.
+ScheduleAnalysis analyze_schedule(const BipartiteGraph& demand,
+                                  const Schedule& schedule, int k);
+
+}  // namespace redist

@@ -1,0 +1,101 @@
+#include "kpbs/async_relax.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace redist {
+
+std::size_t AsyncSchedule::max_concurrency() const {
+  // Sweep over start/finish events; a comm occupies [start, finish).
+  std::vector<std::pair<Weight, int>> events;
+  events.reserve(comms.size() * 2);
+  for (const AsyncComm& c : comms) {
+    events.emplace_back(c.start, +1);
+    events.emplace_back(c.finish, -1);
+  }
+  std::sort(events.begin(), events.end(),
+            [](const auto& a, const auto& b) {
+              // Process finishes before starts at equal time.
+              return a.first != b.first ? a.first < b.first
+                                        : a.second < b.second;
+            });
+  std::size_t current = 0;
+  std::size_t peak = 0;
+  for (const auto& [time, delta] : events) {
+    if (delta > 0) {
+      ++current;
+      peak = std::max(peak, current);
+    } else {
+      --current;
+    }
+  }
+  return peak;
+}
+
+void AsyncSchedule::check_feasible(int k) const {
+  REDIST_CHECK_MSG(k >= 1, "k must be >= 1");
+  REDIST_CHECK_MSG(max_concurrency() <= static_cast<std::size_t>(k),
+                   "more than k communications in flight");
+  for (const AsyncComm& c : comms) {
+    REDIST_CHECK_MSG(c.start >= 0 && c.finish > c.start,
+                     "inconsistent interval [" << c.start << ", " << c.finish
+                                               << ")");
+    REDIST_CHECK(c.finish <= makespan);
+  }
+  // 1-port: intervals of the same sender (resp. receiver) must not overlap.
+  auto check_port = [&](auto key_of, const char* what) {
+    std::map<NodeId, std::vector<std::pair<Weight, Weight>>> by_node;
+    for (const AsyncComm& c : comms) {
+      by_node[key_of(c)].emplace_back(c.start, c.finish);
+    }
+    for (auto& [node, intervals] : by_node) {
+      std::sort(intervals.begin(), intervals.end());
+      for (std::size_t i = 1; i < intervals.size(); ++i) {
+        REDIST_CHECK_MSG(intervals[i].first >= intervals[i - 1].second,
+                         what << " " << node << " violates the 1-port "
+                              << "constraint in the relaxed schedule");
+      }
+    }
+  };
+  check_port([](const AsyncComm& c) { return c.sender; }, "sender");
+  check_port([](const AsyncComm& c) { return c.receiver; }, "receiver");
+}
+
+AsyncSchedule relax_barriers(const Schedule& schedule, int k, Weight beta) {
+  REDIST_CHECK_MSG(k >= 1, "k must be >= 1");
+  REDIST_CHECK_MSG(beta >= 0, "negative beta");
+
+  AsyncSchedule out;
+  std::map<NodeId, Weight> sender_free;
+  std::map<NodeId, Weight> receiver_free;
+  // k transmission slots; a communication grabs the earliest-free slot.
+  std::priority_queue<Weight, std::vector<Weight>, std::greater<>> slots;
+  for (int i = 0; i < k; ++i) slots.push(0);
+
+  for (std::size_t s = 0; s < schedule.step_count(); ++s) {
+    for (const Communication& c : schedule.steps()[s].comms) {
+      AsyncComm ac;
+      ac.sender = c.sender;
+      ac.receiver = c.receiver;
+      ac.amount = c.amount;
+      ac.source_step = s;
+      const Weight slot_free = slots.top();
+      slots.pop();
+      ac.start = std::max({sender_free[c.sender], receiver_free[c.receiver],
+                           slot_free});
+      ac.finish = ac.start + beta + c.amount;
+      sender_free[c.sender] = ac.finish;
+      receiver_free[c.receiver] = ac.finish;
+      slots.push(ac.finish);
+      out.makespan = std::max(out.makespan, ac.finish);
+      out.comms.push_back(ac);
+    }
+  }
+  return out;
+}
+
+}  // namespace redist

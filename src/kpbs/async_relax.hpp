@@ -1,0 +1,55 @@
+// Weakened barriers — the asynchronous post-processing the paper mentions
+// in Section 2.1 ("the barriers between each communication step can be
+// weakened with some post-processing. However, this is beyond the scope of
+// this paper").
+//
+// Given a stepped K-PBS schedule, each communication may start as soon as
+// (a) its sender finished its previous communication, (b) its receiver
+// finished its previous communication (1-port), and (c) a transmission slot
+// is free (never more than k communications in flight — the backbone
+// constraint). The per-communication setup still costs beta. The result is
+// an event-driven schedule whose makespan is never worse than the stepped
+// cost, and the function reports how much the barriers were actually
+// costing.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+#include "kpbs/schedule.hpp"
+
+namespace redist {
+
+/// One communication with its computed start/finish times (same integer
+/// time units as the schedule; setup beta included in the interval).
+struct AsyncComm {
+  NodeId sender = kNoNode;
+  NodeId receiver = kNoNode;
+  Weight amount = 0;
+  std::size_t source_step = 0;  ///< step index in the input schedule
+  Weight start = 0;
+  Weight finish = 0;  ///< start + beta + amount
+};
+
+struct AsyncSchedule {
+  std::vector<AsyncComm> comms;
+  Weight makespan = 0;
+
+  /// Maximum number of overlapping communications at any instant.
+  std::size_t max_concurrency() const;
+
+  /// Throws redist::Error if the 1-port constraint or the k bound is
+  /// violated at any instant, or if intervals are inconsistent.
+  void check_feasible(int k) const;
+};
+
+/// Relaxes the barriers of `schedule`. The communications keep their
+/// step-major order for dependency purposes (this is the post-processing:
+/// the set and order of communications is unchanged, only the global
+/// synchronization is dropped). Guarantees:
+///   makespan <= schedule.cost(beta)  (barriers can only hurt), and
+///   at most k communications overlap at any time.
+AsyncSchedule relax_barriers(const Schedule& schedule, int k, Weight beta);
+
+}  // namespace redist

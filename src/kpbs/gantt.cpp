@@ -1,0 +1,123 @@
+#include "kpbs/gantt.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace redist {
+
+namespace {
+
+// Categorical palette (colorblind-safe-ish); receiver id picks the color.
+const char* const kPalette[] = {"#4e79a7", "#f28e2b", "#59a14f", "#e15759",
+                                "#76b7b2", "#edc948", "#b07aa1", "#ff9da7",
+                                "#9c755f", "#bab0ac"};
+
+std::string color_for(NodeId receiver) {
+  return kPalette[static_cast<std::size_t>(receiver) %
+                  (sizeof(kPalette) / sizeof(kPalette[0]))];
+}
+
+struct Box {
+  NodeId sender;
+  NodeId receiver;
+  Weight start;
+  Weight duration;
+};
+
+std::string render(const std::vector<Box>& boxes,
+                   const std::vector<Weight>& barriers, NodeId senders,
+                   Weight makespan, const GanttOptions& options) {
+  REDIST_CHECK(options.pixels_per_unit > 0 && options.row_height > 0);
+  const int margin_left = 60;
+  const int margin_top = options.title.empty() ? 10 : 34;
+  const int width =
+      margin_left +
+      static_cast<int>(makespan) * options.pixels_per_unit + 20;
+  const int height =
+      margin_top + static_cast<int>(senders) * options.row_height + 30;
+
+  std::ostringstream os;
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width
+     << "\" height=\"" << height << "\" font-family=\"sans-serif\""
+     << " font-size=\"11\">\n";
+  if (!options.title.empty()) {
+    os << "  <text x=\"" << margin_left << "\" y=\"20\" font-size=\"14\">"
+       << options.title << "</text>\n";
+  }
+  for (NodeId s = 0; s < senders; ++s) {
+    const int y = margin_top + static_cast<int>(s) * options.row_height;
+    os << "  <text x=\"6\" y=\"" << y + options.row_height / 2 + 4
+       << "\">node " << s << "</text>\n";
+    os << "  <line x1=\"" << margin_left << "\" y1=\""
+       << y + options.row_height << "\" x2=\"" << width - 10 << "\" y2=\""
+       << y + options.row_height << "\" stroke=\"#ddd\"/>\n";
+  }
+  for (const Box& box : boxes) {
+    const int x = margin_left +
+                  static_cast<int>(box.start) * options.pixels_per_unit;
+    const int w = std::max(
+        1, static_cast<int>(box.duration) * options.pixels_per_unit);
+    const int y = margin_top +
+                  static_cast<int>(box.sender) * options.row_height + 2;
+    os << "  <rect x=\"" << x << "\" y=\"" << y << "\" width=\"" << w
+       << "\" height=\"" << options.row_height - 6 << "\" fill=\""
+       << color_for(box.receiver) << "\" stroke=\"#333\"><title>"
+       << box.sender << " -> " << box.receiver << " (" << box.duration
+       << " units)</title></rect>\n";
+    os << "  <text x=\"" << x + 3 << "\" y=\""
+       << y + options.row_height / 2 + 2 << "\" fill=\"white\">r"
+       << box.receiver << "</text>\n";
+  }
+  for (const Weight b : barriers) {
+    const int x =
+        margin_left + static_cast<int>(b) * options.pixels_per_unit;
+    os << "  <line x1=\"" << x << "\" y1=\"" << margin_top << "\" x2=\"" << x
+       << "\" y2=\""
+       << margin_top + static_cast<int>(senders) * options.row_height
+       << "\" stroke=\"#c00\" stroke-dasharray=\"4 3\"/>\n";
+  }
+  // Time axis.
+  const int axis_y =
+      margin_top + static_cast<int>(senders) * options.row_height + 16;
+  os << "  <text x=\"" << margin_left << "\" y=\"" << axis_y << "\">0</text>\n";
+  os << "  <text x=\""
+     << margin_left + static_cast<int>(makespan) * options.pixels_per_unit -
+            10
+     << "\" y=\"" << axis_y << "\">" << makespan << "</text>\n";
+  os << "</svg>\n";
+  return os.str();
+}
+
+}  // namespace
+
+std::string schedule_to_svg(const Schedule& schedule, NodeId senders,
+                            const GanttOptions& options) {
+  std::vector<Box> boxes;
+  std::vector<Weight> barriers;
+  Weight now = 0;
+  for (const Step& step : schedule.steps()) {
+    now += options.beta;
+    for (const Communication& c : step.comms) {
+      REDIST_CHECK_MSG(c.sender < senders, "sender id beyond row count");
+      boxes.push_back(Box{c.sender, c.receiver, now, c.amount});
+    }
+    now += step.duration();
+    barriers.push_back(now);
+  }
+  return render(boxes, barriers, senders, now, options);
+}
+
+std::string async_to_svg(const AsyncSchedule& schedule, NodeId senders,
+                         const GanttOptions& options) {
+  std::vector<Box> boxes;
+  for (const AsyncComm& c : schedule.comms) {
+    REDIST_CHECK_MSG(c.sender < senders, "sender id beyond row count");
+    boxes.push_back(Box{c.sender, c.receiver, c.start, c.finish - c.start});
+  }
+  return render(boxes, {}, senders, schedule.makespan, options);
+}
+
+}  // namespace redist

@@ -1,0 +1,29 @@
+// SVG Gantt rendering of schedules — one row per sender, one colored box
+// per communication, barriers drawn as vertical lines. Also renders the
+// barrier-relaxed (async) variant with its computed start times, so the
+// two can be compared visually.
+#pragma once
+
+#include <string>
+
+#include "kpbs/async_relax.hpp"
+#include "kpbs/schedule.hpp"
+
+namespace redist {
+
+struct GanttOptions {
+  int pixels_per_unit = 6;   ///< horizontal scale
+  int row_height = 22;
+  Weight beta = 0;           ///< drawn as setup hatching before each step
+  std::string title;
+};
+
+/// Stepped schedule: rows are senders; step boundaries marked.
+std::string schedule_to_svg(const Schedule& schedule, NodeId senders,
+                            const GanttOptions& options = {});
+
+/// Relaxed schedule (uses the AsyncComm start/finish times).
+std::string async_to_svg(const AsyncSchedule& schedule, NodeId senders,
+                         const GanttOptions& options = {});
+
+}  // namespace redist

@@ -1,0 +1,26 @@
+#include "kpbs/lower_bound.hpp"
+
+#include <algorithm>
+
+#include "common/math.hpp"
+#include "kpbs/regularize.hpp"
+
+namespace redist {
+
+LowerBound kpbs_lower_bound(const BipartiteGraph& g, int k, Weight beta) {
+  REDIST_CHECK_MSG(beta >= 0, "negative beta");
+  LowerBound lb;
+  lb.beta = beta;
+  if (g.empty()) return lb;
+  k = clamp_k(g, k);
+
+  const auto m = static_cast<std::int64_t>(g.alive_edge_count());
+  lb.min_steps = std::max<std::int64_t>(g.max_degree(),
+                                        ceil_div(m, static_cast<Weight>(k)));
+  lb.min_transmission = rational_max(
+      Rational(g.max_node_weight()),
+      Rational(g.total_weight(), static_cast<std::int64_t>(k)));
+  return lb;
+}
+
+}  // namespace redist

@@ -1,0 +1,38 @@
+// Lower bound on the optimal K-PBS cost (from Cohen, Jeannot & Padoy).
+//
+// For any feasible schedule {M_1..M_s}:
+//  * s >= Delta(G): a vertex of degree d needs d distinct steps (one per
+//    incident edge, preemption only adds steps);
+//  * s >= ceil(m / k): at most k communications per step and every edge
+//    appears in at least one step;
+//  * sum_i W(M_i) >= W(G): the steps touching the heaviest vertex must
+//    cumulatively cover its weight;
+//  * sum_i W(M_i) >= P(G) / k: each step transmits at most k * W(M_i).
+// Hence OPT >= beta * max(Delta, ceil(m/k)) + max(W(G), P(G)/k). The second
+// term is kept as an exact rational — Figure 8's ratios sit within 2e-4 of
+// 1, which floating-point division would blur.
+#pragma once
+
+#include "common/rational.hpp"
+#include "common/types.hpp"
+#include "graph/bipartite_graph.hpp"
+
+namespace redist {
+
+struct LowerBound {
+  std::int64_t min_steps = 0;    ///< max(Delta(G), ceil(m/k))
+  Rational min_transmission;     ///< max(W(G), P(G)/k)
+  Weight beta = 0;
+
+  /// beta * min_steps + min_transmission.
+  Rational value() const {
+    return Rational(beta) * Rational(min_steps) + min_transmission;
+  }
+  double value_double() const { return value().to_double(); }
+};
+
+/// Computes the bound; `k` is clamped to [1, min(n1, n2)] exactly as the
+/// solvers clamp it. An empty graph yields a zero bound.
+LowerBound kpbs_lower_bound(const BipartiteGraph& g, int k, Weight beta);
+
+}  // namespace redist

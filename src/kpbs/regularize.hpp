@@ -1,0 +1,52 @@
+// Weight-regularization transform (Section 4.2.2 of the paper).
+//
+// Turns an arbitrary weighted bipartite graph G into a c-weight-regular
+// graph J with equal left/right sizes such that every perfect matching of J
+// contains at most k edges of G (exactly k edges of G-plus-filler,
+// Proposition 1). Three kinds of edges are added:
+//
+//  * filler edges — each connecting a fresh left/right node pair, padding
+//    the total weight P up to c*k where c = max(W(G), ceil(P(G)/k))
+//    (this folds the paper's two cases into one construction);
+//  * deficit edges towards |V1'|-k dummy right nodes, absorbing each left
+//    node's gap to c (greedy transportation fill, never dummy-dummy);
+//  * symmetric deficit edges from |V2'|-k dummy left nodes.
+//
+// Node ids: originals keep their ids; filler and dummy nodes are appended.
+// `origin[e]` maps every edge of J back to the original edge id, or kNoEdge
+// for synthetic edges.
+#pragma once
+
+#include <vector>
+
+#include "graph/bipartite_graph.hpp"
+
+namespace redist {
+
+struct Regularized {
+  BipartiteGraph graph;          ///< The weight-regular graph J.
+  Weight regular_weight = 0;     ///< c: every node of J has weight c.
+  int k = 0;                     ///< The (clamped) k the transform used.
+  std::vector<EdgeId> origin;    ///< Per J edge: original edge id or kNoEdge.
+  NodeId original_left = 0;      ///< |V1| of the input graph.
+  NodeId original_right = 0;     ///< |V2| of the input graph.
+  NodeId filler_count = 0;       ///< filler node pairs appended to each side
+
+  /// Node-id bands: [0, original) originals, [original, original +
+  /// filler_count) filler nodes, the rest dummy absorbers.
+  bool is_dummy_left(NodeId v) const {
+    return v >= original_left + filler_count;
+  }
+  bool is_dummy_right(NodeId v) const {
+    return v >= original_right + filler_count;
+  }
+};
+
+/// Clamps k to the feasible range [1, min(n1, n2)] (paper constraints
+/// (c) and (d): at most min(n1, n2) disjoint communications exist).
+int clamp_k(const BipartiteGraph& g, int k);
+
+/// Builds the regularization. Requires a non-empty graph. `k` is clamped.
+Regularized regularize(const BipartiteGraph& g, int k);
+
+}  // namespace redist

@@ -1,0 +1,60 @@
+#include "kpbs/schedule_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace redist {
+
+void write_schedule(std::ostream& os, const Schedule& s) {
+  os << "schedule " << s.step_count() << '\n';
+  for (const Step& step : s.steps()) {
+    os << "step " << step.comms.size() << '\n';
+    for (const Communication& c : step.comms) {
+      os << c.sender << ' ' << c.receiver << ' ' << c.amount << '\n';
+    }
+  }
+}
+
+Schedule read_schedule(std::istream& is) {
+  // Defensive ceilings mirroring read_graph: reject absurd counts cleanly.
+  constexpr std::size_t kMaxSteps = 1u << 26;
+  constexpr std::size_t kMaxComms = 1u << 24;
+  std::string tag;
+  std::size_t steps = 0;
+  REDIST_CHECK_MSG(static_cast<bool>(is >> tag >> steps) && tag == "schedule",
+                   "schedule header malformed");
+  REDIST_CHECK_MSG(steps <= kMaxSteps, "unreasonable step count");
+  Schedule s;
+  for (std::size_t i = 0; i < steps; ++i) {
+    std::size_t comms = 0;
+    REDIST_CHECK_MSG(static_cast<bool>(is >> tag >> comms) && tag == "step",
+                     "step header " << i << " malformed");
+    REDIST_CHECK_MSG(comms <= kMaxComms, "unreasonable comm count");
+    Step step;
+    for (std::size_t c = 0; c < comms; ++c) {
+      Communication comm;
+      REDIST_CHECK_MSG(
+          static_cast<bool>(is >> comm.sender >> comm.receiver >> comm.amount),
+          "communication " << c << " of step " << i << " malformed");
+      step.comms.push_back(comm);
+    }
+    s.add_step(std::move(step));
+  }
+  return s;
+}
+
+std::string schedule_to_string(const Schedule& s) {
+  std::ostringstream os;
+  write_schedule(os, s);
+  return os.str();
+}
+
+Schedule schedule_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_schedule(is);
+}
+
+}  // namespace redist

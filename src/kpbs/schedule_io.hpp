@@ -1,0 +1,23 @@
+// Schedule serialization: a line-oriented text format so schedules can be
+// computed once (e.g. by tools/redist_cli) and executed elsewhere.
+//
+// Format:
+//   line 1: `schedule <step_count>`
+//   per step: `step <comm_count>` then one `<sender> <receiver> <amount>`
+//   line per communication.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "kpbs/schedule.hpp"
+
+namespace redist {
+
+void write_schedule(std::ostream& os, const Schedule& s);
+Schedule read_schedule(std::istream& is);
+
+std::string schedule_to_string(const Schedule& s);
+Schedule schedule_from_string(const std::string& text);
+
+}  // namespace redist

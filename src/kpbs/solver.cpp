@@ -1,0 +1,97 @@
+#include "kpbs/solver.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/math.hpp"
+#include "kpbs/regularize.hpp"
+#include "kpbs/wrgp.hpp"
+#include "matching/hungarian.hpp"
+
+namespace redist {
+
+std::string algorithm_name(Algorithm a) {
+  switch (a) {
+    case Algorithm::kGGP:
+      return "GGP";
+    case Algorithm::kOGGP:
+      return "OGGP";
+    case Algorithm::kGGPMaxWeight:
+      return "GGP-MW";
+  }
+  return "?";
+}
+
+namespace {
+PerfectMatchingStrategy strategy_for(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kOGGP:
+      return PerfectMatchingStrategy(bottleneck_perfect_matching);
+    case Algorithm::kGGPMaxWeight:
+      return PerfectMatchingStrategy(max_weight_perfect_matching);
+    case Algorithm::kGGP:
+      break;
+  }
+  return PerfectMatchingStrategy(arbitrary_perfect_matching);
+}
+}  // namespace
+
+Schedule solve_kpbs(const BipartiteGraph& demand, int k, Weight beta,
+                    Algorithm algorithm) {
+  REDIST_CHECK_MSG(beta >= 0, "negative beta");
+  Schedule schedule;
+  if (demand.empty()) return schedule;
+  k = clamp_k(demand, k);
+
+  // Step 1 — beta-normalization. All weights are expressed in units of
+  // beta (rounded up); beta in {0, 1} degenerates to the raw weights.
+  const Weight unit = std::max<Weight>(1, beta);
+
+  BipartiteGraph normalized(demand.left_count(), demand.right_count());
+  std::vector<EdgeId> demand_edge;  // normalized edge -> demand edge
+  for (EdgeId e = 0; e < demand.edge_count(); ++e) {
+    if (!demand.alive(e)) continue;
+    const Edge& edge = demand.edge(e);
+    normalized.add_edge(edge.left, edge.right, ceil_div(edge.weight, unit));
+    demand_edge.push_back(e);
+  }
+
+  // Step 2 — regularize; Step 3 — peel.
+  Regularized reg = regularize(normalized, k);
+  const std::vector<PeelStep> peels =
+      wrgp_peel(reg.graph, strategy_for(algorithm));
+
+  // Step 4 — extract real communications with realized amounts.
+  std::vector<Weight> remaining(demand_edge.size());
+  for (std::size_t i = 0; i < demand_edge.size(); ++i) {
+    remaining[i] = demand.edge(demand_edge[i]).weight;
+  }
+  for (const PeelStep& peel : peels) {
+    Step step;
+    for (EdgeId je : peel.matching.edges) {
+      const EdgeId ne = reg.origin[static_cast<std::size_t>(je)];
+      if (ne == kNoEdge) continue;  // filler or deficit edge
+      const auto idx = static_cast<std::size_t>(ne);
+      const Weight realized = std::min(peel.amount * unit, remaining[idx]);
+      // Normalization guarantees remaining > 0 while the normalized edge is
+      // alive, so every real matched edge transmits something.
+      REDIST_CHECK(realized > 0);
+      remaining[idx] -= realized;
+      const Edge& src = demand.edge(demand_edge[idx]);
+      step.comms.push_back(Communication{src.left, src.right, realized});
+    }
+    if (!step.comms.empty()) schedule.add_step(std::move(step));
+  }
+  for (Weight r : remaining) REDIST_CHECK(r == 0);
+  return schedule;
+}
+
+double evaluation_ratio(const BipartiteGraph& demand, const Schedule& s,
+                        int k, Weight beta) {
+  const LowerBound lb = kpbs_lower_bound(demand, k, beta);
+  const double bound = lb.value_double();
+  if (bound == 0.0) return 1.0;
+  return static_cast<double>(s.cost(beta)) / bound;
+}
+
+}  // namespace redist

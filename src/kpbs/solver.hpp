@@ -1,0 +1,44 @@
+// GGP and OGGP — the paper's two 2-approximation K-PBS solvers.
+//
+// Pipeline (Section 4.2):
+//  1. beta-normalization: weights are divided by beta and rounded up, so no
+//     communication shorter than one setup delay is ever preempted;
+//  2. regularization into a weight-regular graph J whose perfect matchings
+//     carry at most k original edges (see regularize.hpp);
+//  3. WRGP peeling of J — GGP with an arbitrary perfect matching, OGGP with
+//     a bottleneck (max-min-weight) perfect matching;
+//  4. extraction: synthetic edges are discarded; real edges emit *realized*
+//     amounts min(step * beta, remaining), so the reported schedule
+//     transfers exactly the demanded totals and rounding never inflates the
+//     measured cost. Steps containing no real communication are dropped.
+#pragma once
+
+#include <string>
+
+#include "graph/bipartite_graph.hpp"
+#include "kpbs/lower_bound.hpp"
+#include "kpbs/schedule.hpp"
+
+namespace redist {
+
+enum class Algorithm {
+  kGGP,           ///< Generic Graph Peeling (arbitrary perfect matchings).
+  kOGGP,          ///< Optimized GGP (bottleneck perfect matchings).
+  kGGPMaxWeight,  ///< Ablation: peeling with max-total-weight matchings.
+};
+
+std::string algorithm_name(Algorithm a);
+
+/// Solves K-PBS on `demand` with at most `k` simultaneous communications and
+/// per-step setup cost `beta` (same time units as the edge weights; may be
+/// 0). Returns a schedule that validate_schedule() accepts. `k` is clamped
+/// to [1, min(n1, n2)].
+Schedule solve_kpbs(const BipartiteGraph& demand, int k, Weight beta,
+                    Algorithm algorithm);
+
+/// Cost of the schedule divided by the K-PBS lower bound — the paper's
+/// "evaluation ratio" (>= 1; closer to 1 is better).
+double evaluation_ratio(const BipartiteGraph& demand, const Schedule& s,
+                        int k, Weight beta);
+
+}  // namespace redist

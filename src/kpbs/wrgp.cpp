@@ -1,0 +1,44 @@
+#include "kpbs/wrgp.hpp"
+
+#include "matching/bottleneck.hpp"
+#include "matching/hopcroft_karp.hpp"
+
+namespace redist {
+
+Matching arbitrary_perfect_matching(const BipartiteGraph& g) {
+  return max_matching(g);
+}
+
+Matching bottleneck_perfect_matching(const BipartiteGraph& g) {
+  return bottleneck_perfect_threshold(g);
+}
+
+std::vector<PeelStep> wrgp_peel(BipartiteGraph& g,
+                                const PerfectMatchingStrategy& strategy) {
+  REDIST_CHECK_MSG(g.left_count() == g.right_count(),
+                   "WRGP needs equal side sizes, got "
+                       << g.left_count() << "x" << g.right_count());
+  Weight c = 0;
+  REDIST_CHECK_MSG(g.is_weight_regular(&c),
+                   "WRGP requires a weight-regular graph");
+
+  std::vector<PeelStep> steps;
+  // Upper bound on iterations: one edge dies per step.
+  const EdgeId max_iterations = g.edge_count() + 1;
+  EdgeId iterations = 0;
+  while (!g.empty()) {
+    REDIST_CHECK_MSG(++iterations <= max_iterations,
+                     "WRGP failed to make progress");
+    Matching m = strategy(g);
+    REDIST_CHECK_MSG(is_perfect_matching(g, m),
+                     "strategy did not return a perfect matching (size "
+                         << m.size() << " of " << g.left_count() << ")");
+    const Weight w = min_weight(g, m);
+    REDIST_CHECK(w > 0);
+    for (EdgeId e : m.edges) g.decrease_weight(e, w);
+    steps.push_back(PeelStep{std::move(m), w});
+  }
+  return steps;
+}
+
+}  // namespace redist

@@ -1,0 +1,42 @@
+// WRGP — Weight-Regular Graph Peeling (Section 4.1 of the paper).
+//
+// Input: a weight-regular bipartite graph with equal side sizes (every node
+// has total adjacent weight c). WRGP repeatedly (1) finds a perfect matching
+// M of the residual graph, (2) takes w = the smallest residual weight in M,
+// (3) emits (M, w) as a communication step and subtracts w from every edge
+// of M. Because M is perfect and uniform-w, the residual stays
+// weight-regular, so a perfect matching exists at every iteration (Hall);
+// at least one edge dies per iteration, bounding steps by the edge count.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "graph/bipartite_graph.hpp"
+#include "matching/matching.hpp"
+
+namespace redist {
+
+/// One peeled step: the matching used and the uniform amount transmitted on
+/// each of its edges.
+struct PeelStep {
+  Matching matching;
+  Weight amount = 0;
+};
+
+/// Strategy returning a perfect matching of the (weight-regular) residual
+/// graph. GGP uses an arbitrary maximum matching; OGGP a bottleneck one.
+using PerfectMatchingStrategy =
+    std::function<Matching(const BipartiteGraph&)>;
+
+/// Built-in strategies.
+Matching arbitrary_perfect_matching(const BipartiteGraph& g);
+Matching bottleneck_perfect_matching(const BipartiteGraph& g);
+
+/// Peels `g` (mutated in place down to empty). Throws if `g` is not
+/// weight-regular with equal sides, or if a strategy ever fails to return a
+/// perfect matching (which would indicate a broken strategy, not bad input).
+std::vector<PeelStep> wrgp_peel(BipartiteGraph& g,
+                                const PerfectMatchingStrategy& strategy);
+
+}  // namespace redist

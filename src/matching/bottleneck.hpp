@@ -1,0 +1,35 @@
+// Bottleneck (max-min-weight) matchings — the heart of OGGP.
+//
+// OGGP replaces GGP's arbitrary perfect matching with one whose *minimum*
+// edge weight is as large as possible, so that each peeled communication
+// step is as long as possible and the schedule has fewer steps.
+//
+// Two implementations are provided:
+//  * `bottleneck_*_threshold` — binary search over distinct edge weights,
+//    running Hopcroft–Karp on the subgraph of edges >= threshold:
+//    O(m sqrt(n) log m). This is the production path.
+//  * `bottleneck_maximal_incremental` — a literal transcription of the
+//    paper's Figure 6 (add edges heaviest-first, re-augment, stop when the
+//    matching reaches maximum cardinality): O(m^2). Kept for fidelity and
+//    cross-validation in tests.
+// Both return matchings achieving the same (optimal) bottleneck value.
+#pragma once
+
+#include "graph/bipartite_graph.hpp"
+#include "matching/matching.hpp"
+
+namespace redist {
+
+/// Maximum matching (of the alive edges) maximizing the minimal edge weight,
+/// via threshold binary search. The result has maximum cardinality among all
+/// matchings of alive edges.
+Matching bottleneck_maximal_threshold(const BipartiteGraph& g);
+
+/// Perfect matching maximizing the minimal edge weight. Requires a perfect
+/// matching to exist (throws otherwise). Left/right sizes must be equal.
+Matching bottleneck_perfect_threshold(const BipartiteGraph& g);
+
+/// The paper's Figure 6 algorithm, literal version.
+Matching bottleneck_maximal_incremental(const BipartiteGraph& g);
+
+}  // namespace redist

@@ -1,0 +1,76 @@
+#include "matching/edge_coloring.hpp"
+
+#include <algorithm>
+
+#include "matching/hopcroft_karp.hpp"
+
+namespace redist {
+
+std::vector<Matching> bipartite_edge_coloring(const BipartiteGraph& g) {
+  if (g.empty()) return {};
+  const int delta = g.max_degree();
+
+  // Build a Delta-regular multigraph H on equal sides: original vertices
+  // keep their ids; both sides are padded to the same size; every vertex is
+  // topped up to degree Delta with dummy unit edges (two-pointer fill, like
+  // the weight-regularization transform but on degrees).
+  const NodeId side = std::max(g.left_count(), g.right_count());
+  BipartiteGraph h(side, side);
+  std::vector<EdgeId> origin;  // H edge -> g edge or kNoEdge
+
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    if (!g.alive(e)) continue;
+    const Edge& edge = g.edge(e);
+    h.add_edge(edge.left, edge.right, 1);
+    origin.push_back(e);
+  }
+
+  // Degree deficits on both sides are equal in total: sum(left) =
+  // sum(right) = delta * side - m. Pair deficient vertices greedily; the
+  // added dummy (possibly parallel) edges never collide with real ones in a
+  // way that matters — H is a multigraph.
+  std::vector<int> left_deficit(static_cast<std::size_t>(side));
+  std::vector<int> right_deficit(static_cast<std::size_t>(side));
+  for (NodeId v = 0; v < side; ++v) {
+    left_deficit[static_cast<std::size_t>(v)] = delta - h.degree_left(v);
+    right_deficit[static_cast<std::size_t>(v)] = delta - h.degree_right(v);
+  }
+  NodeId l = 0;
+  NodeId r = 0;
+  for (;;) {
+    while (l < side && left_deficit[static_cast<std::size_t>(l)] == 0) ++l;
+    while (r < side && right_deficit[static_cast<std::size_t>(r)] == 0) ++r;
+    if (l >= side || r >= side) break;
+    const int add = std::min(left_deficit[static_cast<std::size_t>(l)],
+                             right_deficit[static_cast<std::size_t>(r)]);
+    for (int i = 0; i < add; ++i) {
+      h.add_edge(l, r, 1);
+      origin.push_back(kNoEdge);
+    }
+    left_deficit[static_cast<std::size_t>(l)] -= add;
+    right_deficit[static_cast<std::size_t>(r)] -= add;
+  }
+  REDIST_CHECK_MSG(l >= side && r >= side,
+                   "degree padding left unbalanced deficits");
+
+  // Peel Delta perfect matchings from the Delta-regular multigraph.
+  std::vector<Matching> colors;
+  for (int c = 0; c < delta; ++c) {
+    Matching pm = max_matching(h);
+    REDIST_CHECK_MSG(is_perfect_matching(h, pm),
+                     "regular multigraph lost its perfect matching");
+    Matching real;
+    for (EdgeId he : pm.edges) {
+      const EdgeId ge = origin[static_cast<std::size_t>(he)];
+      if (ge != kNoEdge) real.edges.push_back(ge);
+      h.decrease_weight(he, 1);  // remove from H
+    }
+    colors.push_back(std::move(real));
+  }
+  REDIST_CHECK(h.empty());
+  // Dummy-only colors can appear only if delta classes all got reals;
+  // delta >= 1 and every real edge was consumed exactly once.
+  return colors;
+}
+
+}  // namespace redist

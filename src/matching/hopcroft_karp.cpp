@@ -1,0 +1,120 @@
+#include "matching/hopcroft_karp.hpp"
+
+#include <deque>
+#include <limits>
+
+namespace redist {
+
+namespace {
+constexpr int kInf = std::numeric_limits<int>::max();
+}
+
+HopcroftKarp::HopcroftKarp(const BipartiteGraph& g, std::vector<char> mask)
+    : g_(g),
+      mask_(std::move(mask)),
+      match_left_(static_cast<std::size_t>(g.left_count()), kNoEdge),
+      match_right_(static_cast<std::size_t>(g.right_count()), kNoEdge),
+      dist_(static_cast<std::size_t>(g.left_count()), kInf) {
+  REDIST_CHECK_MSG(
+      mask_.empty() || mask_.size() == static_cast<std::size_t>(g.edge_count()),
+      "edge mask size mismatch");
+}
+
+bool HopcroftKarp::edge_usable(EdgeId e) const {
+  if (!g_.alive(e)) return false;
+  return mask_.empty() || mask_[static_cast<std::size_t>(e)];
+}
+
+bool HopcroftKarp::bfs_layers() {
+  std::deque<NodeId> queue;
+  for (NodeId v = 0; v < g_.left_count(); ++v) {
+    if (match_left_[static_cast<std::size_t>(v)] == kNoEdge) {
+      dist_[static_cast<std::size_t>(v)] = 0;
+      queue.push_back(v);
+    } else {
+      dist_[static_cast<std::size_t>(v)] = kInf;
+    }
+  }
+  bool found_free_right = false;
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    for (EdgeId e : g_.edges_of_left(u)) {
+      if (!edge_usable(e)) continue;
+      const NodeId r = g_.edge(e).right;
+      const EdgeId back = match_right_[static_cast<std::size_t>(r)];
+      if (back == kNoEdge) {
+        found_free_right = true;
+      } else {
+        const NodeId next = g_.edge(back).left;
+        if (dist_[static_cast<std::size_t>(next)] == kInf) {
+          dist_[static_cast<std::size_t>(next)] =
+              dist_[static_cast<std::size_t>(u)] + 1;
+          queue.push_back(next);
+        }
+      }
+    }
+  }
+  return found_free_right;
+}
+
+bool HopcroftKarp::dfs_augment(NodeId left) {
+  for (EdgeId e : g_.edges_of_left(left)) {
+    if (!edge_usable(e)) continue;
+    const NodeId r = g_.edge(e).right;
+    const EdgeId back = match_right_[static_cast<std::size_t>(r)];
+    bool reachable;
+    if (back == kNoEdge) {
+      reachable = true;
+    } else {
+      const NodeId next = g_.edge(back).left;
+      reachable = dist_[static_cast<std::size_t>(next)] ==
+                      dist_[static_cast<std::size_t>(left)] + 1 &&
+                  dfs_augment(next);
+    }
+    if (reachable) {
+      match_left_[static_cast<std::size_t>(left)] = e;
+      match_right_[static_cast<std::size_t>(r)] = e;
+      return true;
+    }
+  }
+  dist_[static_cast<std::size_t>(left)] = kInf;  // dead end; prune
+  return false;
+}
+
+Matching HopcroftKarp::solve() {
+  // Seed with a greedy matching: cheap and typically covers most vertices.
+  const Matching seed = greedy_matching(g_, mask_);
+  for (EdgeId e : seed.edges) {
+    const Edge& edge = g_.edge(e);
+    match_left_[static_cast<std::size_t>(edge.left)] = e;
+    match_right_[static_cast<std::size_t>(edge.right)] = e;
+  }
+  while (bfs_layers()) {
+    bool augmented = false;
+    for (NodeId v = 0; v < g_.left_count(); ++v) {
+      if (match_left_[static_cast<std::size_t>(v)] == kNoEdge) {
+        augmented |= dfs_augment(v);
+      }
+    }
+    if (!augmented) break;
+  }
+  Matching result;
+  for (NodeId v = 0; v < g_.left_count(); ++v) {
+    const EdgeId e = match_left_[static_cast<std::size_t>(v)];
+    if (e != kNoEdge) result.edges.push_back(e);
+  }
+  return result;
+}
+
+Matching max_matching(const BipartiteGraph& g, std::vector<char> mask) {
+  HopcroftKarp solver(g, std::move(mask));
+  return solver.solve();
+}
+
+std::size_t max_matching_size(const BipartiteGraph& g,
+                              std::vector<char> mask) {
+  return max_matching(g, std::move(mask)).size();
+}
+
+}  // namespace redist

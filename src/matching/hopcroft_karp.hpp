@@ -1,0 +1,53 @@
+// Hopcroft–Karp maximum-cardinality bipartite matching, O(m * sqrt(n)).
+//
+// Operates over the alive edges of a BipartiteGraph, optionally restricted by
+// an edge mask. The paper's WRGP engine calls this once per peeling step (it
+// cites Micali–Vazirani / Alt et al.; Hopcroft–Karp has the same O(m sqrt n)
+// bound on bipartite graphs and is the standard practical choice).
+#pragma once
+
+#include <vector>
+
+#include "graph/bipartite_graph.hpp"
+#include "matching/matching.hpp"
+
+namespace redist {
+
+class HopcroftKarp {
+ public:
+  /// Binds to a graph. The graph must outlive the solver. `mask` (if
+  /// non-empty) must have one entry per edge id; zero entries are excluded.
+  explicit HopcroftKarp(const BipartiteGraph& g,
+                        std::vector<char> mask = {});
+
+  /// Computes a maximum matching; can be called once per instance.
+  Matching solve();
+
+  /// Matched edge of a left/right node after solve(), or kNoEdge.
+  EdgeId matched_edge_of_left(NodeId v) const {
+    return match_left_[static_cast<std::size_t>(v)];
+  }
+  EdgeId matched_edge_of_right(NodeId v) const {
+    return match_right_[static_cast<std::size_t>(v)];
+  }
+
+ private:
+  bool bfs_layers();
+  bool dfs_augment(NodeId left);
+  bool edge_usable(EdgeId e) const;
+
+  const BipartiteGraph& g_;
+  std::vector<char> mask_;
+  std::vector<EdgeId> match_left_;   // left node -> matched edge id
+  std::vector<EdgeId> match_right_;  // right node -> matched edge id
+  std::vector<int> dist_;            // BFS layer per left node
+};
+
+/// One-shot helper: maximum matching of alive edges (optionally masked).
+Matching max_matching(const BipartiteGraph& g, std::vector<char> mask = {});
+
+/// One-shot helper: size of the maximum matching.
+std::size_t max_matching_size(const BipartiteGraph& g,
+                              std::vector<char> mask = {});
+
+}  // namespace redist

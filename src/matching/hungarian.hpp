@@ -1,0 +1,21 @@
+// Maximum-weight perfect matching on bipartite graphs (Kuhn–Munkres /
+// Jonker-Volgenant style, dense O(n^3)).
+//
+// The paper notes GGP works with *any* matching algorithm and that the
+// choice matters (OGGP exists precisely because of that). This solver
+// provides a third strategy for the ablation study: maximize the *total*
+// weight of the perfect matching, as opposed to GGP's arbitrary matching
+// and OGGP's max-min (bottleneck) matching.
+#pragma once
+
+#include "graph/bipartite_graph.hpp"
+#include "matching/matching.hpp"
+
+namespace redist {
+
+/// Perfect matching of the alive edges maximizing the summed edge weight.
+/// Requires equal side sizes and an existing perfect matching (throws
+/// otherwise). With parallel edges, the heaviest edge per pair is used.
+Matching max_weight_perfect_matching(const BipartiteGraph& g);
+
+}  // namespace redist

@@ -1,0 +1,39 @@
+// Matching representation and validity checks.
+//
+// A matching is a set of edge ids of a BipartiteGraph such that no two edges
+// share an endpoint — the paper's model of one communication step (1-port
+// constraint). A matching is *perfect* when it saturates every vertex on
+// both sides, which requires equal side sizes.
+#pragma once
+
+#include <vector>
+
+#include "graph/bipartite_graph.hpp"
+
+namespace redist {
+
+struct Matching {
+  std::vector<EdgeId> edges;
+
+  std::size_t size() const { return edges.size(); }
+  bool empty() const { return edges.empty(); }
+};
+
+/// True iff `m` is a valid matching of alive edges of `g`.
+bool is_matching(const BipartiteGraph& g, const Matching& m);
+
+/// True iff `m` is a valid matching saturating all vertices of both sides.
+bool is_perfect_matching(const BipartiteGraph& g, const Matching& m);
+
+/// Smallest edge weight in the matching; 0 for an empty matching.
+Weight min_weight(const BipartiteGraph& g, const Matching& m);
+
+/// Largest edge weight in the matching (the step duration W(M)); 0 if empty.
+Weight max_weight(const BipartiteGraph& g, const Matching& m);
+
+/// Greedy maximal matching over alive edges honoring an optional mask
+/// (mask[e] == 0 excludes edge e). Used to seed Hopcroft–Karp.
+Matching greedy_matching(const BipartiteGraph& g,
+                         const std::vector<char>& mask = {});
+
+}  // namespace redist

@@ -1,0 +1,185 @@
+#include "mpilite/comm.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace redist {
+
+namespace {
+constexpr std::uint32_t kBarrierTag = 0xB0BA0000;
+}
+
+Mesh::Mesh(int size) : size_(size) {
+  REDIST_CHECK_MSG(size >= 1, "mesh needs at least one rank");
+  links_.resize(static_cast<std::size_t>(size));
+  for (auto& row : links_) {
+    row.resize(static_cast<std::size_t>(size));
+  }
+  for (int r = 0; r < size; ++r) {
+    comms_.emplace_back(new Communicator(this, r));
+  }
+  if (size == 1) return;
+
+  // One listener per rank on an ephemeral loopback port.
+  std::vector<TcpListener> listeners;
+  listeners.reserve(static_cast<std::size_t>(size));
+  for (int r = 0; r < size; ++r) {
+    listeners.push_back(TcpListener::bind_loopback(size));
+  }
+
+  // Wire the mesh with one thread per rank: connect to lower ranks,
+  // accept from higher ranks. The handshake carries the connector's rank.
+  std::vector<std::thread> wires;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(size));
+  for (int r = 0; r < size; ++r) {
+    wires.emplace_back([this, r, &listeners, &errors]() {
+      try {
+        for (int peer = 0; peer < r; ++peer) {
+          TcpStream stream = TcpStream::connect_loopback(
+              listeners[static_cast<std::size_t>(peer)].port());
+          stream.set_nodelay(true);
+          const std::uint32_t me = static_cast<std::uint32_t>(r);
+          stream.send_all(&me, sizeof(me));
+          auto link = std::make_unique<Link>();
+          link->stream = std::move(stream);
+          links_[static_cast<std::size_t>(r)][static_cast<std::size_t>(
+              peer)] = std::move(link);
+        }
+        for (int expected = r + 1; expected < size_; ++expected) {
+          TcpStream stream =
+              listeners[static_cast<std::size_t>(r)].accept();
+          stream.set_nodelay(true);
+          std::uint32_t who = 0;
+          stream.recv_all(&who, sizeof(who));
+          REDIST_CHECK_MSG(static_cast<int>(who) > r &&
+                               static_cast<int>(who) < size_,
+                           "bad handshake rank " << who);
+          auto link = std::make_unique<Link>();
+          link->stream = std::move(stream);
+          auto& slot = links_[static_cast<std::size_t>(r)]
+                             [static_cast<std::size_t>(who)];
+          REDIST_CHECK_MSG(slot == nullptr, "duplicate connection");
+          slot = std::move(link);
+        }
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : wires) t.join();
+  for (const auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+Communicator& Mesh::comm(int rank) {
+  REDIST_CHECK_MSG(rank >= 0 && rank < size_, "rank out of range: " << rank);
+  return *comms_[static_cast<std::size_t>(rank)];
+}
+
+Mesh::Link& Communicator::link_to(int peer) {
+  REDIST_CHECK_MSG(peer >= 0 && peer < size() && peer != rank_,
+                   "bad peer rank " << peer << " (self " << rank_ << ")");
+  auto& link = mesh_->links_[static_cast<std::size_t>(rank_)]
+                            [static_cast<std::size_t>(peer)];
+  REDIST_CHECK(link != nullptr);
+  return *link;
+}
+
+void Communicator::send(int to, std::uint32_t tag, const void* data,
+                        std::size_t size,
+                        const std::vector<TokenBucket*>& shapers,
+                        Bytes chunk) {
+  Mesh::Link& link = link_to(to);
+  std::lock_guard<std::mutex> guard(link.send_mutex);
+  send_message(link.stream, tag, data, size, shapers, chunk);
+}
+
+std::vector<char> Communicator::recv(int from, std::uint32_t expected_tag,
+                                     const std::vector<TokenBucket*>& shapers,
+                                     Bytes chunk) {
+  Mesh::Link& link = link_to(from);
+  std::unique_lock<std::mutex> lock(link.recv_mutex);
+  for (;;) {
+    // Someone may already have parked our message.
+    const auto it = link.inbox.find(expected_tag);
+    if (it != link.inbox.end() && !it->second.empty()) {
+      std::vector<char> payload = std::move(it->second.front());
+      it->second.pop_front();
+      return payload;
+    }
+    if (!link.reader_active) {
+      // Become the reader: pull the next frame off the wire.
+      link.reader_active = true;
+      lock.unlock();
+      std::vector<char> payload;
+      std::uint32_t got = 0;
+      try {
+        got = recv_message(link.stream, payload, shapers, chunk);
+      } catch (...) {
+        lock.lock();
+        link.reader_active = false;
+        link.recv_cv.notify_all();
+        throw;
+      }
+      lock.lock();
+      link.reader_active = false;
+      if (got == expected_tag) {
+        link.recv_cv.notify_all();
+        return payload;
+      }
+      link.inbox[got].push_back(std::move(payload));
+      link.recv_cv.notify_all();
+    } else {
+      link.recv_cv.wait(lock);
+    }
+  }
+}
+
+void Communicator::barrier() {
+  std::vector<int> all(static_cast<std::size_t>(size()));
+  for (int r = 0; r < size(); ++r) all[static_cast<std::size_t>(r)] = r;
+  barrier(all);
+}
+
+void Communicator::barrier(const std::vector<int>& group) {
+  const auto it = std::find(group.begin(), group.end(), rank_);
+  REDIST_CHECK_MSG(it != group.end(), "rank not in barrier group");
+  const int m = static_cast<int>(group.size());
+  if (m <= 1) return;
+  const int index = static_cast<int>(it - group.begin());
+  // Dissemination barrier: ceil(log2 m) rounds of token exchange.
+  char token = 1;
+  for (int hop = 1; hop < m; hop *= 2) {
+    const int to = group[static_cast<std::size_t>((index + hop) % m)];
+    const int from =
+        group[static_cast<std::size_t>(((index - hop) % m + m) % m)];
+    send(to, kBarrierTag + static_cast<std::uint32_t>(hop), &token,
+         sizeof(token));
+    (void)recv(from, kBarrierTag + static_cast<std::uint32_t>(hop));
+  }
+}
+
+void run_ranks(Mesh& mesh, const std::function<void(Communicator&)>& body) {
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(
+      static_cast<std::size_t>(mesh.size()));
+  for (int r = 0; r < mesh.size(); ++r) {
+    threads.emplace_back([&mesh, &body, &errors, r]() {
+      try {
+        body(mesh.comm(r));
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (const auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace redist

@@ -1,0 +1,99 @@
+// mpilite — a miniature message-passing runtime over real TCP sockets.
+//
+// The paper implemented its experiments "using MPICH"; this is the
+// equivalent substrate at laptop scale: N ranks (threads) joined by a full
+// mesh of loopback TCP connections, with blocking tagged send/recv and a
+// dissemination barrier. Everything the redistribution engines need — and
+// nothing more.
+//
+// Topology setup: every rank owns a listener on an ephemeral port; rank i
+// actively connects to every rank j < i (announcing itself with a
+// handshake) and accepts connections from every j > i. The kernel's accept
+// backlog makes the ordering race-free.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "net/message.hpp"
+#include "net/socket.hpp"
+
+namespace redist {
+
+class Communicator;
+
+/// A fully-connected group of `size` ranks. Create once, then hand each
+/// rank its Communicator and run them on separate threads.
+class Mesh {
+ public:
+  explicit Mesh(int size);
+
+  int size() const { return size_; }
+
+  /// Communicator of one rank; each must be used by exactly one thread.
+  Communicator& comm(int rank);
+
+ private:
+  friend class Communicator;
+
+  // Tag matching: multiple threads of one rank may recv on the same link
+  // with different tags (e.g. a data-drain thread and a barrier); frames
+  // read for someone else's tag are parked in the inbox.
+  struct Link {
+    TcpStream stream;
+    std::mutex send_mutex;
+    std::mutex recv_mutex;
+    std::condition_variable recv_cv;
+    bool reader_active = false;
+    std::map<std::uint32_t, std::deque<std::vector<char>>> inbox;
+  };
+
+  int size_ = 0;
+  std::vector<std::unique_ptr<Communicator>> comms_;
+  // links_[i][j]: stream rank i uses to talk to rank j (j != i).
+  std::vector<std::vector<std::unique_ptr<Link>>> links_;
+};
+
+class Communicator {
+ public:
+  int rank() const { return rank_; }
+  int size() const { return mesh_->size(); }
+
+  /// Blocking tagged point-to-point. Messages between one pair with one
+  /// tag arrive in order; frames with other tags encountered while waiting
+  /// are parked for their eventual receiver (MPI-style tag matching).
+  /// Note: a parked frame is drained by whichever thread was reading, so
+  /// per-chunk receive shaping only applies to frames consumed directly.
+  void send(int to, std::uint32_t tag, const void* data, std::size_t size,
+            const std::vector<TokenBucket*>& shapers = {},
+            Bytes chunk = 65536);
+  std::vector<char> recv(int from, std::uint32_t expected_tag,
+                         const std::vector<TokenBucket*>& shapers = {},
+                         Bytes chunk = 65536);
+
+  /// Dissemination barrier over all ranks, or over a subgroup (every
+  /// member must pass the same `group`, which must contain this rank).
+  void barrier();
+  void barrier(const std::vector<int>& group);
+
+ private:
+  friend class Mesh;
+  Communicator(Mesh* mesh, int rank) : mesh_(mesh), rank_(rank) {}
+
+  Mesh::Link& link_to(int peer);
+
+  Mesh* mesh_ = nullptr;
+  int rank_ = 0;
+};
+
+/// Runs `body(comm)` for every rank on its own thread and joins them.
+/// Exceptions from any rank are rethrown (first one wins).
+void run_ranks(Mesh& mesh, const std::function<void(Communicator&)>& body);
+
+}  // namespace redist

@@ -1,0 +1,275 @@
+#include "mpilite/redistribute.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/stopwatch.hpp"
+#include "runtime/token_bucket.hpp"
+
+namespace redist {
+
+namespace {
+
+constexpr std::uint32_t kDataTag = 0xDA7A0000;
+
+using PairKey = std::pair<NodeId, NodeId>;
+
+// Deterministic payload byte for position `index` of pair (i, j); both ends
+// derive it independently so the receiver can verify content, not just
+// byte counts.
+inline char pattern_byte(NodeId i, NodeId j, Bytes index) {
+  return static_cast<char>((static_cast<Bytes>(i) * 131 +
+                            static_cast<Bytes>(j) * 31 + index) &
+                           0xFF);
+}
+
+std::uint64_t expected_checksum(NodeId i, NodeId j, Bytes bytes) {
+  std::uint64_t sum = 0;
+  for (Bytes b = 0; b < bytes; ++b) {
+    sum += static_cast<unsigned char>(pattern_byte(i, j, b));
+  }
+  return sum;
+}
+
+// Per-pair sequence of message sizes (both sides compute it identically).
+std::map<PairKey, std::vector<Bytes>> piece_plan(
+    const TrafficMatrix& traffic, const Schedule* schedule,
+    double bytes_per_time_unit) {
+  std::map<PairKey, std::vector<Bytes>> plan;
+  std::map<PairKey, Bytes> remaining;
+  for (NodeId i = 0; i < traffic.senders(); ++i) {
+    for (NodeId j = 0; j < traffic.receivers(); ++j) {
+      if (traffic.at(i, j) > 0) remaining[{i, j}] = traffic.at(i, j);
+    }
+  }
+  if (schedule == nullptr) {  // brute force: one message per pair
+    for (const auto& [pair, bytes] : remaining) plan[pair] = {bytes};
+    return plan;
+  }
+  for (const Step& step : schedule->steps()) {
+    for (const Communication& c : step.comms) {
+      auto it = remaining.find({c.sender, c.receiver});
+      if (it == remaining.end()) continue;
+      const double want =
+          static_cast<double>(c.amount) * bytes_per_time_unit;
+      const Bytes send = std::min<Bytes>(
+          it->second, static_cast<Bytes>(std::llround(want)));
+      if (send <= 0) continue;
+      plan[{c.sender, c.receiver}].push_back(send);
+      it->second -= send;
+      if (it->second == 0) remaining.erase(it);
+    }
+  }
+  // Rounding slack (rare): flush as one extra trailing piece per pair.
+  for (const auto& [pair, bytes] : remaining) plan[pair].push_back(bytes);
+  return plan;
+}
+
+struct Shapers {
+  std::vector<std::unique_ptr<TokenBucket>> out;  // per sender
+  std::vector<std::unique_ptr<TokenBucket>> in;   // per receiver
+  std::unique_ptr<TokenBucket> backbone;
+
+  Shapers(const SocketClusterConfig& config, NodeId n1, NodeId n2) {
+    REDIST_CHECK(config.card_out_bps > 0 && config.card_in_bps > 0 &&
+                 config.backbone_bps > 0 && config.chunk_bytes > 0);
+    for (NodeId i = 0; i < n1; ++i) {
+      out.push_back(std::make_unique<TokenBucket>(config.card_out_bps,
+                                                  config.burst_bytes));
+    }
+    for (NodeId j = 0; j < n2; ++j) {
+      in.push_back(std::make_unique<TokenBucket>(config.card_in_bps,
+                                                 config.burst_bytes));
+    }
+    backbone = std::make_unique<TokenBucket>(config.backbone_bps,
+                                             config.burst_bytes);
+  }
+};
+
+// Receiver-side drain: one thread per sender with traffic, each receiving
+// the planned number of messages and tallying bytes + checksum.
+void run_receiver(Communicator& comm, NodeId receiver_index, NodeId n1,
+                  const std::map<PairKey, std::vector<Bytes>>& plan,
+                  const SocketClusterConfig& config, Shapers& shapers,
+                  std::atomic<Bytes>& delivered,
+                  std::atomic<bool>& verified) {
+  std::vector<std::thread> drains;
+  for (NodeId i = 0; i < n1; ++i) {
+    const auto it = plan.find({i, receiver_index});
+    if (it == plan.end()) continue;
+    const std::vector<Bytes>& pieces = it->second;
+    drains.emplace_back([&, i, pieces]() {
+      Bytes got = 0;
+      std::uint64_t checksum = 0;
+      for (std::size_t p = 0; p < pieces.size(); ++p) {
+        const std::vector<char> payload = comm.recv(
+            static_cast<int>(i), kDataTag,
+            {shapers.in[static_cast<std::size_t>(receiver_index)].get()},
+            config.chunk_bytes);
+        for (char ch : payload) {
+          checksum += static_cast<unsigned char>(ch);
+        }
+        got += static_cast<Bytes>(payload.size());
+      }
+      Bytes want = 0;
+      for (Bytes piece : pieces) want += piece;
+      if (got != want ||
+          checksum != expected_checksum(i, receiver_index, want)) {
+        verified.store(false);
+      }
+      delivered.fetch_add(got);
+    });
+  }
+  for (std::thread& t : drains) t.join();
+}
+
+void send_piece(Communicator& comm, NodeId sender_index, NodeId receiver,
+                NodeId n1, Bytes offset, Bytes bytes,
+                const SocketClusterConfig& config, Shapers& shapers) {
+  std::vector<char> payload(static_cast<std::size_t>(bytes));
+  for (Bytes b = 0; b < bytes; ++b) {
+    payload[static_cast<std::size_t>(b)] =
+        pattern_byte(sender_index, receiver, offset + b);
+  }
+  comm.send(static_cast<int>(n1 + receiver), kDataTag, payload.data(),
+            payload.size(),
+            {shapers.out[static_cast<std::size_t>(sender_index)].get(),
+             shapers.backbone.get()},
+            config.chunk_bytes);
+}
+
+SocketRunResult run(const SocketClusterConfig& config,
+                    const TrafficMatrix& traffic, const Schedule* schedule,
+                    double bytes_per_time_unit) {
+  const NodeId n1 = traffic.senders();
+  const NodeId n2 = traffic.receivers();
+  const std::map<PairKey, std::vector<Bytes>> plan =
+      piece_plan(traffic, schedule, bytes_per_time_unit);
+
+  // Per-sender step list: step -> (receiver, offset, bytes). For brute
+  // force there is a single implicit step with all pieces.
+  struct Piece {
+    NodeId receiver;
+    Bytes offset;
+    Bytes bytes;
+  };
+  std::size_t step_count = 1;
+  std::vector<std::vector<std::vector<Piece>>> sender_steps(
+      static_cast<std::size_t>(n1));
+  if (schedule == nullptr) {
+    for (auto& steps : sender_steps) steps.resize(1);
+    for (const auto& [pair, pieces] : plan) {
+      sender_steps[static_cast<std::size_t>(pair.first)][0].push_back(
+          Piece{pair.second, 0, pieces[0]});
+    }
+  } else {
+    std::map<PairKey, std::size_t> next_piece;
+    std::map<PairKey, Bytes> offset;
+    // Re-walk the schedule to lay pieces into steps (same clipping order
+    // as piece_plan).
+    std::map<PairKey, std::size_t> consumed;
+    step_count = schedule->step_count();
+    for (auto& steps : sender_steps) steps.resize(step_count + 1);
+    std::map<PairKey, std::vector<Bytes>> plan_copy = plan;
+    for (std::size_t s = 0; s < schedule->step_count(); ++s) {
+      for (const Communication& c : schedule->steps()[s].comms) {
+        const PairKey key{c.sender, c.receiver};
+        auto it = plan_copy.find(key);
+        if (it == plan_copy.end()) continue;
+        const std::size_t idx = consumed[key];
+        if (idx >= it->second.size()) continue;
+        const Bytes bytes = it->second[idx];
+        sender_steps[static_cast<std::size_t>(c.sender)][s].push_back(
+            Piece{c.receiver, offset[key], bytes});
+        offset[key] += bytes;
+        consumed[key] = idx + 1;
+      }
+    }
+    // Trailing flush pieces (rounding slack) go into the extra step.
+    bool tail_used = false;
+    for (const auto& [key, pieces] : plan_copy) {
+      const std::size_t done = consumed[key];
+      Bytes off = offset[key];
+      for (std::size_t p = done; p < pieces.size(); ++p) {
+        sender_steps[static_cast<std::size_t>(key.first)][step_count]
+            .push_back(Piece{key.second, off, pieces[p]});
+        off += pieces[p];
+        tail_used = true;
+      }
+    }
+    step_count += tail_used ? 1 : 0;
+    for (auto& steps : sender_steps) steps.resize(step_count);
+  }
+
+  Mesh mesh(static_cast<int>(n1 + n2));
+  Shapers shapers(config, n1, n2);
+  std::atomic<Bytes> delivered{0};
+  std::atomic<bool> verified{true};
+  std::atomic<double> elapsed{0.0};
+
+  std::vector<int> sender_group;
+  for (NodeId i = 0; i < n1; ++i) sender_group.push_back(static_cast<int>(i));
+
+  run_ranks(mesh, [&](Communicator& comm) {
+    const int r = comm.rank();
+    comm.barrier();  // synchronized start
+    Stopwatch watch;
+    if (r < static_cast<int>(n1)) {
+      const auto& steps = sender_steps[static_cast<std::size_t>(r)];
+      if (schedule == nullptr) {
+        // Brute force: one thread per outgoing flow, all at once.
+        std::vector<std::thread> flows;
+        for (const Piece& piece : steps[0]) {
+          flows.emplace_back([&, piece]() {
+            send_piece(comm, static_cast<NodeId>(r), piece.receiver, n1,
+                       piece.offset, piece.bytes, config, shapers);
+          });
+        }
+        for (std::thread& t : flows) t.join();
+      } else {
+        for (const auto& step : steps) {
+          for (const Piece& piece : step) {  // at most one piece (1-port)
+            send_piece(comm, static_cast<NodeId>(r), piece.receiver, n1,
+                       piece.offset, piece.bytes, config, shapers);
+          }
+          comm.barrier(sender_group);  // the paper's inter-step barrier
+        }
+      }
+    } else {
+      run_receiver(comm, static_cast<NodeId>(r) - n1, n1, plan, config,
+                   shapers, delivered, verified);
+    }
+    comm.barrier();  // synchronized finish
+    if (r == 0) elapsed.store(watch.elapsed_seconds());
+  });
+
+  SocketRunResult result;
+  result.seconds = elapsed.load();
+  result.bytes_delivered = delivered.load();
+  result.steps = (schedule == nullptr) ? (plan.empty() ? 0 : 1) : step_count;
+  result.verified = verified.load() && result.bytes_delivered ==
+                                           traffic.total();
+  return result;
+}
+
+}  // namespace
+
+SocketRunResult socket_bruteforce(const SocketClusterConfig& config,
+                                  const TrafficMatrix& traffic) {
+  return run(config, traffic, nullptr, 1.0);
+}
+
+SocketRunResult socket_scheduled(const SocketClusterConfig& config,
+                                 const TrafficMatrix& traffic,
+                                 const Schedule& schedule,
+                                 double bytes_per_time_unit) {
+  REDIST_CHECK(bytes_per_time_unit > 0);
+  return run(config, traffic, &schedule, bytes_per_time_unit);
+}
+
+}  // namespace redist

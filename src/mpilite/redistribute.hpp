@@ -1,0 +1,49 @@
+// The paper's two redistribution implementations, rebuilt on mpilite's real
+// TCP sockets (Section 5.2):
+//
+//  * brute force — "we start all communications simultaneously and wait
+//    until all transfers are finished", leaving congestion to the transport
+//    layer (here: real kernel TCP over loopback, plus rshaper-style token
+//    bucket shaping of cards and backbone);
+//  * scheduled — "we divide all communications into different steps,
+//    synchronized by a barrier, and only one synchronous communication can
+//    take place in each step for each sender".
+//
+// Ranks 0..n1-1 are the sender cluster C1, ranks n1..n1+n2-1 the receiver
+// cluster C2. Receivers verify delivered byte counts and a pattern checksum
+// per sender before reporting success.
+#pragma once
+
+#include "graph/traffic_matrix.hpp"
+#include "kpbs/schedule.hpp"
+#include "mpilite/comm.hpp"
+
+namespace redist {
+
+struct SocketClusterConfig {
+  double card_out_bps = 0;   ///< per-sender shaping (rshaper equivalent)
+  double card_in_bps = 0;    ///< per-receiver shaping
+  double backbone_bps = 0;   ///< shared inter-cluster link shaping
+  Bytes chunk_bytes = 16384; ///< shaping granularity
+  Bytes burst_bytes = 32768; ///< bucket size
+};
+
+struct SocketRunResult {
+  double seconds = 0;
+  Bytes bytes_delivered = 0;
+  std::size_t steps = 0;
+  bool verified = false;
+};
+
+/// All flows at once over the socket mesh.
+SocketRunResult socket_bruteforce(const SocketClusterConfig& config,
+                                  const TrafficMatrix& traffic);
+
+/// Barrier-stepped execution of `schedule` (amounts in time units worth
+/// `bytes_per_time_unit` bytes, clipped to the matrix).
+SocketRunResult socket_scheduled(const SocketClusterConfig& config,
+                                 const TrafficMatrix& traffic,
+                                 const Schedule& schedule,
+                                 double bytes_per_time_unit);
+
+}  // namespace redist

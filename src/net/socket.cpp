@@ -1,0 +1,131 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace redist {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw Error(std::string(what) + ": " + std::strerror(errno));
+}
+
+sockaddr_in loopback_address(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+}  // namespace
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpStream TcpStream::connect_loopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  Socket socket(fd);
+  const sockaddr_in addr = loopback_address(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    throw_errno("connect");
+  }
+  return TcpStream(std::move(socket));
+}
+
+void TcpStream::send_all(const void* data, std::size_t size) {
+  REDIST_CHECK_MSG(valid(), "send on invalid stream");
+  const char* p = static_cast<const char*>(data);
+  while (size > 0) {
+    const ssize_t n = ::send(socket_.fd(), p, size, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send");
+    }
+    REDIST_CHECK_MSG(n > 0, "send returned 0");
+    p += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+void TcpStream::recv_all(void* data, std::size_t size) {
+  REDIST_CHECK_MSG(valid(), "recv on invalid stream");
+  char* p = static_cast<char*>(data);
+  while (size > 0) {
+    const ssize_t n = ::recv(socket_.fd(), p, size, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("recv");
+    }
+    REDIST_CHECK_MSG(n > 0, "peer closed the connection mid-message");
+    p += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+void TcpStream::set_nodelay(bool on) {
+  const int value = on ? 1 : 0;
+  if (::setsockopt(socket_.fd(), IPPROTO_TCP, TCP_NODELAY, &value,
+                   sizeof(value)) != 0) {
+    throw_errno("setsockopt(TCP_NODELAY)");
+  }
+}
+
+TcpListener TcpListener::bind_loopback(int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  TcpListener listener;
+  listener.socket_ = Socket(fd);
+  const int reuse = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  sockaddr_in addr = loopback_address(0);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    throw_errno("bind");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    throw_errno("getsockname");
+  }
+  listener.port_ = ntohs(addr.sin_port);
+  if (::listen(fd, backlog) != 0) throw_errno("listen");
+  return listener;
+}
+
+TcpStream TcpListener::accept() {
+  REDIST_CHECK_MSG(socket_.valid(), "accept on invalid listener");
+  for (;;) {
+    const int fd = ::accept(socket_.fd(), nullptr, nullptr);
+    if (fd >= 0) return TcpStream(Socket(fd));
+    if (errno != EINTR) throw_errno("accept");
+  }
+}
+
+}  // namespace redist

@@ -1,0 +1,74 @@
+// Thin RAII wrappers over POSIX TCP sockets (loopback-oriented).
+//
+// The paper's experiments ran MPICH over Ethernet; the mpilite runtime
+// (src/mpilite) rebuilds that stack on real kernel TCP sockets over the
+// loopback device, so flow control, buffering and backpressure are the
+// genuine article rather than a simulation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/error.hpp"
+
+namespace redist {
+
+/// Owning file descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Connected TCP byte stream.
+class TcpStream {
+ public:
+  TcpStream() = default;
+  explicit TcpStream(Socket socket) : socket_(std::move(socket)) {}
+
+  /// Connects to 127.0.0.1:port (throws on failure).
+  static TcpStream connect_loopback(std::uint16_t port);
+
+  bool valid() const { return socket_.valid(); }
+
+  /// Blocking full-buffer send/recv; throw on error or peer close.
+  void send_all(const void* data, std::size_t size);
+  void recv_all(void* data, std::size_t size);
+
+  /// Disables Nagle's algorithm (small barrier tokens should not wait).
+  void set_nodelay(bool on);
+
+ private:
+  Socket socket_;
+};
+
+/// Listening TCP socket bound to the loopback device.
+class TcpListener {
+ public:
+  /// Binds 127.0.0.1 on an ephemeral port (port 0) with the given backlog.
+  static TcpListener bind_loopback(int backlog = 128);
+
+  std::uint16_t port() const { return port_; }
+
+  /// Blocking accept.
+  TcpStream accept();
+
+ private:
+  Socket socket_;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace redist

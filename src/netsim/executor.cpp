@@ -1,0 +1,82 @@
+#include "netsim/executor.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace redist {
+
+ExecutionResult simulate_bruteforce(const Platform& p,
+                                    const TrafficMatrix& traffic,
+                                    const FluidOptions& options) {
+  REDIST_CHECK(traffic.senders() == p.n1 && traffic.receivers() == p.n2);
+  std::vector<Flow> flows;
+  for (NodeId i = 0; i < p.n1; ++i) {
+    for (NodeId j = 0; j < p.n2; ++j) {
+      const Bytes b = traffic.at(i, j);
+      if (b > 0) flows.push_back(Flow{i, j, static_cast<double>(b)});
+    }
+  }
+  ExecutionResult result;
+  result.steps = flows.empty() ? 0 : 1;
+  if (!flows.empty()) {
+    const FluidResult fluid = simulate_fluid(p, flows, options);
+    result.total_seconds = fluid.makespan_seconds;
+    result.transmission_seconds = fluid.makespan_seconds;
+  }
+  for (const Flow& f : flows) result.bytes_delivered += f.bytes;
+  return result;
+}
+
+ExecutionResult execute_schedule(const Platform& p,
+                                 const TrafficMatrix& traffic,
+                                 const Schedule& schedule,
+                                 double bytes_per_time_unit,
+                                 const FluidOptions& options) {
+  REDIST_CHECK(traffic.senders() == p.n1 && traffic.receivers() == p.n2);
+  REDIST_CHECK(bytes_per_time_unit > 0);
+
+  std::map<std::pair<NodeId, NodeId>, double> remaining;
+  for (NodeId i = 0; i < p.n1; ++i) {
+    for (NodeId j = 0; j < p.n2; ++j) {
+      const Bytes b = traffic.at(i, j);
+      if (b > 0) remaining[{i, j}] = static_cast<double>(b);
+    }
+  }
+
+  ExecutionResult result;
+  FluidOptions step_options = options;
+  for (const Step& step : schedule.steps()) {
+    std::vector<Flow> flows;
+    for (const Communication& c : step.comms) {
+      auto it = remaining.find({c.sender, c.receiver});
+      REDIST_CHECK_MSG(it != remaining.end(),
+                       "schedule sends on pair "
+                           << c.sender << "->" << c.receiver
+                           << " with no remaining demand");
+      const double want =
+          static_cast<double>(c.amount) * bytes_per_time_unit;
+      const double send = std::min(want, it->second);
+      REDIST_CHECK(send > 0);
+      it->second -= send;
+      if (it->second <= 0) remaining.erase(it);
+      flows.push_back(Flow{c.sender, c.receiver, send});
+      result.bytes_delivered += send;
+    }
+    if (flows.empty()) continue;
+    step_options.seed = options.seed + result.steps * 0x9E3779B9ULL;
+    const FluidResult fluid = simulate_fluid(p, flows, step_options);
+    result.transmission_seconds += fluid.makespan_seconds;
+    result.barrier_seconds += p.beta_seconds;
+    ++result.steps;
+  }
+  REDIST_CHECK_MSG(remaining.empty(),
+                   "schedule left " << remaining.size()
+                                    << " pair(s) with undelivered bytes");
+  result.total_seconds =
+      result.transmission_seconds + result.barrier_seconds;
+  return result;
+}
+
+}  // namespace redist

@@ -1,0 +1,44 @@
+// Executes redistribution strategies on the simulated platform.
+//
+// * `simulate_bruteforce` — the paper's baseline: one flow per non-zero
+//   traffic-matrix entry, all started simultaneously, TCP-like fair sharing
+//   (plus the congestion model of fluid.hpp).
+// * `execute_schedule` — the paper's scheduled mode: steps run one after
+//   another, separated by barriers; each step's (disjoint, <= k) flows are
+//   simulated on the same platform and the step costs its fluid makespan
+//   plus beta_seconds.
+#pragma once
+
+#include "graph/traffic_matrix.hpp"
+#include "kpbs/schedule.hpp"
+#include "netsim/fluid.hpp"
+#include "netsim/platform.hpp"
+
+namespace redist {
+
+struct ExecutionResult {
+  double total_seconds = 0;
+  double transmission_seconds = 0;  ///< total minus barrier/setup time
+  double barrier_seconds = 0;
+  std::size_t steps = 0;
+  double bytes_delivered = 0;
+};
+
+/// All-at-once baseline.
+ExecutionResult simulate_bruteforce(const Platform& p,
+                                    const TrafficMatrix& traffic,
+                                    const FluidOptions& options = {});
+
+/// Stepped execution of `schedule`, whose communication amounts are in
+/// abstract time units worth `bytes_per_time_unit` bytes each. Per
+/// (sender, receiver) pair at most the traffic-matrix bytes are sent (the
+/// final chunk is truncated, mirroring how a real executor would stop at
+/// end-of-buffer); the function checks that the schedule covers the matrix
+/// exactly and throws otherwise.
+ExecutionResult execute_schedule(const Platform& p,
+                                 const TrafficMatrix& traffic,
+                                 const Schedule& schedule,
+                                 double bytes_per_time_unit,
+                                 const FluidOptions& options = {});
+
+}  // namespace redist

@@ -1,0 +1,70 @@
+// Platform model: two clusters joined by a backbone (paper Figure 1).
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace redist {
+
+struct Platform {
+  NodeId n1 = 1;               ///< nodes in sender cluster C1
+  NodeId n2 = 1;               ///< nodes in receiver cluster C2
+  double t1_bps = 0;           ///< effective card throughput of C1, bytes/s
+  double t2_bps = 0;           ///< effective card throughput of C2, bytes/s
+  double backbone_bps = 0;     ///< backbone throughput T, bytes/s
+  double beta_seconds = 0;     ///< per-step setup/barrier cost
+
+  /// Optional per-node card overrides (empty = uniform t1/t2). The K-PBS
+  /// model assumes uniform cards; these exist so the simulator can study
+  /// how schedules degrade when reality is heterogeneous (see
+  /// bench/heterogeneity_robustness).
+  std::vector<double> t1_per_node;
+  std::vector<double> t2_per_node;
+
+  double card_out_bps(NodeId i) const {
+    if (t1_per_node.empty()) return t1_bps;
+    REDIST_CHECK(i >= 0 &&
+                 static_cast<std::size_t>(i) < t1_per_node.size());
+    return t1_per_node[static_cast<std::size_t>(i)];
+  }
+  double card_in_bps(NodeId j) const {
+    if (t2_per_node.empty()) return t2_bps;
+    REDIST_CHECK(j >= 0 &&
+                 static_cast<std::size_t>(j) < t2_per_node.size());
+    return t2_per_node[static_cast<std::size_t>(j)];
+  }
+
+  /// Largest k satisfying the paper's constraints (a)-(d):
+  /// k*t1 <= T, k*t2 <= T, k <= n1, k <= n2 (at least 1).
+  int max_k() const {
+    REDIST_CHECK(t1_bps > 0 && t2_bps > 0 && backbone_bps > 0);
+    const auto by_t1 = static_cast<int>(backbone_bps / t1_bps);
+    const auto by_t2 = static_cast<int>(backbone_bps / t2_bps);
+    const int k = std::min({by_t1, by_t2, static_cast<int>(n1),
+                            static_cast<int>(n2)});
+    return std::max(1, k);
+  }
+
+  /// Speed t of a single scheduled communication (no contention).
+  double comm_speed_bps() const { return std::min(t1_bps, t2_bps); }
+};
+
+/// The paper's testbed (Section 5.2): two 10-node clusters, 100 Mbit cards
+/// shaped to 100/k Mbit/s, two 100 Mbit switches (backbone ~100 Mbit/s).
+/// Throughputs converted at 1 Mbit/s = 125000 bytes/s.
+inline Platform paper_testbed(int k, double beta_seconds = 0.01) {
+  REDIST_CHECK(k >= 1);
+  Platform p;
+  p.n1 = 10;
+  p.n2 = 10;
+  p.t1_bps = 100.0 / k * 125000.0;
+  p.t2_bps = 100.0 / k * 125000.0;
+  p.backbone_bps = 100.0 * 125000.0;
+  p.beta_seconds = beta_seconds;
+  return p;
+}
+
+}  // namespace redist

@@ -1,0 +1,53 @@
+// In-process cluster emulator: the substitute for the paper's two MPI
+// clusters (see DESIGN.md, substitutions).
+//
+// Every transfer moves real bytes in chunks; each chunk passes through three
+// token-bucket shapers — the sender's outgoing card, the shared backbone and
+// the receiver's incoming card — so card ceilings, backbone ceilings and
+// congestion are physically exercised, with wall-clock time and real
+// nondeterminism. Two engines mirror the paper's two modes:
+//
+//  * run_bruteforce: one worker per flow, all launched at once (the
+//    "open all sockets and let the transport layer cope" baseline);
+//  * run_scheduled: one worker per sender node, steps separated by a
+//    std::barrier — at most one synchronous communication per sender per
+//    step, exactly like the paper's MPI implementation.
+//
+// Received byte counts are tallied per pair and verified against the
+// traffic matrix before returning.
+#pragma once
+
+#include <vector>
+
+#include "graph/traffic_matrix.hpp"
+#include "kpbs/schedule.hpp"
+
+namespace redist {
+
+struct ClusterConfig {
+  double card_out_bps = 0;   ///< per-sender-card rate (bytes/s)
+  double card_in_bps = 0;    ///< per-receiver-card rate (bytes/s)
+  double backbone_bps = 0;   ///< shared backbone rate (bytes/s)
+  Bytes chunk_bytes = 8192;  ///< transfer granularity
+  Bytes burst_bytes = 16384; ///< shaper bucket size
+};
+
+struct RunResult {
+  double seconds = 0;        ///< wall-clock makespan
+  Bytes bytes_delivered = 0;
+  std::size_t steps = 0;     ///< 1 for brute force
+  bool verified = false;     ///< delivered == demanded for every pair
+};
+
+/// All flows at once.
+RunResult run_bruteforce(const ClusterConfig& config,
+                         const TrafficMatrix& traffic);
+
+/// Barrier-stepped execution of `schedule` (amounts in time units worth
+/// `bytes_per_time_unit` bytes; final chunks truncated to the matrix).
+RunResult run_scheduled(const ClusterConfig& config,
+                        const TrafficMatrix& traffic,
+                        const Schedule& schedule,
+                        double bytes_per_time_unit);
+
+}  // namespace redist

@@ -1,0 +1,66 @@
+#include "runtime/token_bucket.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace redist {
+
+TokenBucket::TokenBucket(double rate_bps, Bytes burst_bytes)
+    : rate_bps_(rate_bps),
+      burst_(static_cast<double>(burst_bytes)),
+      tokens_(static_cast<double>(burst_bytes)),
+      last_refill_(Clock::now()) {
+  REDIST_CHECK_MSG(rate_bps > 0, "token bucket rate must be positive");
+  REDIST_CHECK_MSG(burst_bytes > 0, "token bucket burst must be positive");
+}
+
+void TokenBucket::refill_locked(Clock::time_point now) {
+  const double elapsed =
+      std::chrono::duration<double>(now - last_refill_).count();
+  if (elapsed > 0) {
+    tokens_ = std::min(burst_, tokens_ + elapsed * rate_bps_);
+    last_refill_ = now;
+  }
+}
+
+void TokenBucket::acquire(Bytes n) {
+  REDIST_CHECK(n >= 0);
+  double want = static_cast<double>(n);
+  while (want > 0) {
+    const double gulp = std::min(want, burst_);
+    for (;;) {
+      double wait_seconds = 0;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        refill_locked(Clock::now());
+        if (tokens_ >= gulp) {
+          tokens_ -= gulp;
+          break;
+        }
+        wait_seconds = (gulp - tokens_) / rate_bps_;
+      }
+      // Sleep outside the lock so concurrent acquirers can race for the
+      // refill — that race IS the fair sharing between competing flows.
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          std::clamp(wait_seconds, 50e-6, 0.05)));
+    }
+    want -= gulp;
+  }
+}
+
+bool TokenBucket::try_acquire(Bytes n) {
+  REDIST_CHECK(n >= 0);
+  const double want = static_cast<double>(n);
+  if (want > burst_) return false;
+  std::unique_lock<std::mutex> lock(mutex_);
+  refill_locked(Clock::now());
+  if (tokens_ >= want) {
+    tokens_ -= want;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace redist

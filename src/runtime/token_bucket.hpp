@@ -1,0 +1,44 @@
+// Thread-safe token-bucket rate limiter.
+//
+// The paper shaped every NIC to 100/k Mbit/s with the `rshaper` kernel
+// module, "a software token bucket filter". This class is that filter in
+// user space: acquire(n) blocks the calling thread until n byte-tokens are
+// available. Buckets refill continuously at `rate_bps` up to `burst_bytes`.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/types.hpp"
+
+namespace redist {
+
+class TokenBucket {
+ public:
+  /// rate_bps: refill rate in bytes/second; burst_bytes: bucket capacity.
+  TokenBucket(double rate_bps, Bytes burst_bytes);
+
+  /// Blocks until `n` tokens are available, then consumes them.
+  /// n may exceed the burst size; it is drained in burst-sized gulps.
+  void acquire(Bytes n);
+
+  /// Non-blocking attempt; returns false if fewer than n tokens available.
+  bool try_acquire(Bytes n);
+
+  double rate_bps() const { return rate_bps_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  /// Refills based on elapsed time. Caller holds the mutex.
+  void refill_locked(Clock::time_point now);
+
+  const double rate_bps_;
+  const double burst_;
+  std::mutex mutex_;
+  double tokens_;
+  Clock::time_point last_refill_;
+};
+
+}  // namespace redist

@@ -1,0 +1,98 @@
+#include "workload/block_cyclic.hpp"
+
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace redist {
+
+NodeId block_cyclic_owner(const BlockCyclicLayout& layout, std::int64_t e) {
+  REDIST_CHECK(e >= 0);
+  return static_cast<NodeId>((e / layout.block) %
+                             static_cast<std::int64_t>(layout.procs));
+}
+
+TrafficMatrix block_cyclic_traffic(std::int64_t elements,
+                                   std::int64_t element_bytes,
+                                   const BlockCyclicLayout& from,
+                                   const BlockCyclicLayout& to) {
+  REDIST_CHECK(elements > 0 && element_bytes > 0);
+  REDIST_CHECK(from.procs >= 1 && from.block >= 1);
+  REDIST_CHECK(to.procs >= 1 && to.block >= 1);
+
+  const std::int64_t period_from =
+      from.block * static_cast<std::int64_t>(from.procs);
+  const std::int64_t period_to = to.block * static_cast<std::int64_t>(to.procs);
+  const std::int64_t period = std::lcm(period_from, period_to);
+
+  // Count pairs within one full period, then scale by the number of whole
+  // periods and add the tail.
+  const std::int64_t full_periods = elements / period;
+  const std::int64_t tail = elements % period;
+
+  std::vector<std::int64_t> per_period(
+      static_cast<std::size_t>(from.procs) *
+          static_cast<std::size_t>(to.procs),
+      0);
+  std::vector<std::int64_t> per_tail(per_period.size(), 0);
+  for (std::int64_t e = 0; e < std::min(period, elements); ++e) {
+    const NodeId src = block_cyclic_owner(from, e);
+    const NodeId dst = block_cyclic_owner(to, e);
+    const std::size_t idx =
+        static_cast<std::size_t>(src) * static_cast<std::size_t>(to.procs) +
+        static_cast<std::size_t>(dst);
+    per_period[idx] += 1;
+    if (e < tail) per_tail[idx] += 1;
+  }
+
+  TrafficMatrix m(from.procs, to.procs);
+  for (NodeId i = 0; i < from.procs; ++i) {
+    for (NodeId j = 0; j < to.procs; ++j) {
+      const std::size_t idx =
+          static_cast<std::size_t>(i) * static_cast<std::size_t>(to.procs) +
+          static_cast<std::size_t>(j);
+      const std::int64_t count = full_periods * per_period[idx] + per_tail[idx];
+      if (count > 0) m.set(i, j, count * element_bytes);
+    }
+  }
+  return m;
+}
+
+NodeId block_cyclic_2d_owner(const BlockCyclic2dLayout& layout,
+                             std::int64_t i, std::int64_t j) {
+  return layout.rank_of(block_cyclic_owner(layout.rows, i),
+                        block_cyclic_owner(layout.cols, j));
+}
+
+TrafficMatrix block_cyclic_2d_traffic(std::int64_t n_rows,
+                                      std::int64_t n_cols,
+                                      std::int64_t element_bytes,
+                                      const BlockCyclic2dLayout& from,
+                                      const BlockCyclic2dLayout& to) {
+  REDIST_CHECK(n_rows > 0 && n_cols > 0 && element_bytes > 0);
+  // Per-dimension pair counts, via the 1-D counter with unit "bytes".
+  const TrafficMatrix row_counts =
+      block_cyclic_traffic(n_rows, 1, from.rows, to.rows);
+  const TrafficMatrix col_counts =
+      block_cyclic_traffic(n_cols, 1, from.cols, to.cols);
+
+  TrafficMatrix m(from.procs(), to.procs());
+  for (NodeId fr = 0; fr < from.rows.procs; ++fr) {
+    for (NodeId tr = 0; tr < to.rows.procs; ++tr) {
+      const std::int64_t rc = row_counts.at(fr, tr);
+      if (rc == 0) continue;
+      for (NodeId fc = 0; fc < from.cols.procs; ++fc) {
+        for (NodeId tc = 0; tc < to.cols.procs; ++tc) {
+          const std::int64_t cc = col_counts.at(fc, tc);
+          if (cc == 0) continue;
+          m.set(from.rank_of(fr, fc), to.rank_of(tr, tc),
+                rc * cc * element_bytes);
+        }
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace redist

@@ -1,0 +1,66 @@
+// Block-cyclic redistribution patterns (Section 2.4 of the paper).
+//
+// When the redistribution is local (k = min(n1, n2), no backbone
+// bottleneck) the canonical workload is re-mapping a 1-D array from a
+// cyclic(r) layout over p processors to a cyclic(s) layout over q
+// processors — the ScaLAPACK redistribution problem. `element e` lives on
+// processor (e / block) mod procs in each layout; the traffic matrix counts
+// elements per (source proc, destination proc) pair, scaled by the element
+// size in bytes.
+#pragma once
+
+#include "common/types.hpp"
+#include "graph/traffic_matrix.hpp"
+
+namespace redist {
+
+struct BlockCyclicLayout {
+  NodeId procs = 1;       ///< number of processors
+  std::int64_t block = 1; ///< block size (r in cyclic(r))
+};
+
+/// Owner of element `e` under the layout.
+NodeId block_cyclic_owner(const BlockCyclicLayout& layout, std::int64_t e);
+
+/// Traffic matrix for redistributing `elements` array entries of
+/// `element_bytes` bytes each from layout `from` to layout `to`.
+/// Exact counting uses the lcm period of the two layouts so the cost is
+/// O(period + p*q), independent of the array length.
+TrafficMatrix block_cyclic_traffic(std::int64_t elements,
+                                   std::int64_t element_bytes,
+                                   const BlockCyclicLayout& from,
+                                   const BlockCyclicLayout& to);
+
+/// 2-D block-cyclic layout over a Pr x Pc processor grid (ScaLAPACK
+/// style): matrix entry (i, j) lives on grid process
+/// (owner(i; Pr, br), owner(j; Pc, bc)), ranked row-major.
+/// This is the paper's Section 2.4 scenario verbatim: "redistribute
+/// block-cyclic data from a virtual processor grid to an other virtual
+/// processor grid".
+struct BlockCyclic2dLayout {
+  BlockCyclicLayout rows;  ///< Pr processes, block br over matrix rows
+  BlockCyclicLayout cols;  ///< Pc processes, block bc over matrix columns
+
+  NodeId procs() const { return rows.procs * cols.procs; }
+  NodeId rank_of(NodeId row_owner, NodeId col_owner) const {
+    return row_owner * cols.procs + col_owner;
+  }
+};
+
+/// Rank owning matrix entry (i, j) under the 2-D layout.
+NodeId block_cyclic_2d_owner(const BlockCyclic2dLayout& layout,
+                             std::int64_t i, std::int64_t j);
+
+/// Traffic matrix for redistributing an `n_rows` x `n_cols` matrix of
+/// `element_bytes`-byte entries between two 2-D layouts. Exploits the
+/// tensor structure: the 2-D pair counts factor into (row-dimension pair
+/// counts) x (column-dimension pair counts), each computed with the 1-D
+/// periodic counter — O(period_r + period_c + procs^2) regardless of the
+/// matrix size.
+TrafficMatrix block_cyclic_2d_traffic(std::int64_t n_rows,
+                                      std::int64_t n_cols,
+                                      std::int64_t element_bytes,
+                                      const BlockCyclic2dLayout& from,
+                                      const BlockCyclic2dLayout& to);
+
+}  // namespace redist

@@ -1,0 +1,93 @@
+#include "workload/patterns.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace redist {
+
+TrafficMatrix hotspot_traffic(Rng& rng, NodeId senders, NodeId receivers,
+                              NodeId hot_receiver, double hot_share,
+                              Bytes per_sender_bytes) {
+  REDIST_CHECK(hot_receiver >= 0 && hot_receiver < receivers);
+  REDIST_CHECK(hot_share > 0.0 && hot_share < 1.0);
+  REDIST_CHECK(per_sender_bytes > 0);
+  TrafficMatrix m(senders, receivers);
+  for (NodeId i = 0; i < senders; ++i) {
+    const auto hot =
+        static_cast<Bytes>(static_cast<double>(per_sender_bytes) * hot_share);
+    m.set(i, hot_receiver, std::max<Bytes>(1, hot));
+    if (receivers > 1) {
+      const Bytes rest = per_sender_bytes - m.at(i, hot_receiver);
+      const Bytes share = rest / (receivers - 1);
+      for (NodeId j = 0; j < receivers; ++j) {
+        if (j == hot_receiver || share <= 0) continue;
+        // Jitter the cold traffic a little so instances differ.
+        const Bytes jitter = rng.uniform_int(0, std::max<Bytes>(1, share / 4));
+        m.set(i, j, std::max<Bytes>(1, share - jitter));
+      }
+    }
+  }
+  return m;
+}
+
+TrafficMatrix permutation_traffic(Rng& rng, NodeId nodes, Bytes min_bytes,
+                                  Bytes max_bytes) {
+  REDIST_CHECK(nodes >= 1);
+  REDIST_CHECK(min_bytes >= 1 && min_bytes <= max_bytes);
+  std::vector<NodeId> perm(static_cast<std::size_t>(nodes));
+  std::iota(perm.begin(), perm.end(), 0);
+  std::shuffle(perm.begin(), perm.end(), rng);
+  TrafficMatrix m(nodes, nodes);
+  for (NodeId i = 0; i < nodes; ++i) {
+    m.set(i, perm[static_cast<std::size_t>(i)],
+          rng.uniform_int(min_bytes, max_bytes));
+  }
+  return m;
+}
+
+TrafficMatrix banded_traffic(std::int64_t rows, Bytes row_bytes,
+                             NodeId senders, NodeId receivers) {
+  REDIST_CHECK(rows > 0 && row_bytes > 0);
+  TrafficMatrix m(senders, receivers);
+  for (NodeId i = 0; i < senders; ++i) {
+    const std::int64_t lo1 = rows * i / senders;
+    const std::int64_t hi1 = rows * (i + 1) / senders;
+    for (NodeId j = 0; j < receivers; ++j) {
+      const std::int64_t lo2 = rows * j / receivers;
+      const std::int64_t hi2 = rows * (j + 1) / receivers;
+      const std::int64_t overlap =
+          std::max<std::int64_t>(0, std::min(hi1, hi2) - std::max(lo1, lo2));
+      if (overlap > 0) m.set(i, j, overlap * row_bytes);
+    }
+  }
+  return m;
+}
+
+TrafficMatrix zipf_traffic(Rng& rng, NodeId senders, NodeId receivers,
+                           Bytes max_bytes, double exponent) {
+  REDIST_CHECK(max_bytes >= 1);
+  REDIST_CHECK(exponent > 0);
+  const std::int64_t pairs =
+      static_cast<std::int64_t>(senders) * static_cast<std::int64_t>(receivers);
+  std::vector<std::int64_t> order(static_cast<std::size_t>(pairs));
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), rng);
+  TrafficMatrix m(senders, receivers);
+  for (std::int64_t rank = 0; rank < pairs; ++rank) {
+    const std::int64_t p = order[static_cast<std::size_t>(rank)];
+    const auto size = static_cast<Bytes>(
+        static_cast<double>(max_bytes) /
+        std::pow(static_cast<double>(rank + 1), exponent));
+    if (size >= 1) {
+      m.set(static_cast<NodeId>(p / receivers),
+            static_cast<NodeId>(p % receivers), size);
+    }
+  }
+  return m;
+}
+
+}  // namespace redist

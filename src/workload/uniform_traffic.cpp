@@ -1,0 +1,30 @@
+#include "workload/uniform_traffic.hpp"
+
+#include "common/error.hpp"
+
+namespace redist {
+
+TrafficMatrix uniform_all_pairs_traffic(Rng& rng, NodeId senders,
+                                        NodeId receivers, Bytes min_bytes,
+                                        Bytes max_bytes) {
+  return uniform_sparse_traffic(rng, senders, receivers, 1.0, min_bytes,
+                                max_bytes);
+}
+
+TrafficMatrix uniform_sparse_traffic(Rng& rng, NodeId senders,
+                                     NodeId receivers, double density,
+                                     Bytes min_bytes, Bytes max_bytes) {
+  REDIST_CHECK(min_bytes >= 0 && min_bytes <= max_bytes);
+  REDIST_CHECK(density >= 0.0 && density <= 1.0);
+  TrafficMatrix m(senders, receivers);
+  for (NodeId i = 0; i < senders; ++i) {
+    for (NodeId j = 0; j < receivers; ++j) {
+      if (density >= 1.0 || rng.bernoulli(density)) {
+        m.set(i, j, rng.uniform_int(min_bytes, max_bytes));
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace redist

@@ -1,0 +1,20 @@
+// The paper's real-world workload (Section 5.2): every node of C1 sends to
+// every node of C2, with per-pair sizes uniform in [min_bytes, max_bytes]
+// ("uniformly generated between 10 and n MB").
+#pragma once
+
+#include "common/rng.hpp"
+#include "graph/traffic_matrix.hpp"
+
+namespace redist {
+
+TrafficMatrix uniform_all_pairs_traffic(Rng& rng, NodeId senders,
+                                        NodeId receivers, Bytes min_bytes,
+                                        Bytes max_bytes);
+
+/// Sparse variant: each pair communicates with probability `density`.
+TrafficMatrix uniform_sparse_traffic(Rng& rng, NodeId senders,
+                                     NodeId receivers, double density,
+                                     Bytes min_bytes, Bytes max_bytes);
+
+}  // namespace redist

@@ -1,0 +1,103 @@
+#include "aggregation/aggregate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "kpbs/solver.hpp"
+#include "workload/uniform_traffic.hpp"
+
+namespace redist {
+namespace {
+
+TEST(Aggregation, ZeroThresholdIsIdentity) {
+  TrafficMatrix m(2, 2);
+  m.set(0, 0, 100);
+  m.set(1, 0, 5);
+  const AggregationPlan plan = plan_aggregation(m, 0);
+  EXPECT_TRUE(plan.local.empty());
+  EXPECT_EQ(plan.local_bytes, 0);
+  EXPECT_EQ(plan.consolidated.at(1, 0), 5);
+}
+
+TEST(Aggregation, SmallMessagesRerouteToGateway) {
+  TrafficMatrix m(3, 1);
+  m.set(0, 0, 1000);  // gateway for receiver 0
+  m.set(1, 0, 10);
+  m.set(2, 0, 20);
+  const AggregationPlan plan = plan_aggregation(m, 100);
+  EXPECT_EQ(plan.consolidated.at(0, 0), 1030);
+  EXPECT_EQ(plan.consolidated.at(1, 0), 0);
+  EXPECT_EQ(plan.consolidated.at(2, 0), 0);
+  ASSERT_EQ(plan.local.size(), 2u);
+  EXPECT_EQ(plan.local_bytes, 30);
+  for (const LocalTransfer& t : plan.local) {
+    EXPECT_EQ(t.to, 0);
+    EXPECT_EQ(t.receiver, 0);
+  }
+}
+
+TEST(Aggregation, LargeMessagesStayPut) {
+  TrafficMatrix m(2, 1);
+  m.set(0, 0, 500);
+  m.set(1, 0, 400);  // above threshold: not rerouted
+  const AggregationPlan plan = plan_aggregation(m, 100);
+  EXPECT_TRUE(plan.local.empty());
+  EXPECT_EQ(plan.consolidated.at(1, 0), 400);
+}
+
+TEST(Aggregation, GatewayNeverReroutesItself) {
+  TrafficMatrix m(2, 1);
+  m.set(0, 0, 50);  // both below threshold; 0 is the gateway (largest)
+  m.set(1, 0, 40);
+  const AggregationPlan plan = plan_aggregation(m, 100);
+  EXPECT_EQ(plan.consolidated.at(0, 0), 90);
+  ASSERT_EQ(plan.local.size(), 1u);
+  EXPECT_EQ(plan.local[0].from, 1);
+}
+
+TEST(Aggregation, TotalBytesConserved) {
+  Rng rng(11);
+  const TrafficMatrix m = uniform_sparse_traffic(rng, 8, 8, 0.7, 1, 5000);
+  const AggregationPlan plan = plan_aggregation(m, 1000);
+  EXPECT_EQ(plan.consolidated.total(), m.total());
+}
+
+TEST(Aggregation, LocalPhaseCostModel) {
+  TrafficMatrix m(3, 1);
+  m.set(0, 0, 1000);
+  m.set(1, 0, 10);
+  m.set(2, 0, 20);
+  const AggregationPlan plan = plan_aggregation(m, 100);
+  // Gateway node 0 receives 30 bytes locally; busiest node moves 30.
+  EXPECT_DOUBLE_EQ(plan.local_phase_seconds(10.0), 3.0);
+  EXPECT_THROW(plan.local_phase_seconds(0.0), Error);
+}
+
+TEST(Aggregation, ReducesEdgesAndScheduleCost) {
+  // Many tiny flows plus per-receiver heavy hitters: aggregation should cut
+  // the edge count and, with beta > 0, the schedule cost.
+  Rng rng(22);
+  TrafficMatrix m(10, 10);
+  for (NodeId j = 0; j < 10; ++j) {
+    m.set(j % 10, j, 2'000'000);  // gateway traffic
+    for (NodeId i = 0; i < 10; ++i) {
+      if (i != j % 10 && rng.bernoulli(0.8)) {
+        m.set(i, j, static_cast<Bytes>(rng.uniform_int(1000, 20000)));
+      }
+    }
+  }
+  const AggregationPlan plan = plan_aggregation(m, 50'000);
+  const double bpu = 100'000.0;
+  const BipartiteGraph before = m.to_graph(bpu);
+  const BipartiteGraph after = plan.consolidated.to_graph(bpu);
+  EXPECT_LT(after.alive_edge_count(), before.alive_edge_count());
+  const Weight beta = 2;
+  const Weight cost_before =
+      solve_kpbs(before, 4, beta, Algorithm::kOGGP).cost(beta);
+  const Weight cost_after =
+      solve_kpbs(after, 4, beta, Algorithm::kOGGP).cost(beta);
+  EXPECT_LT(cost_after, cost_before);
+}
+
+}  // namespace
+}  // namespace redist

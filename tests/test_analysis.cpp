@@ -1,0 +1,89 @@
+#include "kpbs/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "kpbs/solver.hpp"
+#include "workload/random_graphs.hpp"
+
+namespace redist {
+namespace {
+
+TEST(Analysis, EmptySchedule) {
+  BipartiteGraph g(2, 2);
+  g.add_edge(0, 0, 1);
+  const ScheduleAnalysis a = analyze_schedule(g, Schedule{}, 2);
+  EXPECT_EQ(a.steps, 0u);
+  EXPECT_EQ(a.total_amount, 0);
+  EXPECT_DOUBLE_EQ(a.intra_step_waste, 0.0);
+}
+
+TEST(Analysis, UniformStepHasNoWaste) {
+  BipartiteGraph g(2, 2);
+  g.add_edge(0, 0, 5);
+  g.add_edge(1, 1, 5);
+  Schedule s;
+  s.add_step(Step{{{0, 0, 5}, {1, 1, 5}}});
+  const ScheduleAnalysis a = analyze_schedule(g, s, 2);
+  EXPECT_DOUBLE_EQ(a.intra_step_waste, 0.0);
+  EXPECT_DOUBLE_EQ(a.slot_utilization, 1.0);
+  EXPECT_DOUBLE_EQ(a.mean_step_width, 2.0);
+  EXPECT_EQ(a.preempted_pairs, 0u);
+  EXPECT_EQ(a.max_fragments, 1u);
+}
+
+TEST(Analysis, UnevenStepShowsWaste) {
+  BipartiteGraph g(2, 2);
+  g.add_edge(0, 0, 8);
+  g.add_edge(1, 1, 2);
+  Schedule s;
+  s.add_step(Step{{{0, 0, 8}, {1, 1, 2}}});
+  const ScheduleAnalysis a = analyze_schedule(g, s, 2);
+  // Capacity 16, amount 10: waste 6/16.
+  EXPECT_NEAR(a.intra_step_waste, 6.0 / 16.0, 1e-12);
+  EXPECT_NEAR(a.slot_utilization, 10.0 / 16.0, 1e-12);
+}
+
+TEST(Analysis, CountsPreemption) {
+  BipartiteGraph g(1, 1);
+  g.add_edge(0, 0, 9);
+  Schedule s;
+  s.add_step(Step{{{0, 0, 4}}});
+  s.add_step(Step{{{0, 0, 5}}});
+  const ScheduleAnalysis a = analyze_schedule(g, s, 1);
+  EXPECT_EQ(a.preempted_pairs, 1u);
+  EXPECT_EQ(a.max_fragments, 2u);
+  EXPECT_EQ(a.max_sender_busy, 9);
+  EXPECT_EQ(a.max_receiver_busy, 9);
+}
+
+TEST(Analysis, WrgpSchedulesHaveZeroIntraStepWaste) {
+  // The defining property of WRGP steps: every communication spans its
+  // whole step (uniform clamping), so intra-step waste is exactly 0 for
+  // beta <= 1 (no rounding truncation).
+  Rng rng(55);
+  for (int trial = 0; trial < 10; ++trial) {
+    RandomGraphConfig config;
+    config.max_left = 8;
+    config.max_right = 8;
+    config.max_edges = 24;
+    const BipartiteGraph g = random_bipartite(rng, config);
+    const Schedule s = solve_kpbs(g, 3, 1, Algorithm::kOGGP);
+    const ScheduleAnalysis a = analyze_schedule(g, s, 3);
+    ASSERT_NEAR(a.intra_step_waste, 0.0, 1e-12);
+    ASSERT_LE(a.slot_utilization, 1.0 + 1e-12);
+  }
+}
+
+TEST(Analysis, ToStringMentionsKeyFields) {
+  BipartiteGraph g(1, 1);
+  g.add_edge(0, 0, 3);
+  Schedule s;
+  s.add_step(Step{{{0, 0, 3}}});
+  const std::string text = analyze_schedule(g, s, 1).to_string();
+  EXPECT_NE(text.find("1 steps"), std::string::npos);
+  EXPECT_NE(text.find("slot utilization"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace redist

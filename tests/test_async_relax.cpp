@@ -1,0 +1,121 @@
+#include "kpbs/async_relax.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "kpbs/regularize.hpp"
+#include "kpbs/solver.hpp"
+#include "workload/random_graphs.hpp"
+
+namespace redist {
+namespace {
+
+Schedule two_step_schedule() {
+  Schedule s;
+  s.add_step(Step{{{0, 0, 5}, {1, 1, 2}}});
+  s.add_step(Step{{{1, 0, 3}}});
+  return s;
+}
+
+TEST(AsyncRelax, EmptySchedule) {
+  const AsyncSchedule a = relax_barriers(Schedule{}, 2, 1);
+  EXPECT_EQ(a.makespan, 0);
+  EXPECT_TRUE(a.comms.empty());
+  EXPECT_EQ(a.max_concurrency(), 0u);
+}
+
+TEST(AsyncRelax, IndependentCommsOverlapAcrossSteps) {
+  // Step 2's (1->0) only conflicts with (0->0) via receiver 0 and with
+  // (1->1) via sender 1; it must wait for the earlier of its dependencies
+  // to clear, not for the global barrier.
+  const Schedule s = two_step_schedule();
+  const Weight beta = 0;
+  const AsyncSchedule a = relax_barriers(s, 2, beta);
+  a.check_feasible(2);
+  // Stepped cost: 5 + 3 = 8. Async: (1->0) depends on receiver 0 (busy
+  // until 5) and sender 1 (busy until 2): starts at 5, ends at 8. Equal
+  // here because receiver 0 is the critical chain.
+  EXPECT_EQ(a.makespan, 8);
+  EXPECT_LE(a.makespan, s.cost(beta));
+}
+
+TEST(AsyncRelax, BarrierRemovalStrictlyHelpsWhenChainsDiffer) {
+  Schedule s;
+  s.add_step(Step{{{0, 0, 10}, {1, 1, 1}}});
+  s.add_step(Step{{{1, 2, 10}}});  // independent of the slow (0,0) comm
+  const AsyncSchedule a = relax_barriers(s, 2, 0);
+  a.check_feasible(2);
+  EXPECT_EQ(s.cost(0), 20);
+  EXPECT_EQ(a.makespan, 11);  // (1->2) starts when sender 1 frees at t=1
+}
+
+TEST(AsyncRelax, BetaChargedPerCommunication) {
+  Schedule s;
+  s.add_step(Step{{{0, 0, 4}}});
+  s.add_step(Step{{{0, 1, 6}}});
+  const AsyncSchedule a = relax_barriers(s, 2, 3);
+  a.check_feasible(2);
+  // Sender chain: (3+4) + (3+6) = 16.
+  EXPECT_EQ(a.makespan, 16);
+  EXPECT_LE(a.makespan, s.cost(3));
+}
+
+TEST(AsyncRelax, KSlotsBoundConcurrency) {
+  Schedule s;
+  // Three disjoint comms forced into separate steps by k=1 upstream; the
+  // relaxation must still not run more than k=1 at once.
+  s.add_step(Step{{{0, 0, 2}}});
+  s.add_step(Step{{{1, 1, 2}}});
+  s.add_step(Step{{{2, 2, 2}}});
+  const AsyncSchedule one = relax_barriers(s, 1, 0);
+  one.check_feasible(1);
+  EXPECT_EQ(one.makespan, 6);
+  const AsyncSchedule three = relax_barriers(s, 3, 0);
+  three.check_feasible(3);
+  EXPECT_EQ(three.makespan, 2);  // all overlap once slots allow
+}
+
+TEST(AsyncRelax, RejectsBadArguments) {
+  EXPECT_THROW(relax_barriers(Schedule{}, 0, 1), Error);
+  EXPECT_THROW(relax_barriers(Schedule{}, 1, -1), Error);
+}
+
+class AsyncRelaxRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AsyncRelaxRandom, NeverWorseThanBarriersAndAlwaysFeasible) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 15; ++trial) {
+    RandomGraphConfig config;
+    config.max_left = 10;
+    config.max_right = 10;
+    config.max_edges = 30;
+    const BipartiteGraph g = random_bipartite(rng, config);
+    const int k = static_cast<int>(rng.uniform_int(1, 10));
+    const Weight beta = rng.uniform_int(0, 3);
+    const Schedule s = solve_kpbs(g, k, beta, Algorithm::kOGGP);
+    const int k_eff = clamp_k(g, k);
+    const AsyncSchedule a = relax_barriers(s, k_eff, beta);
+    a.check_feasible(k_eff);
+    ASSERT_LE(a.makespan, s.cost(beta))
+        << "relaxing barriers made things worse (seed " << GetParam()
+        << ", trial " << trial << ")";
+    // Every communication appears exactly once with its amount.
+    Weight total = 0;
+    for (const AsyncComm& c : a.comms) total += c.amount;
+    ASSERT_EQ(total, s.total_amount());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AsyncRelaxRandom,
+                         ::testing::Values(41, 42, 43, 44, 45, 46));
+
+TEST(AsyncRelax, ReportsSourceSteps) {
+  const Schedule s = two_step_schedule();
+  const AsyncSchedule a = relax_barriers(s, 2, 1);
+  ASSERT_EQ(a.comms.size(), 3u);
+  EXPECT_EQ(a.comms[0].source_step, 0u);
+  EXPECT_EQ(a.comms[2].source_step, 1u);
+}
+
+}  // namespace
+}  // namespace redist

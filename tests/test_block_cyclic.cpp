@@ -1,0 +1,176 @@
+#include "workload/block_cyclic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "kpbs/solver.hpp"
+
+namespace redist {
+namespace {
+
+// O(N) reference implementation.
+TrafficMatrix reference(std::int64_t elements, std::int64_t element_bytes,
+                        const BlockCyclicLayout& from,
+                        const BlockCyclicLayout& to) {
+  TrafficMatrix m(from.procs, to.procs);
+  for (std::int64_t e = 0; e < elements; ++e) {
+    m.add(block_cyclic_owner(from, e), block_cyclic_owner(to, e),
+          element_bytes);
+  }
+  return m;
+}
+
+TEST(BlockCyclic, OwnerFormula) {
+  const BlockCyclicLayout layout{3, 2};  // cyclic(2) on 3 procs
+  EXPECT_EQ(block_cyclic_owner(layout, 0), 0);
+  EXPECT_EQ(block_cyclic_owner(layout, 1), 0);
+  EXPECT_EQ(block_cyclic_owner(layout, 2), 1);
+  EXPECT_EQ(block_cyclic_owner(layout, 5), 2);
+  EXPECT_EQ(block_cyclic_owner(layout, 6), 0);  // wraps
+}
+
+TEST(BlockCyclic, IdentityRedistributionIsDiagonal) {
+  const BlockCyclicLayout layout{4, 3};
+  const TrafficMatrix m = block_cyclic_traffic(120, 8, layout, layout);
+  for (NodeId i = 0; i < 4; ++i) {
+    for (NodeId j = 0; j < 4; ++j) {
+      if (i == j) {
+        EXPECT_EQ(m.at(i, j), 30 * 8);
+      } else {
+        EXPECT_EQ(m.at(i, j), 0);
+      }
+    }
+  }
+}
+
+TEST(BlockCyclic, TotalBytesConserved) {
+  const TrafficMatrix m =
+      block_cyclic_traffic(1000, 4, BlockCyclicLayout{3, 2},
+                           BlockCyclicLayout{5, 3});
+  EXPECT_EQ(m.total(), 4000);
+}
+
+struct CyclicCase {
+  std::int64_t elements;
+  BlockCyclicLayout from;
+  BlockCyclicLayout to;
+};
+
+class BlockCyclicMatchesReference
+    : public ::testing::TestWithParam<CyclicCase> {};
+
+TEST_P(BlockCyclicMatchesReference, ExactAgreement) {
+  const CyclicCase c = GetParam();
+  const TrafficMatrix fast = block_cyclic_traffic(c.elements, 8, c.from, c.to);
+  const TrafficMatrix ref = reference(c.elements, 8, c.from, c.to);
+  for (NodeId i = 0; i < c.from.procs; ++i) {
+    for (NodeId j = 0; j < c.to.procs; ++j) {
+      ASSERT_EQ(fast.at(i, j), ref.at(i, j))
+          << "pair " << i << "->" << j << " elements=" << c.elements;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, BlockCyclicMatchesReference,
+    ::testing::Values(CyclicCase{1, {2, 1}, {3, 1}},
+                      CyclicCase{17, {2, 3}, {3, 2}},
+                      CyclicCase{100, {4, 2}, {5, 3}},
+                      CyclicCase{1000, {3, 7}, {7, 3}},
+                      CyclicCase{999, {8, 4}, {2, 16}},
+                      CyclicCase{1, {5, 5}, {5, 5}},
+                      CyclicCase{12345, {6, 5}, {10, 1}}));
+
+TEST(BlockCyclic, ValidatesArguments) {
+  EXPECT_THROW(block_cyclic_traffic(0, 1, {1, 1}, {1, 1}), Error);
+  EXPECT_THROW(block_cyclic_traffic(1, 0, {1, 1}, {1, 1}), Error);
+  EXPECT_THROW(block_cyclic_traffic(1, 1, {0, 1}, {1, 1}), Error);
+  EXPECT_THROW(block_cyclic_traffic(1, 1, {1, 0}, {1, 1}), Error);
+  EXPECT_THROW(block_cyclic_owner({2, 2}, -1), Error);
+}
+
+// O(n_rows * n_cols) 2-D reference.
+TrafficMatrix reference_2d(std::int64_t n_rows, std::int64_t n_cols,
+                           std::int64_t element_bytes,
+                           const BlockCyclic2dLayout& from,
+                           const BlockCyclic2dLayout& to) {
+  TrafficMatrix m(from.procs(), to.procs());
+  for (std::int64_t i = 0; i < n_rows; ++i) {
+    for (std::int64_t j = 0; j < n_cols; ++j) {
+      m.add(block_cyclic_2d_owner(from, i, j),
+            block_cyclic_2d_owner(to, i, j), element_bytes);
+    }
+  }
+  return m;
+}
+
+TEST(BlockCyclic2d, OwnerRanksRowMajor) {
+  const BlockCyclic2dLayout layout{{2, 2}, {3, 1}};
+  EXPECT_EQ(layout.procs(), 6);
+  EXPECT_EQ(block_cyclic_2d_owner(layout, 0, 0), 0);
+  EXPECT_EQ(block_cyclic_2d_owner(layout, 0, 1), 1);
+  EXPECT_EQ(block_cyclic_2d_owner(layout, 0, 2), 2);
+  EXPECT_EQ(block_cyclic_2d_owner(layout, 2, 0), 3);  // row block 1 -> proc row 1
+  EXPECT_EQ(block_cyclic_2d_owner(layout, 2, 1), 4);
+}
+
+TEST(BlockCyclic2d, MatchesReferenceOnAssortedGrids) {
+  struct Case {
+    std::int64_t rows, cols;
+    BlockCyclic2dLayout from, to;
+  };
+  const Case cases[] = {
+      {12, 12, {{2, 2}, {2, 2}}, {{3, 1}, {2, 3}}},
+      {17, 9, {{2, 3}, {3, 2}}, {{3, 2}, {2, 1}}},
+      {30, 7, {{4, 1}, {1, 4}}, {{2, 5}, {3, 1}}},
+      {8, 8, {{2, 4}, {2, 4}}, {{2, 4}, {2, 4}}},  // identity
+  };
+  for (const Case& c : cases) {
+    const TrafficMatrix fast =
+        block_cyclic_2d_traffic(c.rows, c.cols, 8, c.from, c.to);
+    const TrafficMatrix ref =
+        reference_2d(c.rows, c.cols, 8, c.from, c.to);
+    for (NodeId a = 0; a < c.from.procs(); ++a) {
+      for (NodeId b = 0; b < c.to.procs(); ++b) {
+        ASSERT_EQ(fast.at(a, b), ref.at(a, b))
+            << c.rows << "x" << c.cols << " pair " << a << "->" << b;
+      }
+    }
+  }
+}
+
+TEST(BlockCyclic2d, TotalConservedOnHugeMatrix) {
+  // 10^5 x 10^5 matrix would be 10^10 elements — only the factorized
+  // counter can do this.
+  const BlockCyclic2dLayout from{{4, 64}, {4, 64}};
+  const BlockCyclic2dLayout to{{2, 32}, {8, 16}};
+  const TrafficMatrix m =
+      block_cyclic_2d_traffic(100'000, 100'000, 1, from, to);
+  EXPECT_EQ(m.total(), 100'000LL * 100'000LL);
+}
+
+TEST(BlockCyclic2d, SchedulesAsLocalRedistribution) {
+  // Section 2.4 end-to-end: grid-to-grid redistribution with
+  // k = min(n1, n2), scheduled and validated.
+  const BlockCyclic2dLayout from{{2, 3}, {3, 2}};
+  const BlockCyclic2dLayout to{{3, 2}, {2, 3}};
+  const TrafficMatrix traffic =
+      block_cyclic_2d_traffic(60, 60, 8, from, to);
+  const BipartiteGraph g = traffic.to_graph(256.0);
+  const int k = std::min(from.procs(), to.procs());
+  const Schedule s = solve_kpbs(g, k, 1, Algorithm::kOGGP);
+  validate_schedule(g, s, k);
+}
+
+TEST(BlockCyclic, LongArrayUsesPeriodicity) {
+  // Period of (3,2)x(2,3) layouts is lcm(6,6) = 6; a huge array must still
+  // be exact (and fast — this would time out if O(N)).
+  const TrafficMatrix m = block_cyclic_traffic(60'000'000'000LL, 1,
+                                               BlockCyclicLayout{3, 2},
+                                               BlockCyclicLayout{2, 3});
+  EXPECT_EQ(m.total(), 60'000'000'000LL);
+}
+
+}  // namespace
+}  // namespace redist

@@ -1,0 +1,96 @@
+#include "matching/edge_coloring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "workload/random_graphs.hpp"
+
+namespace redist {
+namespace {
+
+void check_coloring(const BipartiteGraph& g,
+                    const std::vector<Matching>& colors) {
+  // Exactly Delta classes; each a valid matching; each alive edge once.
+  ASSERT_EQ(colors.size(), static_cast<std::size_t>(g.max_degree()));
+  std::set<EdgeId> seen;
+  for (const Matching& m : colors) {
+    ASSERT_TRUE(is_matching(g, m));
+    for (EdgeId e : m.edges) {
+      ASSERT_TRUE(seen.insert(e).second) << "edge " << e << " colored twice";
+    }
+  }
+  ASSERT_EQ(seen.size(), static_cast<std::size_t>(g.alive_edge_count()));
+}
+
+TEST(EdgeColoring, EmptyGraph) {
+  BipartiteGraph g(3, 3);
+  EXPECT_TRUE(bipartite_edge_coloring(g).empty());
+}
+
+TEST(EdgeColoring, SingleEdgeOneColor) {
+  BipartiteGraph g(1, 1);
+  g.add_edge(0, 0, 5);
+  const auto colors = bipartite_edge_coloring(g);
+  ASSERT_EQ(colors.size(), 1u);
+  EXPECT_EQ(colors[0].edges.size(), 1u);
+}
+
+TEST(EdgeColoring, StarNeedsDegreeColors) {
+  BipartiteGraph g(1, 5);
+  for (NodeId j = 0; j < 5; ++j) g.add_edge(0, j, 1);
+  const auto colors = bipartite_edge_coloring(g);
+  check_coloring(g, colors);
+  EXPECT_EQ(colors.size(), 5u);
+}
+
+TEST(EdgeColoring, CompleteBipartiteUsesExactlyN) {
+  BipartiteGraph g(4, 4);
+  for (NodeId i = 0; i < 4; ++i) {
+    for (NodeId j = 0; j < 4; ++j) g.add_edge(i, j, 1 + i + j);
+  }
+  const auto colors = bipartite_edge_coloring(g);
+  check_coloring(g, colors);
+  EXPECT_EQ(colors.size(), 4u);
+  // Every color class of K44 is a perfect matching.
+  for (const Matching& m : colors) EXPECT_EQ(m.size(), 4u);
+}
+
+TEST(EdgeColoring, UnevenSides) {
+  BipartiteGraph g(2, 7);
+  for (NodeId j = 0; j < 7; ++j) g.add_edge(j % 2, j, 1);
+  const auto colors = bipartite_edge_coloring(g);
+  check_coloring(g, colors);
+}
+
+class EdgeColoringRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EdgeColoringRandom, KoenigTheoremHolds) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 15; ++trial) {
+    RandomGraphConfig config;
+    config.max_left = 12;
+    config.max_right = 12;
+    config.max_edges = 50;
+    const BipartiteGraph g = random_bipartite(rng, config);
+    check_coloring(g, bipartite_edge_coloring(g));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EdgeColoringRandom,
+                         ::testing::Values(7, 14, 21, 28));
+
+TEST(EdgeColoring, SkipsDeadEdges) {
+  BipartiteGraph g(2, 2);
+  const EdgeId dead = g.add_edge(0, 0, 1);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 0, 1);
+  g.decrease_weight(dead, 1);
+  const auto colors = bipartite_edge_coloring(g);
+  check_coloring(g, colors);
+  EXPECT_EQ(colors.size(), 1u);  // Delta dropped to 1
+}
+
+}  // namespace
+}  // namespace redist

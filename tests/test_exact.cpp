@@ -1,0 +1,98 @@
+#include "baselines/exact.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "kpbs/lower_bound.hpp"
+#include "kpbs/solver.hpp"
+#include "workload/random_graphs.hpp"
+
+namespace redist {
+namespace {
+
+TEST(Exact, EmptyGraphCostsZero) {
+  BipartiteGraph g(1, 1);
+  EXPECT_EQ(exact_optimal_cost(g, 1, 5), 0);
+}
+
+TEST(Exact, SingleEdge) {
+  BipartiteGraph g(1, 1);
+  g.add_edge(0, 0, 7);
+  EXPECT_EQ(exact_optimal_cost(g, 1, 2), 9);  // beta + weight
+}
+
+TEST(Exact, TwoDisjointEdgesParallelWhenKTwo) {
+  BipartiteGraph g(2, 2);
+  g.add_edge(0, 0, 4);
+  g.add_edge(1, 1, 4);
+  EXPECT_EQ(exact_optimal_cost(g, 2, 1), 5);   // one step of 4
+  EXPECT_EQ(exact_optimal_cost(g, 1, 1), 10);  // two steps
+}
+
+TEST(Exact, SharedSenderForcesTwoSteps) {
+  BipartiteGraph g(1, 2);
+  g.add_edge(0, 0, 3);
+  g.add_edge(0, 1, 5);
+  // 1-port: steps (3) and (5), cost = 2*beta + 8.
+  EXPECT_EQ(exact_optimal_cost(g, 2, 1), 10);
+}
+
+TEST(Exact, PreemptionCanPayOff) {
+  // Classic trade: path a-b, b-c, with a long edge elsewhere; with beta = 0
+  // preemption costs nothing, so OPT = W(G) when k is large.
+  BipartiteGraph g(2, 2);
+  g.add_edge(0, 0, 2);
+  g.add_edge(0, 1, 2);
+  g.add_edge(1, 1, 2);
+  // Node weights: left0 = 4, right1 = 4 -> W = 4; with beta = 0, OPT = 4.
+  EXPECT_EQ(exact_optimal_cost(g, 2, 0), 4);
+  // With beta = 10, splitting is a bad idea: two steps are forced anyway
+  // (degree 2), so OPT = 2 steps, durations 2 and 2 -> 24.
+  EXPECT_EQ(exact_optimal_cost(g, 2, 10), 24);
+}
+
+TEST(Exact, RespectsLimits) {
+  BipartiteGraph g(3, 3);
+  for (NodeId i = 0; i < 3; ++i) {
+    for (NodeId j = 0; j < 3; ++j) g.add_edge(i, j, 1);
+  }
+  ExactLimits limits;
+  limits.max_edges = 4;
+  EXPECT_THROW(exact_optimal_cost(g, 2, 1, limits), Error);
+  limits.max_edges = 9;
+  limits.max_total_weight = 5;
+  EXPECT_THROW(exact_optimal_cost(g, 2, 1, limits), Error);
+}
+
+class ExactSandwich : public ::testing::TestWithParam<std::uint64_t> {};
+
+// The fundamental sandwich: LB <= OPT <= ALG <= 2 * LB on tiny instances.
+TEST_P(ExactSandwich, BoundsHold) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 8; ++trial) {
+    RandomGraphConfig config;
+    config.max_left = 3;
+    config.max_right = 3;
+    config.max_edges = 5;
+    config.max_weight = 4;
+    const BipartiteGraph g = random_bipartite(rng, config);
+    const int k = static_cast<int>(rng.uniform_int(1, 3));
+    const Weight beta = rng.uniform_int(0, 3);
+
+    const Weight opt = exact_optimal_cost(g, k, beta);
+    const Rational lb = kpbs_lower_bound(g, k, beta).value();
+    ASSERT_LE(lb, Rational(opt)) << "lower bound exceeded optimum";
+    for (const Algorithm algo : {Algorithm::kGGP, Algorithm::kOGGP}) {
+      const Weight cost = solve_kpbs(g, k, beta, algo).cost(beta);
+      ASSERT_GE(cost, opt) << algorithm_name(algo) << " beat the optimum";
+      ASSERT_LE(Rational(cost), Rational(2) * Rational(opt))
+          << algorithm_name(algo) << " broke the 2-approximation";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactSandwich,
+                         ::testing::Values(21, 42, 63, 84, 105, 126));
+
+}  // namespace
+}  // namespace redist

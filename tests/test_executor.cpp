@@ -1,0 +1,171 @@
+#include "netsim/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "kpbs/solver.hpp"
+#include "workload/patterns.hpp"
+#include "workload/uniform_traffic.hpp"
+
+namespace redist {
+namespace {
+
+Platform platform_2x2() {
+  Platform p;
+  p.n1 = 2;
+  p.n2 = 2;
+  p.t1_bps = 100;
+  p.t2_bps = 100;
+  p.backbone_bps = 200;
+  p.beta_seconds = 0.5;
+  return p;
+}
+
+TEST(Executor, BruteforceDeliversEverything) {
+  const Platform p = platform_2x2();
+  TrafficMatrix m(2, 2);
+  m.set(0, 0, 500);
+  m.set(1, 1, 300);
+  const ExecutionResult r = simulate_bruteforce(p, m);
+  EXPECT_DOUBLE_EQ(r.bytes_delivered, 800.0);
+  EXPECT_NEAR(r.total_seconds, 5.0, 1e-6);  // 500 B at 100 B/s
+  EXPECT_EQ(r.steps, 1u);
+}
+
+TEST(Executor, BruteforceEmptyMatrix) {
+  const Platform p = platform_2x2();
+  TrafficMatrix m(2, 2);
+  const ExecutionResult r = simulate_bruteforce(p, m);
+  EXPECT_EQ(r.steps, 0u);
+  EXPECT_DOUBLE_EQ(r.total_seconds, 0.0);
+}
+
+TEST(Executor, ScheduleExecutionAccountsBarriers) {
+  const Platform p = platform_2x2();
+  TrafficMatrix m(2, 2);
+  m.set(0, 0, 500);
+  m.set(1, 1, 300);
+  // One time unit worth 100 bytes; weights 5 and 3.
+  const BipartiteGraph g = m.to_graph(100.0);
+  const Schedule s = solve_kpbs(g, 2, 1, Algorithm::kOGGP);
+  const ExecutionResult r = execute_schedule(p, m, s, 100.0);
+  EXPECT_DOUBLE_EQ(r.bytes_delivered, 800.0);
+  EXPECT_EQ(r.steps, s.step_count());
+  EXPECT_DOUBLE_EQ(r.barrier_seconds, 0.5 * static_cast<double>(r.steps));
+  EXPECT_NEAR(r.total_seconds, r.transmission_seconds + r.barrier_seconds,
+              1e-12);
+  // Both comms are disjoint: a single step of 5 s transmission is ideal.
+  EXPECT_NEAR(r.transmission_seconds, 5.0, 1e-6);
+}
+
+TEST(Executor, ScheduledNeverOversubscribesSoNoCongestionPenalty) {
+  Platform p = platform_2x2();
+  p.backbone_bps = 100;  // k = 1
+  TrafficMatrix m(2, 2);
+  m.set(0, 0, 400);
+  m.set(1, 1, 400);
+  const BipartiteGraph g = m.to_graph(100.0);
+  const Schedule s = solve_kpbs(g, 1, 0, Algorithm::kOGGP);
+  FluidOptions congested;
+  congested.congestion_alpha = 1.0;
+  const ExecutionResult clean = execute_schedule(p, m, s, 100.0);
+  const ExecutionResult withPenalty =
+      execute_schedule(p, m, s, 100.0, congested);
+  EXPECT_NEAR(clean.transmission_seconds, withPenalty.transmission_seconds,
+              1e-9);
+}
+
+TEST(Executor, CongestionHurtsBruteforceMoreThanScheduled) {
+  // The paper's qualitative result: with an oversubscribed backbone, the
+  // scheduled approach beats brute force.
+  Platform p;
+  p.n1 = 4;
+  p.n2 = 4;
+  p.t1_bps = 100;
+  p.t2_bps = 100;
+  p.backbone_bps = 200;  // k = 2 but 16 flows want through
+  p.beta_seconds = 0.01;
+  Rng rng(3);
+  const TrafficMatrix m = uniform_all_pairs_traffic(rng, 4, 4, 1000, 2000);
+  FluidOptions tcp;
+  tcp.congestion_alpha = 0.4;
+  const ExecutionResult brute = simulate_bruteforce(p, m, tcp);
+  const BipartiteGraph g = m.to_graph(100.0);
+  const Schedule s = solve_kpbs(g, 2, 1, Algorithm::kOGGP);
+  const ExecutionResult sched = execute_schedule(p, m, s, 100.0, tcp);
+  EXPECT_LT(sched.total_seconds, brute.total_seconds);
+}
+
+TEST(Executor, HeterogeneousCardsStretchTheirSteps) {
+  Platform p = platform_2x2();
+  p.t2_per_node = {100, 25};  // receiver 1 is slow
+  TrafficMatrix m(2, 2);
+  m.set(0, 0, 400);
+  m.set(1, 1, 400);
+  const BipartiteGraph g = m.to_graph(100.0);
+  const Schedule s = solve_kpbs(g, 2, 0, Algorithm::kOGGP);
+  const ExecutionResult r = execute_schedule(p, m, s, 100.0);
+  // Flow to receiver 1 runs at 25 B/s: its step lasts 16 s, not 4.
+  EXPECT_NEAR(r.transmission_seconds, 16.0, 1e-6);
+}
+
+TEST(Executor, BetaOnlyChargedForNonEmptySteps) {
+  const Platform p = platform_2x2();
+  TrafficMatrix m(2, 2);
+  m.set(0, 0, 100);
+  Schedule s;
+  s.add_step(Step{{{0, 0, 1}}});
+  s.add_step(Step{});  // empty: must not cost a barrier
+  const ExecutionResult r = execute_schedule(p, m, s, 100.0);
+  EXPECT_EQ(r.steps, 1u);
+  EXPECT_DOUBLE_EQ(r.barrier_seconds, 0.5);
+}
+
+TEST(Executor, BandedPatternEndToEnd) {
+  const TrafficMatrix m = banded_traffic(800, 100, 4, 4);
+  Platform p;
+  p.n1 = 4;
+  p.n2 = 4;
+  p.t1_bps = 1e4;
+  p.t2_bps = 1e4;
+  p.backbone_bps = 2e4;
+  p.beta_seconds = 0.1;
+  const double bpu = 1e3;
+  const BipartiteGraph g = m.to_graph(bpu);
+  const Schedule s = solve_kpbs(g, p.max_k(), 1, Algorithm::kOGGP);
+  const ExecutionResult r = execute_schedule(p, m, s, bpu);
+  EXPECT_DOUBLE_EQ(r.bytes_delivered, static_cast<double>(m.total()));
+}
+
+TEST(Executor, RejectsScheduleWithPhantomTraffic) {
+  const Platform p = platform_2x2();
+  TrafficMatrix m(2, 2);
+  m.set(0, 0, 100);
+  Schedule s;
+  s.add_step(Step{{{1, 1, 1}}});  // no demand there
+  EXPECT_THROW(execute_schedule(p, m, s, 100.0), Error);
+}
+
+TEST(Executor, RejectsIncompleteSchedule) {
+  const Platform p = platform_2x2();
+  TrafficMatrix m(2, 2);
+  m.set(0, 0, 100);
+  m.set(1, 1, 100);
+  Schedule s;
+  s.add_step(Step{{{0, 0, 1}}});  // (1,1) never served
+  EXPECT_THROW(execute_schedule(p, m, s, 100.0), Error);
+}
+
+TEST(Executor, FinalChunkTruncatedToMatrix) {
+  const Platform p = platform_2x2();
+  TrafficMatrix m(2, 2);
+  m.set(0, 0, 150);  // 2 units of 100 -> 200 scheduled, 150 real
+  const BipartiteGraph g = m.to_graph(100.0);
+  const Schedule s = solve_kpbs(g, 1, 0, Algorithm::kGGP);
+  const ExecutionResult r = execute_schedule(p, m, s, 100.0);
+  EXPECT_DOUBLE_EQ(r.bytes_delivered, 150.0);
+  EXPECT_NEAR(r.transmission_seconds, 1.5, 1e-6);
+}
+
+}  // namespace
+}  // namespace redist

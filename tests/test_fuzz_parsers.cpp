@@ -1,0 +1,95 @@
+// Deterministic fuzzing of the text parsers (graphs and schedules): random
+// mutations of valid inputs must either parse to something structurally
+// sound or throw redist::Error — never crash, hang or corrupt memory.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "graph/graphio.hpp"
+#include "kpbs/schedule_io.hpp"
+#include "kpbs/solver.hpp"
+#include "workload/random_graphs.hpp"
+
+namespace redist {
+namespace {
+
+std::string mutate(Rng& rng, std::string text) {
+  const int edits = static_cast<int>(rng.uniform_int(1, 6));
+  for (int e = 0; e < edits && !text.empty(); ++e) {
+    const auto pos = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(text.size()) - 1));
+    switch (rng.uniform_int(0, 3)) {
+      case 0:  // flip to a random printable char
+        text[pos] = static_cast<char>(rng.uniform_int(32, 126));
+        break;
+      case 1:  // delete
+        text.erase(pos, 1);
+        break;
+      case 2:  // duplicate a chunk
+        text.insert(pos, text.substr(pos, std::min<std::size_t>(
+                                              8, text.size() - pos)));
+        break;
+      default:  // truncate
+        text.resize(pos);
+        break;
+    }
+  }
+  return text;
+}
+
+class ParserFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParserFuzz, GraphParserNeverCrashes) {
+  Rng rng(GetParam());
+  RandomGraphConfig config;
+  config.max_left = 8;
+  config.max_right = 8;
+  config.max_edges = 20;
+  for (int trial = 0; trial < 200; ++trial) {
+    const BipartiteGraph g = random_bipartite(rng, config);
+    const std::string mutated = mutate(rng, graph_to_string(g));
+    try {
+      const BipartiteGraph parsed = graph_from_string(mutated);
+      parsed.check_invariants();  // if it parsed, it must be sound
+    } catch (const Error&) {
+      // rejected: fine
+    }
+  }
+}
+
+TEST_P(ParserFuzz, ScheduleParserNeverCrashes) {
+  Rng rng(GetParam() ^ 0xFEED);
+  RandomGraphConfig config;
+  config.max_left = 6;
+  config.max_right = 6;
+  config.max_edges = 12;
+  for (int trial = 0; trial < 200; ++trial) {
+    const BipartiteGraph g = random_bipartite(rng, config);
+    const Schedule s = solve_kpbs(g, 2, 1, Algorithm::kGGP);
+    const std::string mutated = mutate(rng, schedule_to_string(s));
+    try {
+      const Schedule parsed = schedule_from_string(mutated);
+      (void)parsed.cost(1);  // must be computable without UB
+    } catch (const Error&) {
+      // rejected: fine
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz,
+                         ::testing::Values(1001, 2002, 3003, 4004));
+
+TEST(ParserFuzz, PureGarbageIsRejected) {
+  Rng rng(9);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string garbage;
+    const int len = static_cast<int>(rng.uniform_int(0, 64));
+    for (int c = 0; c < len; ++c) {
+      garbage.push_back(static_cast<char>(rng.uniform_int(1, 255)));
+    }
+    EXPECT_THROW(graph_from_string(garbage), Error) << "trial " << trial;
+    EXPECT_THROW(schedule_from_string(garbage), Error) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace redist

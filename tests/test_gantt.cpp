@@ -1,0 +1,72 @@
+#include "kpbs/gantt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "kpbs/solver.hpp"
+
+namespace redist {
+namespace {
+
+Schedule sample_schedule() {
+  Schedule s;
+  s.add_step(Step{{{0, 0, 4}, {1, 1, 2}}});
+  s.add_step(Step{{{0, 1, 3}}});
+  return s;
+}
+
+TEST(Gantt, ProducesWellFormedSvg) {
+  const std::string svg = schedule_to_svg(sample_schedule(), 2);
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // One rect per communication.
+  std::size_t rects = 0;
+  for (std::size_t pos = svg.find("<rect"); pos != std::string::npos;
+       pos = svg.find("<rect", pos + 1)) {
+    ++rects;
+  }
+  EXPECT_EQ(rects, 3u);
+}
+
+TEST(Gantt, DrawsBarriersPerStep) {
+  const std::string svg = schedule_to_svg(sample_schedule(), 2);
+  std::size_t dashed = 0;
+  for (std::size_t pos = svg.find("stroke-dasharray");
+       pos != std::string::npos;
+       pos = svg.find("stroke-dasharray", pos + 1)) {
+    ++dashed;
+  }
+  EXPECT_EQ(dashed, 2u);  // one barrier line per step
+}
+
+TEST(Gantt, TitleAndBetaAffectLayout) {
+  GanttOptions options;
+  options.title = "demo title";
+  options.beta = 2;
+  const std::string svg = schedule_to_svg(sample_schedule(), 2, options);
+  EXPECT_NE(svg.find("demo title"), std::string::npos);
+  // Makespan with beta: (2+4) + (2+3) = 11 appears as the axis label.
+  EXPECT_NE(svg.find(">11<"), std::string::npos);
+}
+
+TEST(Gantt, RejectsSenderBeyondRows) {
+  EXPECT_THROW(schedule_to_svg(sample_schedule(), 1), Error);
+}
+
+TEST(Gantt, AsyncRendering) {
+  const Schedule s = sample_schedule();
+  const AsyncSchedule a = relax_barriers(s, 2, 1);
+  const std::string svg = async_to_svg(a, 2);
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // Async rendering has no barrier lines.
+  EXPECT_EQ(svg.find("stroke-dasharray"), std::string::npos);
+}
+
+TEST(Gantt, TooltipCarriesPairAndDuration) {
+  const std::string svg = schedule_to_svg(sample_schedule(), 2);
+  EXPECT_NE(svg.find("<title>0 -> 0 (4 units)</title>"), std::string::npos);
+  EXPECT_NE(svg.find("<title>1 -> 1 (2 units)</title>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace redist

@@ -1,0 +1,133 @@
+#include "matching/hopcroft_karp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "workload/random_graphs.hpp"
+
+namespace redist {
+namespace {
+
+// Exponential-time reference: maximum matching size by edge subset search.
+std::size_t brute_force_max_matching(const BipartiteGraph& g,
+                                     const std::vector<EdgeId>& edges,
+                                     std::size_t from,
+                                     std::vector<char>& left_used,
+                                     std::vector<char>& right_used) {
+  std::size_t best = 0;
+  for (std::size_t i = from; i < edges.size(); ++i) {
+    const Edge& e = g.edge(edges[i]);
+    const auto l = static_cast<std::size_t>(e.left);
+    const auto r = static_cast<std::size_t>(e.right);
+    if (left_used[l] || right_used[r]) continue;
+    left_used[l] = right_used[r] = 1;
+    best = std::max(best, 1 + brute_force_max_matching(g, edges, i + 1,
+                                                       left_used, right_used));
+    left_used[l] = right_used[r] = 0;
+  }
+  return best;
+}
+
+std::size_t brute_force_max_matching(const BipartiteGraph& g) {
+  const std::vector<EdgeId> edges = g.alive_edges();
+  std::vector<char> lu(static_cast<std::size_t>(g.left_count()), 0);
+  std::vector<char> ru(static_cast<std::size_t>(g.right_count()), 0);
+  return brute_force_max_matching(g, edges, 0, lu, ru);
+}
+
+TEST(HopcroftKarp, EmptyGraph) {
+  BipartiteGraph g(3, 3);
+  EXPECT_EQ(max_matching_size(g), 0u);
+}
+
+TEST(HopcroftKarp, PerfectOnCompleteBipartite) {
+  BipartiteGraph g(4, 4);
+  for (NodeId i = 0; i < 4; ++i) {
+    for (NodeId j = 0; j < 4; ++j) g.add_edge(i, j, 1);
+  }
+  const Matching m = max_matching(g);
+  EXPECT_TRUE(is_perfect_matching(g, m));
+}
+
+TEST(HopcroftKarp, AugmentingPathIsRequired) {
+  // Greedy taking (0,0) first forces an augmenting path to reach size 2.
+  BipartiteGraph g(2, 2);
+  g.add_edge(0, 0, 1);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 0, 1);
+  const Matching m = max_matching(g);
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_TRUE(is_matching(g, m));
+}
+
+TEST(HopcroftKarp, StarGraphMatchesOne) {
+  BipartiteGraph g(1, 5);
+  for (NodeId j = 0; j < 5; ++j) g.add_edge(0, j, 1);
+  EXPECT_EQ(max_matching_size(g), 1u);
+}
+
+TEST(HopcroftKarp, RespectsMask) {
+  BipartiteGraph g(2, 2);
+  g.add_edge(0, 0, 1);
+  g.add_edge(1, 1, 1);
+  std::vector<char> mask{1, 0};
+  const Matching m = max_matching(g, mask);
+  EXPECT_EQ(m.edges, (std::vector<EdgeId>{0}));
+}
+
+TEST(HopcroftKarp, MaskSizeMismatchThrows) {
+  BipartiteGraph g(1, 1);
+  g.add_edge(0, 0, 1);
+  EXPECT_THROW(HopcroftKarp(g, std::vector<char>{1, 1}), Error);
+}
+
+TEST(HopcroftKarp, IgnoresDeadEdges) {
+  BipartiteGraph g(1, 1);
+  const EdgeId e = g.add_edge(0, 0, 1);
+  g.decrease_weight(e, 1);
+  EXPECT_EQ(max_matching_size(g), 0u);
+}
+
+TEST(HopcroftKarp, MatchedEdgeAccessors) {
+  BipartiteGraph g(2, 2);
+  g.add_edge(0, 1, 1);
+  HopcroftKarp solver(g);
+  const Matching m = solver.solve();
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_EQ(solver.matched_edge_of_left(0), m.edges[0]);
+  EXPECT_EQ(solver.matched_edge_of_right(1), m.edges[0]);
+  EXPECT_EQ(solver.matched_edge_of_left(1), kNoEdge);
+  EXPECT_EQ(solver.matched_edge_of_right(0), kNoEdge);
+}
+
+class HopcroftKarpRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HopcroftKarpRandom, MatchesBruteForceOptimum) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 30; ++trial) {
+    RandomGraphConfig config;
+    config.max_left = 7;
+    config.max_right = 7;
+    config.max_edges = 14;
+    const BipartiteGraph g = random_bipartite(rng, config);
+    const Matching m = max_matching(g);
+    ASSERT_TRUE(is_matching(g, m));
+    ASSERT_EQ(m.size(), brute_force_max_matching(g));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HopcroftKarpRandom,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(HopcroftKarp, LargeBipartiteRegularHasPerfectMatching) {
+  Rng rng(77);
+  const BipartiteGraph g = random_weight_regular(rng, 64, 5, 1, 9);
+  const Matching m = max_matching(g);
+  EXPECT_TRUE(is_perfect_matching(g, m));
+}
+
+}  // namespace
+}  // namespace redist

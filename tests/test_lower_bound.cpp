@@ -1,0 +1,108 @@
+#include "kpbs/lower_bound.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "kpbs/solver.hpp"
+#include "workload/random_graphs.hpp"
+
+namespace redist {
+namespace {
+
+TEST(LowerBound, EmptyGraphIsZero) {
+  BipartiteGraph g(2, 2);
+  const LowerBound lb = kpbs_lower_bound(g, 2, 1);
+  EXPECT_EQ(lb.min_steps, 0);
+  EXPECT_EQ(lb.value(), Rational(0));
+}
+
+TEST(LowerBound, SingleEdge) {
+  BipartiteGraph g(1, 1);
+  g.add_edge(0, 0, 10);
+  const LowerBound lb = kpbs_lower_bound(g, 1, 2);
+  EXPECT_EQ(lb.min_steps, 1);
+  EXPECT_EQ(lb.min_transmission, Rational(10));
+  EXPECT_EQ(lb.value(), Rational(12));
+}
+
+TEST(LowerBound, DegreeTermDominates) {
+  // Star with 4 leaves: Delta = 4 > ceil(m/k) = 1 when k = 4.
+  BipartiteGraph g(1, 4);
+  for (NodeId j = 0; j < 4; ++j) g.add_edge(0, j, 1);
+  const LowerBound lb = kpbs_lower_bound(g, 4, 1);
+  EXPECT_EQ(lb.min_steps, 4);
+  EXPECT_EQ(lb.min_transmission, Rational(4));  // W(G) at the hub
+}
+
+TEST(LowerBound, EdgeCountTermDominates) {
+  // 4 disjoint edges with k = 1: ceil(4/1) = 4 > Delta = 1.
+  BipartiteGraph g(4, 4);
+  for (NodeId i = 0; i < 4; ++i) g.add_edge(i, i, 2);
+  const LowerBound lb = kpbs_lower_bound(g, 1, 3);
+  EXPECT_EQ(lb.min_steps, 4);
+  EXPECT_EQ(lb.min_transmission, Rational(8));  // P/k = 8 > W = 2
+  EXPECT_EQ(lb.value(), Rational(3 * 4 + 8));
+}
+
+TEST(LowerBound, TransmissionTermIsExactRational) {
+  // P = 7, k = 3 -> P/k = 7/3 (not representable in double exactly).
+  BipartiteGraph g(3, 3);
+  g.add_edge(0, 0, 3);
+  g.add_edge(1, 1, 2);
+  g.add_edge(2, 2, 2);
+  const LowerBound lb = kpbs_lower_bound(g, 3, 0);
+  EXPECT_EQ(lb.min_transmission, Rational(3));  // W = 3 > 7/3
+  BipartiteGraph h(4, 4);
+  for (NodeId i = 0; i < 4; ++i) h.add_edge(i, i, 1);
+  h.add_edge(0, 1, 1);
+  h.add_edge(1, 2, 1);
+  h.add_edge(2, 3, 1);  // P = 7, W = 2, k = 3 -> P/k = 7/3 > 2
+  const LowerBound lb2 = kpbs_lower_bound(h, 3, 0);
+  EXPECT_EQ(lb2.min_transmission, Rational(7, 3));
+}
+
+TEST(LowerBound, MonotoneNonIncreasingInK) {
+  Rng rng(555);
+  RandomGraphConfig config;
+  config.max_left = 10;
+  config.max_right = 10;
+  config.max_edges = 30;
+  for (int trial = 0; trial < 10; ++trial) {
+    const BipartiteGraph g = random_bipartite(rng, config);
+    Rational prev;
+    bool first = true;
+    for (int k = 1; k <= 12; ++k) {
+      const Rational v = kpbs_lower_bound(g, k, 1).value();
+      if (!first) {
+        EXPECT_LE(v, prev) << "k=" << k;
+      }
+      prev = v;
+      first = false;
+    }
+  }
+}
+
+TEST(LowerBound, NegativeBetaRejected) {
+  BipartiteGraph g(1, 1);
+  g.add_edge(0, 0, 1);
+  EXPECT_THROW(kpbs_lower_bound(g, 1, -1), Error);
+}
+
+TEST(LowerBound, NeverExceedsAlgorithmCost) {
+  Rng rng(808);
+  for (int trial = 0; trial < 30; ++trial) {
+    RandomGraphConfig config;
+    config.max_left = 8;
+    config.max_right = 8;
+    config.max_edges = 24;
+    const BipartiteGraph g = random_bipartite(rng, config);
+    const int k = static_cast<int>(rng.uniform_int(1, 8));
+    const Weight beta = rng.uniform_int(0, 4);
+    const LowerBound lb = kpbs_lower_bound(g, k, beta);
+    const Schedule s = solve_kpbs(g, k, beta, Algorithm::kOGGP);
+    EXPECT_LE(lb.value(), Rational(s.cost(beta)));
+  }
+}
+
+}  // namespace
+}  // namespace redist

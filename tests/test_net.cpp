@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+
+#include "net/message.hpp"
+#include "net/socket.hpp"
+#include "common/stopwatch.hpp"
+#include "runtime/token_bucket.hpp"
+
+namespace redist {
+namespace {
+
+TEST(Socket, ListenerGetsEphemeralPort) {
+  const TcpListener listener = TcpListener::bind_loopback();
+  EXPECT_GT(listener.port(), 0);
+}
+
+TEST(Socket, TwoListenersGetDistinctPorts) {
+  const TcpListener a = TcpListener::bind_loopback();
+  const TcpListener b = TcpListener::bind_loopback();
+  EXPECT_NE(a.port(), b.port());
+}
+
+TEST(Socket, RoundTripBytes) {
+  TcpListener listener = TcpListener::bind_loopback();
+  std::thread server([&listener]() {
+    TcpStream peer = listener.accept();
+    char buf[5];
+    peer.recv_all(buf, 5);
+    peer.send_all(buf, 5);  // echo
+  });
+  TcpStream client = TcpStream::connect_loopback(listener.port());
+  client.send_all("hello", 5);
+  char echo[5];
+  client.recv_all(echo, 5);
+  server.join();
+  EXPECT_EQ(std::memcmp(echo, "hello", 5), 0);
+}
+
+TEST(Socket, ConnectToClosedPortThrows) {
+  // Bind-and-drop gives a port that is (almost certainly) not listening.
+  std::uint16_t dead_port;
+  {
+    const TcpListener listener = TcpListener::bind_loopback();
+    dead_port = listener.port();
+  }
+  EXPECT_THROW(TcpStream::connect_loopback(dead_port), Error);
+}
+
+TEST(Socket, RecvOnPeerCloseThrows) {
+  TcpListener listener = TcpListener::bind_loopback();
+  std::thread server([&listener]() {
+    TcpStream peer = listener.accept();
+    // Destructor closes immediately.
+  });
+  TcpStream client = TcpStream::connect_loopback(listener.port());
+  server.join();
+  char buf[1];
+  EXPECT_THROW(client.recv_all(buf, 1), Error);
+}
+
+TEST(Socket, InvalidStreamOperationsThrow) {
+  TcpStream stream;
+  char buf[1] = {0};
+  EXPECT_THROW(stream.send_all(buf, 1), Error);
+  EXPECT_THROW(stream.recv_all(buf, 1), Error);
+}
+
+TEST(Message, FramedRoundTrip) {
+  TcpListener listener = TcpListener::bind_loopback();
+  const std::string text = "framed payload with \0 inside";
+  std::thread server([&]() {
+    TcpStream peer = listener.accept();
+    std::vector<char> payload;
+    const std::uint32_t tag = recv_message(peer, payload);
+    send_message(peer, tag + 1, payload.data(), payload.size());
+  });
+  TcpStream client = TcpStream::connect_loopback(listener.port());
+  send_message(client, 42, text.data(), text.size());
+  std::vector<char> back;
+  recv_message_expect(client, 43, back);
+  server.join();
+  ASSERT_EQ(back.size(), text.size());
+  EXPECT_EQ(std::memcmp(back.data(), text.data(), text.size()), 0);
+}
+
+TEST(Message, EmptyPayload) {
+  TcpListener listener = TcpListener::bind_loopback();
+  std::thread server([&]() {
+    TcpStream peer = listener.accept();
+    std::vector<char> payload{'x'};  // must be cleared by recv
+    EXPECT_EQ(recv_message(peer, payload), 7u);
+    EXPECT_TRUE(payload.empty());
+  });
+  TcpStream client = TcpStream::connect_loopback(listener.port());
+  send_message(client, 7, nullptr, 0);
+  server.join();
+}
+
+TEST(Message, TagMismatchThrows) {
+  TcpListener listener = TcpListener::bind_loopback();
+  std::thread server([&]() {
+    TcpStream peer = listener.accept();
+    send_message(peer, 1, "a", 1);
+  });
+  TcpStream client = TcpStream::connect_loopback(listener.port());
+  std::vector<char> payload;
+  EXPECT_THROW(recv_message_expect(client, 2, payload), Error);
+  server.join();
+}
+
+TEST(Message, ShapedTransferIsRateLimited) {
+  TcpListener listener = TcpListener::bind_loopback();
+  const std::size_t bytes = 60000;
+  TokenBucket sender_bucket(200e3, 8192);  // 200 KB/s
+  std::thread server([&]() {
+    TcpStream peer = listener.accept();
+    std::vector<char> payload;
+    recv_message(peer, payload);
+    EXPECT_EQ(payload.size(), bytes);
+  });
+  TcpStream client = TcpStream::connect_loopback(listener.port());
+  const std::vector<char> payload(bytes, 'r');
+  Stopwatch watch;
+  send_message(client, 9, payload.data(), payload.size(), {&sender_bucket},
+               4096);
+  server.join();
+  // 60 KB minus one burst at 200 KB/s: at least ~0.2 s.
+  EXPECT_GE(watch.elapsed_seconds(), 0.15);
+}
+
+}  // namespace
+}  // namespace redist

@@ -1,0 +1,110 @@
+#include "dynamic/online.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "workload/uniform_traffic.hpp"
+
+namespace redist {
+namespace {
+
+Platform platform_6() {
+  Platform p;
+  p.n1 = 6;
+  p.n2 = 6;
+  p.t1_bps = 1e5;
+  p.t2_bps = 1e5;
+  p.backbone_bps = 3e5;  // k = 3
+  p.beta_seconds = 0.02;
+  return p;
+}
+
+std::vector<ArrivalBatch> make_batches(Rng& rng, int count, double spacing,
+                                       Bytes lo, Bytes hi) {
+  std::vector<ArrivalBatch> batches;
+  for (int b = 0; b < count; ++b) {
+    batches.push_back(ArrivalBatch{
+        b * spacing, uniform_all_pairs_traffic(rng, 6, 6, lo, hi)});
+  }
+  return batches;
+}
+
+TEST(Online, SingleBatchMatchesPlainExecution) {
+  Rng rng(1);
+  const Platform p = platform_6();
+  const auto batches = make_batches(rng, 1, 0, 20'000, 60'000);
+  const OnlineResult online =
+      run_online(p, batches, 1e4, 1, Algorithm::kOGGP);
+  const OnlineResult sequential =
+      run_batch_sequential(p, batches, 1e4, 1, Algorithm::kOGGP);
+  EXPECT_GT(online.total_seconds, 0);
+  EXPECT_NEAR(online.total_seconds, sequential.total_seconds,
+              sequential.total_seconds * 0.3);
+  EXPECT_DOUBLE_EQ(online.idle_seconds, 0.0);
+}
+
+TEST(Online, RespectsArrivalTimes) {
+  Rng rng(2);
+  const Platform p = platform_6();
+  // Second batch arrives long after the first drains: forced idle gap.
+  auto batches = make_batches(rng, 2, 1000.0, 5'000, 10'000);
+  const OnlineResult r = run_online(p, batches, 1e4, 1, Algorithm::kOGGP);
+  EXPECT_GT(r.total_seconds, 1000.0);
+  EXPECT_GT(r.idle_seconds, 900.0);
+}
+
+TEST(Online, MergingBeatsBatchSequentialOnBurstyArrivals) {
+  // Batches arrive faster than they drain: the merging policy overlaps
+  // them into denser steps; batch-sequential serializes.
+  Rng rng(3);
+  const Platform p = platform_6();
+  const auto batches = make_batches(rng, 5, 1.0, 50'000, 150'000);
+  const OnlineResult online =
+      run_online(p, batches, 1e4, 1, Algorithm::kOGGP);
+  const OnlineResult sequential =
+      run_batch_sequential(p, batches, 1e4, 1, Algorithm::kOGGP);
+  EXPECT_LE(online.total_seconds, sequential.total_seconds * 1.02);
+}
+
+TEST(Online, StepsPerPlanTradesReplansForSteps) {
+  Rng rng(4);
+  const Platform p = platform_6();
+  const auto batches = make_batches(rng, 3, 2.0, 30'000, 90'000);
+  const OnlineResult fine =
+      run_online(p, batches, 1e4, 1, Algorithm::kOGGP, 1);
+  const OnlineResult coarse =
+      run_online(p, batches, 1e4, 1, Algorithm::kOGGP, 8);
+  EXPECT_GT(fine.replans, coarse.replans);
+  EXPECT_LT(coarse.total_seconds, fine.total_seconds * 1.5);
+}
+
+TEST(Online, ValidatesInput) {
+  Rng rng(5);
+  const Platform p = platform_6();
+  EXPECT_THROW(run_online(p, {}, 1e4, 1, Algorithm::kOGGP), Error);
+  auto batches = make_batches(rng, 2, 1.0, 1000, 2000);
+  std::swap(batches[0], batches[1]);  // decreasing times
+  EXPECT_THROW(run_online(p, batches, 1e4, 1, Algorithm::kOGGP), Error);
+  auto ok = make_batches(rng, 1, 0, 1000, 2000);
+  EXPECT_THROW(run_online(p, ok, 0.5, 1, Algorithm::kOGGP), Error);
+  EXPECT_THROW(run_online(p, ok, 1e4, 1, Algorithm::kOGGP, 0), Error);
+  ArrivalBatch wrong{0, TrafficMatrix(2, 2)};
+  EXPECT_THROW(run_online(p, {wrong}, 1e4, 1, Algorithm::kOGGP), Error);
+}
+
+TEST(Online, EmptyBatchesAreSkipped) {
+  const Platform p = platform_6();
+  std::vector<ArrivalBatch> batches;
+  batches.push_back(ArrivalBatch{0.0, TrafficMatrix(6, 6)});  // empty
+  TrafficMatrix second(6, 6);
+  second.set(0, 0, 50'000);
+  batches.push_back(ArrivalBatch{1.0, second});
+  const OnlineResult r = run_online(p, batches, 1e4, 1, Algorithm::kOGGP);
+  EXPECT_GT(r.total_seconds, 1.0);
+  const OnlineResult s =
+      run_batch_sequential(p, batches, 1e4, 1, Algorithm::kOGGP);
+  EXPECT_GT(s.total_seconds, 1.0);
+}
+
+}  // namespace
+}  // namespace redist

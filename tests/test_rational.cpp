@@ -1,0 +1,91 @@
+#include "common/rational.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace redist {
+namespace {
+
+TEST(Rational, DefaultIsZero) {
+  Rational r;
+  EXPECT_EQ(r.num(), 0);
+  EXPECT_EQ(r.den(), 1);
+}
+
+TEST(Rational, ReducesToLowestTerms) {
+  Rational r(6, 4);
+  EXPECT_EQ(r.num(), 3);
+  EXPECT_EQ(r.den(), 2);
+}
+
+TEST(Rational, NormalizesSign) {
+  Rational r(3, -6);
+  EXPECT_EQ(r.num(), -1);
+  EXPECT_EQ(r.den(), 2);
+}
+
+TEST(Rational, ZeroDenominatorThrows) { EXPECT_THROW(Rational(1, 0), Error); }
+
+TEST(Rational, Arithmetic) {
+  EXPECT_EQ(Rational(1, 2) + Rational(1, 3), Rational(5, 6));
+  EXPECT_EQ(Rational(1, 2) - Rational(1, 3), Rational(1, 6));
+  EXPECT_EQ(Rational(2, 3) * Rational(3, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(1, 2) / Rational(1, 4), Rational(2));
+}
+
+TEST(Rational, DivisionByZeroThrows) {
+  EXPECT_THROW(Rational(1) / Rational(0), Error);
+}
+
+TEST(Rational, Comparisons) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_GT(Rational(-1, 3), Rational(-1, 2));
+  EXPECT_EQ(Rational(2, 4), Rational(1, 2));
+  EXPECT_LE(Rational(7), Rational(7));
+}
+
+TEST(Rational, CeilFloor) {
+  EXPECT_EQ(Rational(7, 2).ceil(), 4);
+  EXPECT_EQ(Rational(7, 2).floor(), 3);
+  EXPECT_EQ(Rational(-7, 2).ceil(), -3);
+  EXPECT_EQ(Rational(-7, 2).floor(), -4);
+  EXPECT_EQ(Rational(6, 2).ceil(), 3);
+  EXPECT_EQ(Rational(6, 2).floor(), 3);
+}
+
+TEST(Rational, ToDouble) {
+  EXPECT_DOUBLE_EQ(Rational(1, 4).to_double(), 0.25);
+  EXPECT_DOUBLE_EQ(Rational(-3, 2).to_double(), -1.5);
+}
+
+TEST(Rational, StreamFormat) {
+  std::ostringstream os;
+  os << Rational(5, 3) << ' ' << Rational(4);
+  EXPECT_EQ(os.str(), "5/3 4");
+}
+
+TEST(Rational, LargeValuesDontOverflowViaCrossReduction) {
+  const std::int64_t big = 1'000'000'007LL;
+  Rational a(big, 3);
+  Rational b(3, big);
+  EXPECT_EQ(a * b, Rational(1));
+}
+
+TEST(Rational, MaxHelper) {
+  EXPECT_EQ(rational_max(Rational(1, 2), Rational(2, 3)), Rational(2, 3));
+  EXPECT_EQ(rational_max(Rational(5), Rational(3)), Rational(5));
+}
+
+TEST(Rational, AdditionKeepsExactness) {
+  // 1/3 summed 3000 times is exactly 1000.
+  Rational sum;
+  for (int i = 0; i < 3000; ++i) sum += Rational(1, 3);
+  EXPECT_EQ(sum, Rational(1000));
+  EXPECT_TRUE(sum.is_integer());
+}
+
+}  // namespace
+}  // namespace redist

@@ -1,0 +1,133 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace redist {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.next() == b.next());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformIntStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t v = rng.uniform_int(-5, 17);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 17);
+  }
+}
+
+TEST(Rng, UniformIntSingletonRange) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_int(3, 3), 3);
+}
+
+TEST(Rng, UniformIntRejectsInvertedRange) {
+  Rng rng(7);
+  EXPECT_THROW(rng.uniform_int(2, 1), Error);
+}
+
+TEST(Rng, UniformIntCoversWholeRange) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform_int(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, UniformIntIsRoughlyUniform) {
+  Rng rng(13);
+  std::vector<int> counts(8, 0);
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) {
+    counts[static_cast<std::size_t>(rng.uniform_int(0, 7))] += 1;
+  }
+  // Each bucket expects n/8 = 10000; allow 5 sigma (~sqrt(10000*7/8)*5).
+  for (int c : counts) EXPECT_NEAR(c, n / 8, 500);
+}
+
+TEST(Rng, Uniform01Bounds) {
+  Rng rng(17);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformRealMeanIsCentered) {
+  Rng rng(19);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform_real(10.0, 20.0);
+  EXPECT_NEAR(sum / n, 15.0, 0.1);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(23);
+  double sum = 0;
+  double sq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(3.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(29);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(31);
+  Rng child = parent.split();
+  // The child stream should not replay the parent's outputs.
+  Rng parent2(31);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (child.next() == parent2.next());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, WorksWithStdShuffle) {
+  Rng rng(37);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  const std::vector<int> original = v;
+  std::shuffle(v.begin(), v.end(), rng);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, original);
+}
+
+TEST(Splitmix, KnownFirstValueIsStable) {
+  std::uint64_t s1 = 0;
+  std::uint64_t s2 = 0;
+  EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  EXPECT_NE(splitmix64(s1), splitmix64(s2) + 1);  // streams advanced equally
+}
+
+}  // namespace
+}  // namespace redist

@@ -1,0 +1,75 @@
+// Scale sanity: instances an order of magnitude beyond the paper's
+// simulation sizes must still solve quickly, stay feasible and respect
+// the 2x bound — guarding against accidental complexity regressions.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/stopwatch.hpp"
+#include "kpbs/lower_bound.hpp"
+#include "kpbs/regularize.hpp"
+#include "kpbs/solver.hpp"
+#include "workload/patterns.hpp"
+#include "workload/random_graphs.hpp"
+
+namespace redist {
+namespace {
+
+TEST(Scale, LargeRandomInstanceSolvesFast) {
+  Rng rng(9001);
+  RandomGraphConfig config;
+  config.max_left = 120;
+  config.max_right = 120;
+  config.max_edges = 2000;
+  config.max_weight = 100;
+  const BipartiteGraph g = random_bipartite(rng, config);
+  Stopwatch watch;
+  const Schedule s = solve_kpbs(g, 16, 1, Algorithm::kGGP);
+  const double elapsed = watch.elapsed_seconds();
+  validate_schedule(g, s, clamp_k(g, 16));
+  EXPECT_LE(Rational(s.cost(1)),
+            Rational(2) * kpbs_lower_bound(g, 16, 1).value());
+  // The paper reports sub-second computation for its sizes; an instance
+  // ~5x larger should still finish comfortably within a CI budget.
+  EXPECT_LT(elapsed, 30.0);
+}
+
+TEST(Scale, OggpOnDenseMidSizeInstance) {
+  Rng rng(9002);
+  RandomGraphConfig config;
+  config.max_left = 60;
+  config.max_right = 60;
+  config.max_edges = 1200;
+  const BipartiteGraph g = random_bipartite(rng, config);
+  Stopwatch watch;
+  const Schedule s = solve_kpbs(g, 10, 1, Algorithm::kOGGP);
+  validate_schedule(g, s, clamp_k(g, 10));
+  EXPECT_LT(watch.elapsed_seconds(), 30.0);
+  EXPECT_LE(Rational(s.cost(1)),
+            Rational(2) * kpbs_lower_bound(g, 10, 1).value());
+}
+
+TEST(Scale, HotspotAtScaleKeepsBound) {
+  Rng rng(9003);
+  const TrafficMatrix m = hotspot_traffic(rng, 64, 64, 7, 0.6, 1'000'000);
+  const BipartiteGraph g = m.to_graph(25'000.0);
+  const Schedule s = solve_kpbs(g, 8, 1, Algorithm::kOGGP);
+  validate_schedule(g, s, 8);
+  EXPECT_LE(Rational(s.cost(1)),
+            Rational(2) * kpbs_lower_bound(g, 8, 1).value());
+}
+
+TEST(Scale, ManyTinyMessagesStressStepAccounting) {
+  // 40x40 all-pairs unit messages: 1600 communications, beta-dominated.
+  BipartiteGraph g(40, 40);
+  for (NodeId i = 0; i < 40; ++i) {
+    for (NodeId j = 0; j < 40; ++j) g.add_edge(i, j, 1);
+  }
+  const Schedule s = solve_kpbs(g, 40, 5, Algorithm::kOGGP);
+  validate_schedule(g, s, 40);
+  // Delta = 40 steps suffice and are necessary for unit weights at k=40.
+  EXPECT_EQ(s.step_count(), 40u);
+  EXPECT_DOUBLE_EQ(evaluation_ratio(g, s, 40, 5), 1.0);
+}
+
+}  // namespace
+}  // namespace redist

@@ -1,0 +1,59 @@
+#include "kpbs/schedule_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "kpbs/solver.hpp"
+#include "workload/random_graphs.hpp"
+
+namespace redist {
+namespace {
+
+TEST(ScheduleIo, RoundTripSimple) {
+  Schedule s;
+  s.add_step(Step{{{0, 1, 5}, {2, 0, 3}}});
+  s.add_step(Step{{{1, 1, 7}}});
+  const Schedule r = schedule_from_string(schedule_to_string(s));
+  ASSERT_EQ(r.step_count(), 2u);
+  EXPECT_EQ(r.steps()[0].comms.size(), 2u);
+  EXPECT_EQ(r.steps()[0].comms[1].sender, 2);
+  EXPECT_EQ(r.steps()[1].comms[0].amount, 7);
+  EXPECT_EQ(r.cost(1), s.cost(1));
+}
+
+TEST(ScheduleIo, EmptySchedule) {
+  const Schedule r = schedule_from_string(schedule_to_string(Schedule{}));
+  EXPECT_EQ(r.step_count(), 0u);
+}
+
+TEST(ScheduleIo, MalformedHeader) {
+  std::istringstream is("not-a-schedule 2");
+  EXPECT_THROW(read_schedule(is), Error);
+}
+
+TEST(ScheduleIo, TruncatedBody) {
+  std::istringstream is("schedule 1\nstep 2\n0 0 1\n");
+  EXPECT_THROW(read_schedule(is), Error);
+}
+
+TEST(ScheduleIo, SolverOutputSurvivesRoundTrip) {
+  Rng rng(77);
+  RandomGraphConfig config;
+  config.max_left = 8;
+  config.max_right = 8;
+  config.max_edges = 20;
+  for (int trial = 0; trial < 10; ++trial) {
+    const BipartiteGraph g = random_bipartite(rng, config);
+    const Schedule s = solve_kpbs(g, 3, 1, Algorithm::kOGGP);
+    const Schedule r = schedule_from_string(schedule_to_string(s));
+    // The round-tripped schedule must still validate against the demand.
+    validate_schedule(g, r, 3);
+    ASSERT_EQ(r.cost(1), s.cost(1));
+    ASSERT_EQ(r.step_count(), s.step_count());
+  }
+}
+
+}  // namespace
+}  // namespace redist

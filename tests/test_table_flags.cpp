@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/flags.hpp"
+#include "common/table.hpp"
+
+namespace redist {
+namespace {
+
+TEST(Table, AlignedOutputContainsAllCells) {
+  Table t({"k", "ggp", "oggp"});
+  t.add_row({"1", "1.0000", "1.0000"});
+  t.add_row({"10", "1.1234", "1.0456"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("ggp"), std::string::npos);
+  EXPECT_NE(s.find("1.1234"), std::string::npos);
+  EXPECT_NE(s.find("10"), std::string::npos);
+}
+
+TEST(Table, RejectsWrongArity) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t({"name", "value"});
+  t.add_row({"with,comma", "with\"quote"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "name,value\n\"with,comma\",\"with\"\"quote\"\n");
+}
+
+TEST(Table, FmtHelpers) {
+  EXPECT_EQ(Table::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::fmt(static_cast<std::int64_t>(42)), "42");
+}
+
+Flags make_flags(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, ParsesEqualsAndSpaceForms) {
+  Flags f = make_flags({"--sims=100", "--seed", "7"});
+  EXPECT_EQ(f.get_int("sims", 0), 100);
+  EXPECT_EQ(f.get_int("seed", 0), 7);
+  f.check_unused();
+}
+
+TEST(Flags, DefaultsApplyWhenAbsent) {
+  Flags f = make_flags({});
+  EXPECT_EQ(f.get_int("sims", 123), 123);
+  EXPECT_DOUBLE_EQ(f.get_double("alpha", 0.5), 0.5);
+  EXPECT_EQ(f.get_string("out", "x"), "x");
+  EXPECT_TRUE(f.get_bool("verbose", true));
+}
+
+TEST(Flags, BareBooleanFlag) {
+  Flags f = make_flags({"--csv"});
+  EXPECT_TRUE(f.get_bool("csv", false));
+}
+
+TEST(Flags, UnknownFlagDetected) {
+  Flags f = make_flags({"--typo=1"});
+  EXPECT_THROW(f.check_unused(), Error);
+}
+
+TEST(Flags, MalformedValuesThrow) {
+  Flags f = make_flags({"--sims=abc"});
+  EXPECT_THROW(f.get_int("sims", 0), Error);
+  Flags g = make_flags({"--rate=1.2.3"});
+  EXPECT_THROW(g.get_double("rate", 0), Error);
+  Flags h = make_flags({"--flag=maybe"});
+  EXPECT_THROW(h.get_bool("flag", false), Error);
+}
+
+TEST(Flags, NonFlagArgumentRejected) {
+  std::vector<const char*> argv{"prog", "positional"};
+  EXPECT_THROW(Flags(2, argv.data()), Error);
+}
+
+}  // namespace
+}  // namespace redist

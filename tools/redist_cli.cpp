@@ -1,0 +1,232 @@
+// redist_cli — command-line front end for the redistribution scheduler.
+//
+// Subcommands (first argument):
+//   generate  --out=FILE [--seed=1] [--max-nodes=40] [--max-edges=400]
+//             [--min-weight=1] [--max-weight=20]
+//       Writes a random instance in the graph text format.
+//   solve     --in=FILE [--k=4] [--beta=1] [--algo=oggp|ggp|ggp-mw]
+//             [--out=FILE] [--quiet]
+//       Solves K-PBS, validates the result, prints schedule + stats, and
+//       optionally writes the schedule in the schedule text format.
+//   lb        --in=FILE [--k=4] [--beta=1]
+//       Prints the lower bound decomposition.
+//   simulate  --in=FILE [--k=4] [--beta=1] [--algo=oggp]
+//             [--t=12500000] [--backbone=1e8]
+//       Solves and executes the schedule on the fluid platform model,
+//       comparing against the brute-force baseline.
+//   analyze   --in=FILE [--k=4] [--beta=1] [--algo=oggp]
+//       Prints schedule analytics (width, waste, utilization, preemption).
+//   gantt     --in=FILE --out=FILE.svg [--k=4] [--beta=1] [--algo=oggp]
+//             [--async]
+//       Renders the schedule (or its barrier-relaxed variant) as SVG.
+//
+// Graphs use the text format of graph/graphio.hpp; schedules the format of
+// kpbs/schedule_io.hpp.
+#include <fstream>
+#include <iostream>
+
+#include "redist.hpp"
+
+namespace {
+
+using namespace redist;
+
+Algorithm parse_algo(const std::string& name) {
+  if (name == "ggp") return Algorithm::kGGP;
+  if (name == "oggp") return Algorithm::kOGGP;
+  if (name == "ggp-mw") return Algorithm::kGGPMaxWeight;
+  throw Error("unknown algorithm '" + name + "' (ggp | oggp | ggp-mw)");
+}
+
+BipartiteGraph load_graph(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open graph file: " + path);
+  return read_graph(in);
+}
+
+int cmd_generate(Flags& flags) {
+  const std::string out = flags.get_string("out", "");
+  if (out.empty()) throw Error("generate requires --out=FILE");
+  Rng rng(static_cast<std::uint64_t>(flags.get_int("seed", 1)));
+  RandomGraphConfig config;
+  config.max_left = static_cast<NodeId>(flags.get_int("max-nodes", 40));
+  config.max_right = config.max_left;
+  config.max_edges = static_cast<int>(flags.get_int("max-edges", 400));
+  config.min_weight = flags.get_int("min-weight", 1);
+  config.max_weight = flags.get_int("max-weight", 20);
+  flags.check_unused();
+  const BipartiteGraph g = random_bipartite(rng, config);
+  std::ofstream os(out);
+  if (!os) throw Error("cannot write: " + out);
+  write_graph(os, g);
+  std::cout << "wrote " << g.left_count() << "x" << g.right_count()
+            << " graph with " << g.alive_edge_count() << " edges to " << out
+            << '\n';
+  return 0;
+}
+
+int cmd_solve(Flags& flags) {
+  const std::string in = flags.get_string("in", "");
+  if (in.empty()) throw Error("solve requires --in=FILE");
+  const int k = static_cast<int>(flags.get_int("k", 4));
+  const Weight beta = flags.get_int("beta", 1);
+  const Algorithm algo = parse_algo(flags.get_string("algo", "oggp"));
+  const std::string out = flags.get_string("out", "");
+  const bool quiet = flags.get_bool("quiet", false);
+  flags.check_unused();
+
+  const BipartiteGraph g = load_graph(in);
+  const Schedule s = solve_kpbs(g, k, beta, algo);
+  validate_schedule(g, s, clamp_k(g, k));
+  const LowerBound lb = kpbs_lower_bound(g, k, beta);
+
+  if (!quiet) std::cout << s.to_string();
+  std::cout << algorithm_name(algo) << ": " << s.step_count()
+            << " steps, cost " << s.cost(beta) << ", lower bound "
+            << lb.value().to_double() << ", ratio "
+            << Table::fmt(evaluation_ratio(g, s, k, beta), 4) << '\n';
+  if (!out.empty()) {
+    std::ofstream os(out);
+    if (!os) throw Error("cannot write: " + out);
+    write_schedule(os, s);
+    std::cout << "schedule written to " << out << '\n';
+  }
+  return 0;
+}
+
+int cmd_lb(Flags& flags) {
+  const std::string in = flags.get_string("in", "");
+  if (in.empty()) throw Error("lb requires --in=FILE");
+  const int k = static_cast<int>(flags.get_int("k", 4));
+  const Weight beta = flags.get_int("beta", 1);
+  flags.check_unused();
+  const BipartiteGraph g = load_graph(in);
+  const LowerBound lb = kpbs_lower_bound(g, k, beta);
+  std::cout << "graph: " << g.left_count() << "x" << g.right_count() << ", "
+            << g.alive_edge_count() << " edges, P(G)=" << g.total_weight()
+            << ", W(G)=" << g.max_node_weight() << ", Delta="
+            << g.max_degree() << '\n';
+  std::cout << "lower bound = beta*" << lb.min_steps << " + "
+            << lb.min_transmission << " = " << lb.value() << " ("
+            << lb.value().to_double() << ")\n";
+  return 0;
+}
+
+int cmd_simulate(Flags& flags) {
+  const std::string in = flags.get_string("in", "");
+  if (in.empty()) throw Error("simulate requires --in=FILE");
+  const int k = static_cast<int>(flags.get_int("k", 4));
+  const Weight beta = flags.get_int("beta", 1);
+  const Algorithm algo = parse_algo(flags.get_string("algo", "oggp"));
+  const double card = flags.get_double("t", 12'500'000.0 / k);
+  const double backbone = flags.get_double("backbone", 12'500'000.0);
+  flags.check_unused();
+
+  const BipartiteGraph g = load_graph(in);
+  // Interpret weights as "bytes / card speed" seconds worth of data.
+  const double bytes_per_unit = card;
+  TrafficMatrix traffic(g.left_count(), g.right_count());
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    if (!g.alive(e)) continue;
+    const Edge& edge = g.edge(e);
+    traffic.add(edge.left, edge.right,
+                static_cast<Bytes>(static_cast<double>(edge.weight) *
+                                   bytes_per_unit));
+  }
+  Platform p;
+  p.n1 = g.left_count();
+  p.n2 = g.right_count();
+  p.t1_bps = card;
+  p.t2_bps = card;
+  p.backbone_bps = backbone;
+  p.beta_seconds = 0.01;
+  FluidOptions tcp;
+  tcp.congestion_alpha = 0.08;
+  tcp.unfairness_stddev = 0.8;
+  tcp.jitter_stddev = 0.03;
+
+  const ExecutionResult brute = simulate_bruteforce(p, traffic, tcp);
+  const Schedule s = solve_kpbs(g, k, beta, algo);
+  const ExecutionResult run =
+      execute_schedule(p, traffic, s, bytes_per_unit, tcp);
+  std::cout << "brute force: " << Table::fmt(brute.total_seconds, 2)
+            << " s\n"
+            << algorithm_name(algo) << ":        "
+            << Table::fmt(run.total_seconds, 2) << " s (" << run.steps
+            << " steps)\n";
+  return 0;
+}
+
+int cmd_analyze(Flags& flags) {
+  const std::string in = flags.get_string("in", "");
+  if (in.empty()) throw Error("analyze requires --in=FILE");
+  const int k = static_cast<int>(flags.get_int("k", 4));
+  const Weight beta = flags.get_int("beta", 1);
+  const Algorithm algo = parse_algo(flags.get_string("algo", "oggp"));
+  flags.check_unused();
+  const BipartiteGraph g = load_graph(in);
+  const Schedule s = solve_kpbs(g, k, beta, algo);
+  std::cout << algorithm_name(algo) << ": "
+            << analyze_schedule(g, s, k).to_string() << '\n';
+  const int k_eff = clamp_k(g, k);
+  const AsyncSchedule relaxed = relax_barriers(s, k_eff, beta);
+  std::cout << "barrier-relaxed makespan: " << relaxed.makespan << " (vs "
+            << s.cost(beta) << " stepped)\n";
+  return 0;
+}
+
+int cmd_gantt(Flags& flags) {
+  const std::string in = flags.get_string("in", "");
+  const std::string out = flags.get_string("out", "");
+  if (in.empty() || out.empty()) {
+    throw Error("gantt requires --in=FILE and --out=FILE.svg");
+  }
+  const int k = static_cast<int>(flags.get_int("k", 4));
+  const Weight beta = flags.get_int("beta", 1);
+  const Algorithm algo = parse_algo(flags.get_string("algo", "oggp"));
+  const bool as_async = flags.get_bool("async", false);
+  flags.check_unused();
+  const BipartiteGraph g = load_graph(in);
+  const Schedule s = solve_kpbs(g, k, beta, algo);
+  GanttOptions options;
+  options.beta = beta;
+  options.title = algorithm_name(algo) + (as_async ? " (relaxed)" : "") +
+                  ", k=" + std::to_string(clamp_k(g, k));
+  std::string svg;
+  if (as_async) {
+    svg = async_to_svg(relax_barriers(s, clamp_k(g, k), beta),
+                       g.left_count(), options);
+  } else {
+    svg = schedule_to_svg(s, g.left_count(), options);
+  }
+  std::ofstream os(out);
+  if (!os) throw Error("cannot write: " + out);
+  os << svg;
+  std::cout << "wrote " << out << " (" << svg.size() << " bytes)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc < 2) {
+      std::cerr << "usage: redist_cli <generate|solve|lb|simulate> "
+                   "[--flags...]\n(see the file header for details)\n";
+      return 2;
+    }
+    const std::string cmd = argv[1];
+    Flags flags(argc - 1, argv + 1);
+    if (cmd == "generate") return cmd_generate(flags);
+    if (cmd == "solve") return cmd_solve(flags);
+    if (cmd == "lb") return cmd_lb(flags);
+    if (cmd == "simulate") return cmd_simulate(flags);
+    if (cmd == "analyze") return cmd_analyze(flags);
+    if (cmd == "gantt") return cmd_gantt(flags);
+    std::cerr << "unknown subcommand: " << cmd << '\n';
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
