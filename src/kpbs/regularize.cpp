@@ -4,6 +4,10 @@
 
 #include "common/math.hpp"
 
+#ifdef REDIST_VALIDATE
+#include "validate/graph_validator.hpp"
+#endif
+
 namespace redist {
 
 int clamp_k(const BipartiteGraph& g, int k) {
@@ -14,6 +18,13 @@ int clamp_k(const BipartiteGraph& g, int k) {
 Regularized regularize(const BipartiteGraph& g, int k) {
   REDIST_CHECK_MSG(!g.empty(), "cannot regularize an empty graph");
   k = clamp_k(g, k);
+
+#ifdef REDIST_VALIDATE
+  // The construction below reads the input's cached aggregates (node
+  // weights, P, W); audit them against a recount before relying on them.
+  GraphValidator::validate(g).throw_if_failed(
+      "regularize() given an inconsistent graph");
+#endif
 
   const Weight p = g.total_weight();
   const Weight w_max = g.max_node_weight();
@@ -111,6 +122,14 @@ Regularized regularize(const BipartiteGraph& g, int k) {
                    "regularization produced a non-regular graph");
   REDIST_CHECK(out.origin.size() ==
                static_cast<std::size_t>(out.graph.edge_count()));
+
+#ifdef REDIST_VALIDATE
+  // Full contract audit: c-regular equal sides, original + filler weight
+  // exactly c*k, faithful and complete origin mapping, no dummy-dummy or
+  // original-original synthetic edges.
+  GraphValidator::validate_regularized(g, out).throw_if_failed(
+      "regularize() broke its output contract");
+#endif
   return out;
 }
 

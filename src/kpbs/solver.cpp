@@ -8,6 +8,10 @@
 #include "kpbs/wrgp.hpp"
 #include "matching/hungarian.hpp"
 
+#ifdef REDIST_VALIDATE
+#include "validate/schedule_validator.hpp"
+#endif
+
 namespace redist {
 
 std::string algorithm_name(Algorithm a) {
@@ -83,6 +87,19 @@ Schedule solve_kpbs(const BipartiteGraph& demand, int k, Weight beta,
     if (!step.comms.empty()) schedule.add_step(std::move(step));
   }
   for (Weight r : remaining) REDIST_CHECK(r == 0);
+
+#ifdef REDIST_VALIDATE
+  // Self-audit: the emitted schedule must satisfy every invariant of the
+  // paper, including the 2-approximation bound (Theorem 1 holds for any
+  // perfect-matching strategy, so all three Algorithm variants qualify).
+  ScheduleValidatorOptions audit;
+  audit.k = k;
+  audit.beta = beta;
+  audit.check_approximation_bound = true;
+  ScheduleValidator(audit)
+      .validate(demand, schedule)
+      .throw_if_failed("solve_kpbs emitted an invalid schedule");
+#endif
   return schedule;
 }
 

@@ -3,6 +3,10 @@
 #include "matching/bottleneck.hpp"
 #include "matching/hopcroft_karp.hpp"
 
+#ifdef REDIST_VALIDATE
+#include "validate/graph_validator.hpp"
+#endif
+
 namespace redist {
 
 Matching arbitrary_perfect_matching(const BipartiteGraph& g) {
@@ -37,6 +41,15 @@ std::vector<PeelStep> wrgp_peel(BipartiteGraph& g,
     REDIST_CHECK(w > 0);
     for (EdgeId e : m.edges) g.decrease_weight(e, w);
     steps.push_back(PeelStep{std::move(m), w});
+
+#ifdef REDIST_VALIDATE
+    // Peeling a uniform amount off a perfect matching must preserve
+    // weight-regularity (the induction that keeps Hall's condition alive);
+    // the residual regular weight drops by exactly w per step.
+    c -= w;
+    GraphValidator::validate_weight_regular(g, c)
+        .throw_if_failed("WRGP residual lost weight-regularity");
+#endif
   }
   return steps;
 }

@@ -35,6 +35,10 @@
 #include "kpbs/solver.hpp"
 #include "kpbs/wrgp.hpp"
 
+#include "validate/graph_validator.hpp"
+#include "validate/schedule_validator.hpp"
+#include "validate/validation_report.hpp"
+
 #include "baselines/exact.hpp"
 #include "baselines/list_scheduling.hpp"
 #include "baselines/local_search.hpp"

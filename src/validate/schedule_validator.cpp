@@ -1,0 +1,163 @@
+#include "validate/schedule_validator.hpp"
+
+#include <map>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rational.hpp"
+#include "kpbs/lower_bound.hpp"
+
+namespace redist {
+
+ScheduleValidator::ScheduleValidator(ScheduleValidatorOptions options)
+    : options_(options) {
+  REDIST_CHECK_MSG(options_.k >= 1, "validator needs k >= 1");
+  REDIST_CHECK_MSG(options_.beta >= 0, "negative beta");
+}
+
+ValidationReport ScheduleValidator::check_steps(
+    const BipartiteGraph& demand, const Schedule& schedule) const {
+  ValidationReport report;
+  std::vector<char> sender_used(static_cast<std::size_t>(demand.left_count()));
+  std::vector<char> receiver_used(
+      static_cast<std::size_t>(demand.right_count()));
+  for (std::size_t i = 0; i < schedule.steps().size(); ++i) {
+    const Step& step = schedule.steps()[i];
+    if (static_cast<int>(step.comms.size()) > options_.k) {
+      std::ostringstream os;
+      os << "step " << i << " has " << step.comms.size()
+         << " communications > k=" << options_.k;
+      report.add(InvariantKind::kStepWidth, os.str());
+    }
+    sender_used.assign(sender_used.size(), 0);
+    receiver_used.assign(receiver_used.size(), 0);
+    for (const Communication& c : step.comms) {
+      std::ostringstream os;
+      if (c.sender < 0 || c.sender >= demand.left_count() || c.receiver < 0 ||
+          c.receiver >= demand.right_count()) {
+        os << "step " << i << ": endpoints out of range (" << c.sender << "->"
+           << c.receiver << ")";
+        report.add(InvariantKind::kMatching, os.str());
+        continue;  // cannot index the used[] arrays with these ids
+      }
+      if (c.amount <= 0) {
+        os << "step " << i << ": non-positive amount " << c.amount << " on "
+           << c.sender << "->" << c.receiver;
+        report.add(InvariantKind::kMatching, os.str());
+        os.str("");
+      }
+      if (sender_used[static_cast<std::size_t>(c.sender)] != 0) {
+        os << "step " << i << ": sender " << c.sender
+           << " appears twice (1-port violation)";
+        report.add(InvariantKind::kMatching, os.str());
+        os.str("");
+      }
+      if (receiver_used[static_cast<std::size_t>(c.receiver)] != 0) {
+        os << "step " << i << ": receiver " << c.receiver
+           << " appears twice (1-port violation)";
+        report.add(InvariantKind::kMatching, os.str());
+        os.str("");
+      }
+      sender_used[static_cast<std::size_t>(c.sender)] = 1;
+      receiver_used[static_cast<std::size_t>(c.receiver)] = 1;
+    }
+  }
+  return report;
+}
+
+ValidationReport ScheduleValidator::check_coverage(
+    const BipartiteGraph& demand, const Schedule& schedule) const {
+  ValidationReport report;
+  std::map<std::pair<NodeId, NodeId>, Weight> required;
+  for (EdgeId e = 0; e < demand.edge_count(); ++e) {
+    const Edge& edge = demand.edge(e);
+    if (edge.weight > 0) required[{edge.left, edge.right}] += edge.weight;
+  }
+  std::map<std::pair<NodeId, NodeId>, Weight> delivered;
+  for (const Step& step : schedule.steps()) {
+    for (const Communication& c : step.comms) {
+      delivered[{c.sender, c.receiver}] += c.amount;
+    }
+  }
+  for (const auto& [pair, want] : required) {
+    const auto it = delivered.find(pair);
+    const Weight got = (it == delivered.end()) ? 0 : it->second;
+    if (got != want) {
+      std::ostringstream os;
+      os << "pair " << pair.first << "->" << pair.second << " transferred "
+         << got << " of demanded " << want
+         << (got < want ? " (under-transfer)" : " (over-transfer)");
+      report.add(InvariantKind::kCoverage, os.str());
+    }
+  }
+  for (const auto& [pair, got] : delivered) {
+    if (required.count(pair) == 0) {
+      std::ostringstream os;
+      os << "pair " << pair.first << "->" << pair.second << " transferred "
+         << got << " but has no demand";
+      report.add(InvariantKind::kCoverage, os.str());
+    }
+  }
+  return report;
+}
+
+ValidationReport ScheduleValidator::check_makespan(
+    const Schedule& schedule) const {
+  ValidationReport report;
+  // Recompute sum_i (beta + W(M_i)) from the raw communications instead of
+  // trusting Step::duration()/Schedule::cost().
+  Weight recomputed = 0;
+  for (const Step& step : schedule.steps()) {
+    Weight longest = 0;
+    for (const Communication& c : step.comms) {
+      if (c.amount > longest) longest = c.amount;
+    }
+    recomputed += options_.beta + longest;
+  }
+  const Weight reported_by_schedule = schedule.cost(options_.beta);
+  if (reported_by_schedule != recomputed) {
+    std::ostringstream os;
+    os << "Schedule::cost reports " << reported_by_schedule
+       << " but sum_i(beta + W(M_i)) = " << recomputed;
+    report.add(InvariantKind::kMakespan, os.str());
+  }
+  if (options_.reported_makespan >= 0 &&
+      options_.reported_makespan != recomputed) {
+    std::ostringstream os;
+    os << "reported makespan " << options_.reported_makespan
+       << " != sum_i(beta + W(M_i)) = " << recomputed;
+    report.add(InvariantKind::kMakespan, os.str());
+  }
+  return report;
+}
+
+ValidationReport ScheduleValidator::check_approximation(
+    const BipartiteGraph& demand, const Schedule& schedule) const {
+  ValidationReport report;
+  const LowerBound lb = kpbs_lower_bound(demand, options_.k, options_.beta);
+  const Rational bound = Rational(2) * lb.value();
+  const Rational cost(schedule.cost(options_.beta));
+  if (cost > bound) {
+    std::ostringstream os;
+    os << "cost " << schedule.cost(options_.beta)
+       << " exceeds 2x lower bound = " << bound.to_string()
+       << " (lb = " << lb.value().to_string() << ")";
+    report.add(InvariantKind::kApproximation, os.str());
+  }
+  return report;
+}
+
+ValidationReport ScheduleValidator::validate(const BipartiteGraph& demand,
+                                             const Schedule& schedule) const {
+  ValidationReport report = check_steps(demand, schedule);
+  report.merge(check_coverage(demand, schedule));
+  report.merge(check_makespan(schedule));
+  if (options_.check_approximation_bound) {
+    report.merge(check_approximation(demand, schedule));
+  }
+  return report;
+}
+
+}  // namespace redist

@@ -1,0 +1,60 @@
+// ScheduleValidator — makes every K-PBS schedule self-auditing.
+//
+// The paper's guarantees are all mechanically checkable, and this class
+// checks them against the *source* communication graph rather than
+// trusting anything the schedule reports about itself:
+//  (1) every step is a valid matching: in-range endpoints, positive
+//      amounts, and no sender or receiver used twice (1-port model);
+//  (2) every step carries at most k communications;
+//  (3) the preempted pieces of every (sender, receiver) pair sum exactly
+//      to the demanded weight — full coverage, no over-transfer;
+//  (4) the makespan is sum_i (beta + W(M_i)), recomputed from the raw
+//      communications, and matches any externally reported value;
+//  (5) optionally, cost <= 2 * lower_bound (Theorem: GGP and OGGP are
+//      2-approximations), compared in exact rational arithmetic.
+//
+// All violated invariants are collected, not just the first.
+#pragma once
+
+#include "graph/bipartite_graph.hpp"
+#include "kpbs/schedule.hpp"
+#include "validate/validation_report.hpp"
+
+namespace redist {
+
+struct ScheduleValidatorOptions {
+  int k = 1;          ///< port budget; steps may not exceed it
+  Weight beta = 0;    ///< per-step setup cost (>= 0)
+  /// When >= 0, invariant (4) additionally requires the schedule's cost to
+  /// equal this externally reported makespan.
+  Weight reported_makespan = -1;
+  /// Check invariant (5): cost <= 2 * kpbs_lower_bound(demand, k, beta).
+  /// Sound for GGP/OGGP output; baselines may legitimately exceed 2x.
+  bool check_approximation_bound = false;
+};
+
+class ScheduleValidator {
+ public:
+  explicit ScheduleValidator(ScheduleValidatorOptions options);
+
+  /// Runs every enabled check of `schedule` against `demand`.
+  ValidationReport validate(const BipartiteGraph& demand,
+                            const Schedule& schedule) const;
+
+  // Individual invariants, exposed so tests can target one at a time.
+  // Steps/width/makespan need no demand graph; coverage and the bound do.
+  ValidationReport check_steps(const BipartiteGraph& demand,
+                               const Schedule& schedule) const;
+  ValidationReport check_coverage(const BipartiteGraph& demand,
+                                  const Schedule& schedule) const;
+  ValidationReport check_makespan(const Schedule& schedule) const;
+  ValidationReport check_approximation(const BipartiteGraph& demand,
+                                       const Schedule& schedule) const;
+
+  const ScheduleValidatorOptions& options() const { return options_; }
+
+ private:
+  ScheduleValidatorOptions options_;
+};
+
+}  // namespace redist

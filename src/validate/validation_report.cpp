@@ -1,0 +1,56 @@
+#include "validate/validation_report.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace redist {
+
+const char* invariant_kind_name(InvariantKind kind) {
+  switch (kind) {
+    case InvariantKind::kMatching:
+      return "matching";
+    case InvariantKind::kStepWidth:
+      return "step-width";
+    case InvariantKind::kCoverage:
+      return "coverage";
+    case InvariantKind::kMakespan:
+      return "makespan";
+    case InvariantKind::kApproximation:
+      return "approximation";
+    case InvariantKind::kGraphConsistency:
+      return "graph-consistency";
+    case InvariantKind::kRegularity:
+      return "regularity";
+  }
+  return "?";
+}
+
+void ValidationReport::merge(const ValidationReport& other) {
+  violations_.insert(violations_.end(), other.violations_.begin(),
+                     other.violations_.end());
+}
+
+bool ValidationReport::has(InvariantKind kind) const {
+  return std::any_of(violations_.begin(), violations_.end(),
+                     [kind](const Violation& v) { return v.kind == kind; });
+}
+
+std::string ValidationReport::to_string() const {
+  if (ok()) return "ok";
+  std::ostringstream os;
+  for (std::size_t i = 0; i < violations_.size(); ++i) {
+    if (i > 0) os << '\n';
+    os << '[' << invariant_kind_name(violations_[i].kind) << "] "
+       << violations_[i].message;
+  }
+  return os.str();
+}
+
+void ValidationReport::throw_if_failed(const std::string& context) const {
+  if (ok()) return;
+  throw Error(context + ": " + to_string());
+}
+
+}  // namespace redist

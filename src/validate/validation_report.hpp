@@ -1,0 +1,59 @@
+// Validation reports: the common currency of the validator subsystem.
+//
+// Validators never throw on bad *input* — they collect every violated
+// invariant into a ValidationReport so callers (the CLI `verify`
+// subcommand, tests, the REDIST_VALIDATE seams) can decide whether to
+// print, assert or abort. `throw_if_failed()` converts a failed report
+// into the library's usual redist::Error.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace redist {
+
+/// The checkable invariants of the paper, plus the structural graph
+/// invariants the transforms rely on.
+enum class InvariantKind {
+  kMatching,          ///< a step shares an endpoint or has malformed comms
+  kStepWidth,         ///< a step carries more than k communications
+  kCoverage,          ///< transferred totals differ from the demanded ones
+  kMakespan,          ///< reported makespan != sum_i (beta + W(M_i))
+  kApproximation,     ///< cost exceeds 2x the K-PBS lower bound
+  kGraphConsistency,  ///< graph aggregates disagree with a recount
+  kRegularity,        ///< weight-regularity / regularization contract broken
+};
+
+const char* invariant_kind_name(InvariantKind kind);
+
+/// One violated invariant with a human-readable explanation.
+struct Violation {
+  InvariantKind kind;
+  std::string message;
+};
+
+/// Accumulates violations; empty means every checked invariant holds.
+class ValidationReport {
+ public:
+  void add(InvariantKind kind, std::string message) {
+    violations_.push_back(Violation{kind, std::move(message)});
+  }
+  /// Merges another report's violations into this one.
+  void merge(const ValidationReport& other);
+
+  bool ok() const { return violations_.empty(); }
+  const std::vector<Violation>& violations() const { return violations_; }
+  bool has(InvariantKind kind) const;
+
+  /// One line per violation, prefixed with the invariant name; "ok" when
+  /// the report is clean.
+  std::string to_string() const;
+
+  /// Throws redist::Error("<context>: <report>") unless ok().
+  void throw_if_failed(const std::string& context) const;
+
+ private:
+  std::vector<Violation> violations_;
+};
+
+}  // namespace redist

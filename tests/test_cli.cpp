@@ -95,6 +95,52 @@ TEST(Cli, GenerateSolveAnalyzeGanttPipeline) {
   EXPECT_NE(rendered.find("</svg>"), std::string::npos);
 }
 
+TEST(Cli, VerifyAcceptsSolverOutput) {
+  const std::string graph = temp_dir() + "/verify_g.txt";
+  const std::string sched = temp_dir() + "/verify_s.txt";
+  ASSERT_EQ(run_cli("generate --out=" + graph +
+                    " --seed=7 --max-nodes=8 --max-edges=20")
+                .status,
+            0);
+  ASSERT_EQ(run_cli("solve --in=" + graph + " --k=3 --beta=1 --out=" + sched +
+                    " --quiet")
+                .status,
+            0);
+  const CommandResult ok =
+      run_cli("verify --in=" + graph + " --schedule=" + sched +
+              " --k=3 --beta=1 --bound");
+  EXPECT_EQ(ok.status, 0) << ok.output;
+  EXPECT_NE(ok.output.find("VALID"), std::string::npos);
+}
+
+TEST(Cli, VerifyRejectsTamperedSchedule) {
+  const std::string graph = temp_dir() + "/tamper_g.txt";
+  const std::string sched = temp_dir() + "/tamper_s.txt";
+  ASSERT_EQ(run_cli("generate --out=" + graph +
+                    " --seed=7 --max-nodes=8 --max-edges=20")
+                .status,
+            0);
+  ASSERT_EQ(run_cli("solve --in=" + graph + " --k=3 --beta=1 --out=" + sched +
+                    " --quiet")
+                .status,
+            0);
+  // Inflate the last communication's amount: the pair now over-transfers.
+  std::string text = slurp(sched);
+  const std::size_t cut = text.find_last_not_of(" \n");
+  ASSERT_NE(cut, std::string::npos);
+  const std::size_t digits = text.find_last_not_of("0123456789", cut);
+  ASSERT_NE(digits, std::string::npos);
+  const long long amount = std::stoll(text.substr(digits + 1, cut - digits));
+  text = text.substr(0, digits + 1) + std::to_string(amount + 1) + "\n";
+  std::ofstream(sched) << text;
+
+  const CommandResult bad = run_cli("verify --in=" + graph +
+                                    " --schedule=" + sched + " --k=3 --beta=1");
+  EXPECT_NE(bad.status, 0);
+  EXPECT_NE(bad.output.find("INVALID"), std::string::npos) << bad.output;
+  EXPECT_NE(bad.output.find("coverage"), std::string::npos) << bad.output;
+}
+
 TEST(Cli, SimulateReportsBothModes) {
   const std::string graph = temp_dir() + "/sim.txt";
   ASSERT_EQ(run_cli("generate --out=" + graph +

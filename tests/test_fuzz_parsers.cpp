@@ -75,6 +75,101 @@ TEST_P(ParserFuzz, ScheduleParserNeverCrashes) {
   }
 }
 
+// Round-trip property: for any schedule the solvers can produce,
+// parse(serialize(s)) must serialize back to the identical byte sequence,
+// and the parsed schedule must agree with the original on every observable
+// (steps, comms, cost). Serialization must never lose or reorder pieces.
+TEST_P(ParserFuzz, ScheduleRoundTripIsIdentity) {
+  Rng rng(GetParam() ^ 0xD00D);
+  RandomGraphConfig config;
+  config.max_left = 10;
+  config.max_right = 10;
+  config.max_edges = 30;
+  for (int trial = 0; trial < 100; ++trial) {
+    const BipartiteGraph g = random_bipartite(rng, config);
+    const int k = static_cast<int>(rng.uniform_int(1, 5));
+    const Weight beta = rng.uniform_int(0, 3);
+    const Schedule s = solve_kpbs(g, k, beta, Algorithm::kOGGP);
+
+    const std::string text = schedule_to_string(s);
+    const Schedule parsed = schedule_from_string(text);
+    ASSERT_EQ(schedule_to_string(parsed), text);  // serialize∘parse fixpoint
+    ASSERT_EQ(parsed.step_count(), s.step_count());
+    ASSERT_EQ(parsed.cost(beta), s.cost(beta));
+    ASSERT_EQ(parsed.total_amount(), s.total_amount());
+    for (std::size_t i = 0; i < s.steps().size(); ++i) {
+      const auto& want = s.steps()[i].comms;
+      const auto& got = parsed.steps()[i].comms;
+      ASSERT_EQ(got.size(), want.size());
+      for (std::size_t c = 0; c < want.size(); ++c) {
+        ASSERT_EQ(got[c].sender, want[c].sender);
+        ASSERT_EQ(got[c].receiver, want[c].receiver);
+        ASSERT_EQ(got[c].amount, want[c].amount);
+      }
+    }
+  }
+}
+
+// Second fixpoint application: parse(serialize(parse(serialize(s)))) adds
+// nothing new — guards against serializers that "fix up" their input.
+TEST_P(ParserFuzz, ScheduleDoubleRoundTripIsStable) {
+  Rng rng(GetParam() ^ 0xBEEF);
+  RandomGraphConfig config;
+  config.max_left = 8;
+  config.max_right = 8;
+  config.max_edges = 16;
+  for (int trial = 0; trial < 50; ++trial) {
+    const BipartiteGraph g = random_bipartite(rng, config);
+    const Schedule s = solve_kpbs(g, 3, 1, Algorithm::kGGP);
+    const std::string once = schedule_to_string(schedule_from_string(
+        schedule_to_string(s)));
+    const std::string twice = schedule_to_string(schedule_from_string(once));
+    ASSERT_EQ(once, twice);
+  }
+}
+
+// Graph parser round-trip, for symmetry: the graph format is the other
+// half of the redist_cli verify pipeline.
+TEST_P(ParserFuzz, GraphRoundTripIsIdentity) {
+  Rng rng(GetParam() ^ 0xCAFE);
+  RandomGraphConfig config;
+  config.max_left = 10;
+  config.max_right = 10;
+  config.max_edges = 30;
+  for (int trial = 0; trial < 100; ++trial) {
+    const BipartiteGraph g = random_bipartite(rng, config);
+    const std::string text = graph_to_string(g);
+    const BipartiteGraph parsed = graph_from_string(text);
+    ASSERT_EQ(graph_to_string(parsed), text);
+    ASSERT_EQ(parsed.left_count(), g.left_count());
+    ASSERT_EQ(parsed.right_count(), g.right_count());
+    ASSERT_EQ(parsed.total_weight(), g.total_weight());
+    ASSERT_EQ(parsed.alive_edge_count(), g.alive_edge_count());
+  }
+}
+
+// Malformed schedule inputs must throw redist::Error (and only that), so
+// a corrupted schedule file can never crash an executor that loads it.
+TEST(ParserFuzz, MalformedSchedulesThrowError) {
+  const char* cases[] = {
+      "",                                // empty
+      "schedule",                        // missing count
+      "schedule -1",                     // negative count
+      "schedule 1",                      // missing step
+      "schedule 1\nstep",                // missing comm count
+      "schedule 1\nstep 2\n0 0 5",       // truncated comm list
+      "schedule 1\nstep 1\n0 0",         // truncated communication
+      "schedule 1\nstep 1\n0 0 x",       // non-numeric amount
+      "schedule 1\nstep 99999999999999", // absurd comm count
+      "schedule 99999999999999",         // absurd step count
+      "sched 1\nstep 0",                 // wrong header tag
+      "schedule 1\nstap 0",              // wrong step tag
+  };
+  for (const char* text : cases) {
+    EXPECT_THROW(schedule_from_string(text), Error) << "input: " << text;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz,
                          ::testing::Values(1001, 2002, 3003, 4004));
 

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Check-only formatting gate: exits non-zero if any C++ file under src/,
+# tests/, tools/, bench/ or examples/ deviates from .clang-format.
+# Set CLANG_FORMAT to pick a specific binary (e.g. clang-format-18).
+set -u
+
+cd "$(dirname "$0")/.." || exit 1
+
+CLANG_FORMAT="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
+  echo "error: $CLANG_FORMAT not found; install clang-format or set CLANG_FORMAT" >&2
+  exit 127
+fi
+
+mapfile -t files < <(find src tests tools bench examples \
+  -name '*.cpp' -o -name '*.hpp' | sort)
+if [ "${#files[@]}" -eq 0 ]; then
+  echo "error: no C++ sources found (run from the repo root)" >&2
+  exit 1
+fi
+
+status=0
+for f in "${files[@]}"; do
+  if ! "$CLANG_FORMAT" --dry-run --Werror "$f" >/dev/null 2>&1; then
+    echo "needs formatting: $f"
+    status=1
+  fi
+done
+
+if [ "$status" -ne 0 ]; then
+  echo "run: $CLANG_FORMAT -i <file> (style: .clang-format)" >&2
+else
+  echo "all ${#files[@]} files formatted"
+fi
+exit "$status"

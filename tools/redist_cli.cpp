@@ -19,6 +19,12 @@
 //   gantt     --in=FILE --out=FILE.svg [--k=4] [--beta=1] [--algo=oggp]
 //             [--async]
 //       Renders the schedule (or its barrier-relaxed variant) as SVG.
+//   verify    --in=FILE --schedule=FILE [--k=4] [--beta=1] [--makespan=M]
+//             [--bound]
+//       Validates a schedule file against its source graph: 1-port
+//       matchings, step width <= k, exact coverage of the demanded
+//       weights, makespan consistency (against --makespan when given) and,
+//       with --bound, the 2x lower-bound guarantee. Exits 0 iff valid.
 //
 // Graphs use the text format of graph/graphio.hpp; schedules the format of
 // kpbs/schedule_io.hpp.
@@ -175,6 +181,43 @@ int cmd_analyze(Flags& flags) {
   return 0;
 }
 
+int cmd_verify(Flags& flags) {
+  const std::string in = flags.get_string("in", "");
+  const std::string sched_path = flags.get_string("schedule", "");
+  if (in.empty() || sched_path.empty()) {
+    throw Error("verify requires --in=GRAPH and --schedule=FILE");
+  }
+  const int k = static_cast<int>(flags.get_int("k", 4));
+  const Weight beta = flags.get_int("beta", 1);
+  const Weight makespan = flags.get_int("makespan", -1);
+  const bool bound = flags.get_bool("bound", false);
+  flags.check_unused();
+
+  const BipartiteGraph g = load_graph(in);
+  std::ifstream is(sched_path);
+  if (!is) throw Error("cannot open schedule file: " + sched_path);
+  const Schedule s = read_schedule(is);
+
+  ScheduleValidatorOptions options;
+  options.k = clamp_k(g, k);
+  options.beta = beta;
+  options.reported_makespan = makespan;
+  options.check_approximation_bound = bound;
+  const ValidationReport report = ScheduleValidator(options).validate(g, s);
+
+  std::cout << "schedule: " << s.step_count() << " steps, cost "
+            << s.cost(beta) << " (k=" << options.k << ", beta=" << beta
+            << ")\n";
+  if (report.ok()) {
+    std::cout << "VALID: all invariants hold"
+              << (bound ? " (incl. 2x lower-bound)" : "") << '\n';
+    return 0;
+  }
+  std::cout << report.to_string() << '\n';
+  std::cout << "INVALID: " << report.violations().size() << " violation(s)\n";
+  return 1;
+}
+
 int cmd_gantt(Flags& flags) {
   const std::string in = flags.get_string("in", "");
   const std::string out = flags.get_string("out", "");
@@ -211,7 +254,8 @@ int cmd_gantt(Flags& flags) {
 int main(int argc, char** argv) {
   try {
     if (argc < 2) {
-      std::cerr << "usage: redist_cli <generate|solve|lb|simulate> "
+      std::cerr << "usage: redist_cli "
+                   "<generate|solve|lb|simulate|analyze|gantt|verify> "
                    "[--flags...]\n(see the file header for details)\n";
       return 2;
     }
@@ -223,6 +267,7 @@ int main(int argc, char** argv) {
     if (cmd == "simulate") return cmd_simulate(flags);
     if (cmd == "analyze") return cmd_analyze(flags);
     if (cmd == "gantt") return cmd_gantt(flags);
+    if (cmd == "verify") return cmd_verify(flags);
     std::cerr << "unknown subcommand: " << cmd << '\n';
     return 2;
   } catch (const std::exception& e) {
