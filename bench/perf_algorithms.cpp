@@ -68,6 +68,47 @@ void BM_OGGP(benchmark::State& state) {
 }
 BENCHMARK(BM_OGGP)->Range(8, 64)->Complexity();
 
+void BM_OGGP_Warm(benchmark::State& state) {
+  const BipartiteGraph g = make_graph(state.range(0), 20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        solve_kpbs(g, 5, 1, Algorithm::kOGGP, MatchingEngine::kWarm)
+            .step_count());
+  }
+  state.SetComplexityN(g.alive_edge_count() + g.left_count() +
+                       g.right_count());
+}
+BENCHMARK(BM_OGGP_Warm)->Range(8, 64)->Complexity();
+
+void BM_GGP_Warm(benchmark::State& state) {
+  const BipartiteGraph g = make_graph(state.range(0), 20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        solve_kpbs(g, 5, 1, Algorithm::kGGP, MatchingEngine::kWarm)
+            .step_count());
+  }
+  state.SetComplexityN(g.alive_edge_count() + g.left_count() +
+                       g.right_count());
+}
+BENCHMARK(BM_GGP_Warm)->Range(8, 64)->Complexity();
+
+void BM_KpbsBatch(benchmark::State& state) {
+  std::vector<KpbsRequest> requests;
+  for (int i = 0; i < 8; ++i) {
+    KpbsRequest request;
+    request.demand = make_graph(32, 20);
+    request.k = 5;
+    request.algorithm = Algorithm::kOGGP;
+    requests.push_back(std::move(request));
+  }
+  BatchOptions options;
+  options.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_kpbs_batch(requests, options).size());
+  }
+}
+BENCHMARK(BM_KpbsBatch)->Arg(1)->Arg(4);
+
 void BM_LowerBound(benchmark::State& state) {
   const BipartiteGraph g = make_graph(64, 20);
   for (auto _ : state) {

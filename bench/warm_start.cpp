@@ -1,0 +1,229 @@
+// Warm-start peeling benchmark: cold vs warm GGP/OGGP on dense instances,
+// plus batch-solver throughput. Emits BENCH_warm_start.json — the repo's
+// recorded perf trajectory for the peeling hot path (see docs/PERF.md).
+//
+//   warm_start [--n=64] [--edges=2048] [--max-weight=1000] [--instances=6]
+//              [--k=8] [--beta=1] [--repeat=3] [--threads=0]
+//              [--out=BENCH_warm_start.json] [--check-min-speedup=0]
+//
+// Every warm schedule is verified step-for-step against its cold twin
+// before any timing is reported. --check-min-speedup=X exits nonzero when
+// the warm OGGP speedup falls below X (the CI bench-smoke gate).
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "redist.hpp"
+
+namespace {
+
+using namespace redist;
+
+// Dense instance with exactly n x n nodes and `edges` distinct pairs —
+// unlike RandomGraphConfig (which samples sizes), the bench needs the
+// advertised n/m on every instance.
+BipartiteGraph dense_instance(std::uint64_t seed, NodeId n, int edges,
+                              Weight max_weight) {
+  Rng rng(seed);
+  std::vector<std::int64_t> pairs(static_cast<std::size_t>(n) *
+                                  static_cast<std::size_t>(n));
+  std::iota(pairs.begin(), pairs.end(), 0);
+  std::shuffle(pairs.begin(), pairs.end(), rng);
+  const int m = std::min<int>(edges, static_cast<int>(pairs.size()));
+  BipartiteGraph g(n, n);
+  for (int i = 0; i < m; ++i) {
+    const NodeId left = static_cast<NodeId>(pairs[static_cast<std::size_t>(i)] /
+                                            static_cast<std::int64_t>(n));
+    const NodeId right =
+        static_cast<NodeId>(pairs[static_cast<std::size_t>(i)] %
+                            static_cast<std::int64_t>(n));
+    g.add_edge(left, right, rng.uniform_int(1, max_weight));
+  }
+  return g;
+}
+
+bool identical_schedules(const Schedule& a, const Schedule& b) {
+  if (a.step_count() != b.step_count()) return false;
+  for (std::size_t s = 0; s < a.step_count(); ++s) {
+    const Step& sa = a.steps()[s];
+    const Step& sb = b.steps()[s];
+    if (sa.comms.size() != sb.comms.size()) return false;
+    for (std::size_t c = 0; c < sa.comms.size(); ++c) {
+      if (sa.comms[c].sender != sb.comms[c].sender ||
+          sa.comms[c].receiver != sb.comms[c].receiver ||
+          sa.comms[c].amount != sb.comms[c].amount) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+// Best-of-`repeat` total milliseconds to solve all instances.
+double time_engine(const std::vector<BipartiteGraph>& instances, int k,
+                   Weight beta, Algorithm algo, MatchingEngine engine,
+                   int repeat) {
+  double best_ms = 0;
+  for (int r = 0; r < repeat; ++r) {
+    Stopwatch timer;
+    for (const BipartiteGraph& g : instances) {
+      const Schedule s = solve_kpbs(g, k, beta, algo, engine);
+      if (s.step_count() == 0 && !g.empty()) {
+        throw Error("empty schedule for non-empty instance");
+      }
+    }
+    const double ms = timer.elapsed_ms();
+    if (r == 0 || ms < best_ms) best_ms = ms;
+  }
+  return best_ms;
+}
+
+struct AlgoResult {
+  std::string name;
+  double cold_ms = 0;
+  double warm_ms = 0;
+  bool identical = false;
+  double speedup() const { return warm_ms > 0 ? cold_ms / warm_ms : 0; }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    Flags flags(argc, argv);
+    const NodeId n = static_cast<NodeId>(flags.get_int("n", 64));
+    const int edges = static_cast<int>(flags.get_int("edges", 2048));
+    const Weight max_weight = flags.get_int("max-weight", 1000);
+    const int instances = static_cast<int>(flags.get_int("instances", 6));
+    const int k = static_cast<int>(flags.get_int("k", 8));
+    const Weight beta = flags.get_int("beta", 1);
+    const int repeat = static_cast<int>(flags.get_int("repeat", 3));
+    const int threads = static_cast<int>(flags.get_int("threads", 0));
+    const std::string out =
+        flags.get_string("out", "BENCH_warm_start.json");
+    const double min_speedup = flags.get_double("check-min-speedup", 0);
+    flags.check_unused();
+
+    std::vector<BipartiteGraph> pool;
+    pool.reserve(static_cast<std::size_t>(instances));
+    for (int i = 0; i < instances; ++i) {
+      pool.push_back(dense_instance(0xBEEF + static_cast<std::uint64_t>(i),
+                                    n, edges, max_weight));
+    }
+
+    // Differential gate first: timings of non-identical engines are noise.
+    std::vector<AlgoResult> results;
+    for (const Algorithm algo : {Algorithm::kGGP, Algorithm::kOGGP}) {
+      AlgoResult result;
+      result.name = algorithm_name(algo);
+      result.identical = true;
+      for (const BipartiteGraph& g : pool) {
+        const Schedule cold =
+            solve_kpbs(g, k, beta, algo, MatchingEngine::kCold);
+        const Schedule warm =
+            solve_kpbs(g, k, beta, algo, MatchingEngine::kWarm);
+        if (!identical_schedules(cold, warm)) {
+          result.identical = false;
+          break;
+        }
+      }
+      if (!result.identical) {
+        std::cerr << "FATAL: " << result.name
+                  << " warm schedule diverged from cold\n";
+        return 1;
+      }
+      result.cold_ms =
+          time_engine(pool, k, beta, algo, MatchingEngine::kCold, repeat);
+      result.warm_ms =
+          time_engine(pool, k, beta, algo, MatchingEngine::kWarm, repeat);
+      results.push_back(result);
+    }
+
+    // Batch throughput: same OGGP instances, 1 worker vs a pool.
+    std::vector<KpbsRequest> requests;
+    for (const BipartiteGraph& g : pool) {
+      KpbsRequest request;
+      request.demand = g;
+      request.k = k;
+      request.beta = beta;
+      request.algorithm = Algorithm::kOGGP;
+      requests.push_back(std::move(request));
+    }
+    BatchOptions sequential;
+    sequential.threads = 1;
+    BatchOptions pooled;
+    pooled.threads = threads;
+    double batch_seq_ms = 0;
+    double batch_pool_ms = 0;
+    for (int r = 0; r < repeat; ++r) {
+      Stopwatch timer;
+      solve_kpbs_batch(requests, sequential);
+      const double seq = timer.elapsed_ms();
+      timer.reset();
+      solve_kpbs_batch(requests, pooled);
+      const double par = timer.elapsed_ms();
+      if (r == 0 || seq < batch_seq_ms) batch_seq_ms = seq;
+      if (r == 0 || par < batch_pool_ms) batch_pool_ms = par;
+    }
+
+    std::ofstream os(out);
+    if (!os) throw Error("cannot write: " + out);
+    os << "{\n"
+       << "  \"bench\": \"warm_start\",\n"
+       << "  \"config\": {\"n\": " << n << ", \"edges\": " << edges
+       << ", \"max_weight\": " << max_weight
+       << ", \"instances\": " << instances << ", \"k\": " << k
+       << ", \"beta\": " << beta << ", \"repeat\": " << repeat << "},\n"
+       << "  \"algorithms\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const AlgoResult& result = results[i];
+      os << "    {\"name\": \"" << result.name << "\", \"cold_ms\": "
+         << Table::fmt(result.cold_ms, 3) << ", \"warm_ms\": "
+         << Table::fmt(result.warm_ms, 3) << ", \"speedup\": "
+         << Table::fmt(result.speedup(), 3)
+         << ", \"schedules_identical\": true}"
+         << (i + 1 < results.size() ? "," : "") << '\n';
+    }
+    os << "  ],\n"
+       << "  \"batch\": {\"instances\": " << requests.size()
+       << ", \"sequential_ms\": " << Table::fmt(batch_seq_ms, 3)
+       << ", \"pooled_ms\": " << Table::fmt(batch_pool_ms, 3)
+       << ", \"pool_speedup\": "
+       << Table::fmt(batch_pool_ms > 0 ? batch_seq_ms / batch_pool_ms : 0, 3)
+       << ", \"throughput_per_s\": "
+       << Table::fmt(batch_pool_ms > 0
+                         ? 1e3 * static_cast<double>(requests.size()) /
+                               batch_pool_ms
+                         : 0,
+                     1)
+       << "}\n"
+       << "}\n";
+    os.close();
+
+    for (const AlgoResult& result : results) {
+      std::cout << result.name << ": cold " << Table::fmt(result.cold_ms, 2)
+                << " ms, warm " << Table::fmt(result.warm_ms, 2)
+                << " ms, speedup " << Table::fmt(result.speedup(), 2)
+                << "x (schedules identical)\n";
+    }
+    std::cout << "batch: sequential " << Table::fmt(batch_seq_ms, 2)
+              << " ms, pooled " << Table::fmt(batch_pool_ms, 2)
+              << " ms\nwrote " << out << '\n';
+
+    if (min_speedup > 0) {
+      const double oggp_speedup = results.back().speedup();
+      if (oggp_speedup < min_speedup) {
+        std::cerr << "FAIL: warm OGGP speedup " << oggp_speedup
+                  << " below required " << min_speedup << '\n';
+        return 1;
+      }
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

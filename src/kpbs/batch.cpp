@@ -1,0 +1,50 @@
+#include "kpbs/batch.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+#include "runtime/thread_pool.hpp"
+
+namespace redist {
+
+std::vector<Schedule> solve_kpbs_batch(
+    const std::vector<KpbsRequest>& requests, const BatchOptions& options) {
+  std::vector<Schedule> results(requests.size());
+  if (requests.empty()) return results;
+
+  int threads = options.threads;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  threads = std::max(1, std::min<int>(threads,
+                                      static_cast<int>(requests.size())));
+
+  std::vector<std::exception_ptr> errors(requests.size());
+  const auto solve_one = [&](std::size_t i) {
+    try {
+      const KpbsRequest& request = requests[i];
+      results[i] = solve_kpbs(request.demand, request.k, request.beta,
+                              request.algorithm, options.engine);
+    } catch (...) {
+      errors[i] = std::current_exception();
+    }
+  };
+
+  if (threads == 1) {
+    for (std::size_t i = 0; i < requests.size(); ++i) solve_one(i);
+  } else {
+    ThreadPool pool(threads);
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      pool.submit([&solve_one, i] { solve_one(i); });
+    }
+    pool.wait_idle();
+  }
+
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+  return results;
+}
+
+}  // namespace redist

@@ -1,0 +1,39 @@
+// Batch K-PBS front end: solve many independent instances concurrently.
+//
+// The serving shape behind "schedule redistributions for millions of users":
+// each request is an isolated (demand graph, k, beta, algorithm) instance;
+// a worker pool fans them out across cores. Determinism is preserved —
+// results are positionally identical to a sequential solve_kpbs loop, and
+// the warm engine's bit-identical guarantee applies per instance.
+#pragma once
+
+#include <vector>
+
+#include "graph/bipartite_graph.hpp"
+#include "kpbs/schedule.hpp"
+#include "kpbs/solver.hpp"
+
+namespace redist {
+
+/// One independent K-PBS instance.
+struct KpbsRequest {
+  BipartiteGraph demand{0, 0};
+  int k = 1;
+  Weight beta = 1;
+  Algorithm algorithm = Algorithm::kOGGP;
+};
+
+struct BatchOptions {
+  int threads = 0;  ///< worker count; 0 picks hardware_concurrency
+  MatchingEngine engine = MatchingEngine::kWarm;
+};
+
+/// Solves requests[i] into result[i]. Equivalent to calling solve_kpbs on
+/// each request in order (any engine: schedules are engine-independent).
+/// If any instance throws, the remaining instances still run to completion
+/// and the first failing index's exception is rethrown afterwards.
+std::vector<Schedule> solve_kpbs_batch(
+    const std::vector<KpbsRequest>& requests,
+    const BatchOptions& options = {});
+
+}  // namespace redist

@@ -26,6 +26,16 @@ std::string algorithm_name(Algorithm a) {
   return "?";
 }
 
+std::string engine_name(MatchingEngine e) {
+  switch (e) {
+    case MatchingEngine::kCold:
+      return "cold";
+    case MatchingEngine::kWarm:
+      return "warm";
+  }
+  return "?";
+}
+
 namespace {
 PerfectMatchingStrategy strategy_for(Algorithm algorithm) {
   switch (algorithm) {
@@ -38,10 +48,22 @@ PerfectMatchingStrategy strategy_for(Algorithm algorithm) {
   }
   return PerfectMatchingStrategy(arbitrary_perfect_matching);
 }
+
+std::vector<PeelStep> peel_regularized(BipartiteGraph& j, Algorithm algorithm,
+                                       MatchingEngine engine) {
+  // kGGPMaxWeight is Hungarian-based and has no warm path; run it cold.
+  if (engine == MatchingEngine::kWarm &&
+      algorithm != Algorithm::kGGPMaxWeight) {
+    return wrgp_peel_warm(j, algorithm == Algorithm::kOGGP
+                                 ? WarmStrategy::kBottleneck
+                                 : WarmStrategy::kArbitrary);
+  }
+  return wrgp_peel(j, strategy_for(algorithm));
+}
 }  // namespace
 
 Schedule solve_kpbs(const BipartiteGraph& demand, int k, Weight beta,
-                    Algorithm algorithm) {
+                    Algorithm algorithm, MatchingEngine engine) {
   REDIST_CHECK_MSG(beta >= 0, "negative beta");
   Schedule schedule;
   if (demand.empty()) return schedule;
@@ -63,7 +85,7 @@ Schedule solve_kpbs(const BipartiteGraph& demand, int k, Weight beta,
   // Step 2 — regularize; Step 3 — peel.
   Regularized reg = regularize(normalized, k);
   const std::vector<PeelStep> peels =
-      wrgp_peel(reg.graph, strategy_for(algorithm));
+      peel_regularized(reg.graph, algorithm, engine);
 
   // Step 4 — extract real communications with realized amounts.
   std::vector<Weight> remaining(demand_edge.size());

@@ -29,12 +29,24 @@ enum class Algorithm {
 
 std::string algorithm_name(Algorithm a);
 
+/// Which matching engine drives the WRGP peeling loop. Both engines emit
+/// bit-identical schedules (the warm engine's searches are replayed
+/// canonically at their optima); kWarm is simply faster on large instances.
+enum class MatchingEngine {
+  kCold,  ///< every peeling step solves its matchings from scratch
+  kWarm,  ///< PeelingContext persists matching/weight state across steps
+};
+
+std::string engine_name(MatchingEngine e);
+
 /// Solves K-PBS on `demand` with at most `k` simultaneous communications and
 /// per-step setup cost `beta` (same time units as the edge weights; may be
 /// 0). Returns a schedule that validate_schedule() accepts. `k` is clamped
-/// to [1, min(n1, n2)].
+/// to [1, min(n1, n2)]. `engine` selects the peeling engine; kGGPMaxWeight
+/// has no warm path (Hungarian-based) and always runs cold.
 Schedule solve_kpbs(const BipartiteGraph& demand, int k, Weight beta,
-                    Algorithm algorithm);
+                    Algorithm algorithm,
+                    MatchingEngine engine = MatchingEngine::kCold);
 
 /// Cost of the schedule divided by the K-PBS lower bound — the paper's
 /// "evaluation ratio" (>= 1; closer to 1 is better).

@@ -2,6 +2,7 @@
 
 #include "matching/bottleneck.hpp"
 #include "matching/hopcroft_karp.hpp"
+#include "matching/peeling_context.hpp"
 
 #ifdef REDIST_VALIDATE
 #include "validate/graph_validator.hpp"
@@ -18,7 +19,8 @@ Matching bottleneck_perfect_matching(const BipartiteGraph& g) {
 }
 
 std::vector<PeelStep> wrgp_peel(BipartiteGraph& g,
-                                const PerfectMatchingStrategy& strategy) {
+                                const PerfectMatchingStrategy& strategy,
+                                const PeelObserver& observer) {
   REDIST_CHECK_MSG(g.left_count() == g.right_count(),
                    "WRGP needs equal side sizes, got "
                        << g.left_count() << "x" << g.right_count());
@@ -39,6 +41,7 @@ std::vector<PeelStep> wrgp_peel(BipartiteGraph& g,
                          << m.size() << " of " << g.left_count() << ")");
     const Weight w = min_weight(g, m);
     REDIST_CHECK(w > 0);
+    if (observer) observer(g, m, w);
     for (EdgeId e : m.edges) g.decrease_weight(e, w);
     steps.push_back(PeelStep{std::move(m), w});
 
@@ -52,6 +55,27 @@ std::vector<PeelStep> wrgp_peel(BipartiteGraph& g,
 #endif
   }
   return steps;
+}
+
+std::vector<PeelStep> wrgp_peel_warm(BipartiteGraph& g, WarmStrategy strategy,
+                                     PeelingContext& ctx) {
+  const PerfectMatchingStrategy pick =
+      strategy == WarmStrategy::kBottleneck
+          ? PerfectMatchingStrategy([&ctx](const BipartiteGraph& residual) {
+              return ctx.bottleneck_perfect(residual);
+            })
+          : PerfectMatchingStrategy([&ctx](const BipartiteGraph& residual) {
+              return ctx.arbitrary_perfect(residual);
+            });
+  return wrgp_peel(g, pick,
+                   [&ctx](const BipartiteGraph& residual, const Matching& m,
+                          Weight amount) { ctx.before_peel(residual, m, amount); });
+}
+
+std::vector<PeelStep> wrgp_peel_warm(BipartiteGraph& g,
+                                     WarmStrategy strategy) {
+  PeelingContext ctx;
+  return wrgp_peel_warm(g, strategy, ctx);
 }
 
 }  // namespace redist

@@ -7,6 +7,12 @@
 // of M. Because M is perfect and uniform-w, the residual stays
 // weight-regular, so a perfect matching exists at every iteration (Hall);
 // at least one edge dies per iteration, bounding steps by the edge count.
+//
+// Two drivers share the loop: wrgp_peel with a from-scratch strategy per
+// step (the reference path), and wrgp_peel_warm, which threads a
+// PeelingContext through the steps so matching state, the distinct-weight
+// ledger and solver buffers persist across steps. Both emit bit-identical
+// step sequences for the same input.
 #pragma once
 
 #include <functional>
@@ -16,6 +22,8 @@
 #include "matching/matching.hpp"
 
 namespace redist {
+
+class PeelingContext;
 
 /// One peeled step: the matching used and the uniform amount transmitted on
 /// each of its edges.
@@ -29,6 +37,13 @@ struct PeelStep {
 using PerfectMatchingStrategy =
     std::function<Matching(const BipartiteGraph&)>;
 
+/// Observer invoked once per step, after the matching and amount are fixed
+/// but *before* the weights are decreased (so it still sees the residual
+/// weights the matching was computed against). Used to keep warm-start
+/// state in sync with the peeling.
+using PeelObserver =
+    std::function<void(const BipartiteGraph&, const Matching&, Weight)>;
+
 /// Built-in strategies.
 Matching arbitrary_perfect_matching(const BipartiteGraph& g);
 Matching bottleneck_perfect_matching(const BipartiteGraph& g);
@@ -37,6 +52,24 @@ Matching bottleneck_perfect_matching(const BipartiteGraph& g);
 /// weight-regular with equal sides, or if a strategy ever fails to return a
 /// perfect matching (which would indicate a broken strategy, not bad input).
 std::vector<PeelStep> wrgp_peel(BipartiteGraph& g,
-                                const PerfectMatchingStrategy& strategy);
+                                const PerfectMatchingStrategy& strategy,
+                                const PeelObserver& observer = {});
+
+/// Warm-start matching selection for wrgp_peel_warm.
+enum class WarmStrategy {
+  kArbitrary,   ///< GGP: arbitrary perfect matchings (buffer reuse only)
+  kBottleneck,  ///< OGGP: bottleneck matchings, warm-seeded binary search
+};
+
+/// Peels `g` with warm-started matchings: step-for-step identical to
+/// wrgp_peel with the corresponding built-in strategy, but reusing matching
+/// and weight state across steps via `ctx`. `ctx` must be fresh (or have
+/// last been used on this same peeling sequence).
+std::vector<PeelStep> wrgp_peel_warm(BipartiteGraph& g, WarmStrategy strategy,
+                                     PeelingContext& ctx);
+
+/// Convenience overload owning a fresh context.
+std::vector<PeelStep> wrgp_peel_warm(BipartiteGraph& g,
+                                     WarmStrategy strategy);
 
 }  // namespace redist

@@ -7,44 +7,50 @@
 
 namespace redist {
 
-namespace {
-
-// Distinct alive-edge weights, ascending.
-std::vector<Weight> distinct_weights(const BipartiteGraph& g) {
-  std::vector<Weight> ws;
+void distinct_alive_weights(const BipartiteGraph& g,
+                            std::vector<Weight>& out) {
+  out.clear();
   for (EdgeId e = 0; e < g.edge_count(); ++e) {
-    if (g.alive(e)) ws.push_back(g.edge(e).weight);
+    if (g.alive(e)) out.push_back(g.edge(e).weight);
   }
-  std::sort(ws.begin(), ws.end());
-  ws.erase(std::unique(ws.begin(), ws.end()), ws.end());
-  return ws;
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
 }
 
-std::vector<char> mask_at_least(const BipartiteGraph& g, Weight threshold) {
-  std::vector<char> mask(static_cast<std::size_t>(g.edge_count()), 0);
+void fill_mask_at_least(const BipartiteGraph& g, Weight threshold,
+                        std::vector<char>& mask) {
+  mask.assign(static_cast<std::size_t>(g.edge_count()), 0);
   for (EdgeId e = 0; e < g.edge_count(); ++e) {
     if (g.alive(e) && g.edge(e).weight >= threshold) {
       mask[static_cast<std::size_t>(e)] = 1;
     }
   }
-  return mask;
 }
 
+namespace {
+
 // Finds the largest threshold (among distinct weights) at which a matching
-// of `target` edges still exists, and returns that matching.
-Matching bottleneck_search(const BipartiteGraph& g, std::size_t target) {
-  const std::vector<Weight> ws = distinct_weights(g);
+// of `target` edges still exists, and returns that matching. `ws` and `mask`
+// are caller-provided scratch buffers (hoisted out of peeling hot paths).
+Matching bottleneck_search(const BipartiteGraph& g, std::size_t target,
+                           std::vector<Weight>& ws, std::vector<char>& mask) {
+  distinct_alive_weights(g, ws);
   if (target == 0 || ws.empty()) return Matching{};
 
   // Invariant: feasible at ws[lo], infeasible above ws[hi] (hi beyond end
   // means untested). Feasibility is monotone decreasing in the threshold.
   std::size_t lo = 0;
   std::size_t hi = ws.size() - 1;
-  Matching best = max_matching(g, mask_at_least(g, ws[lo]));
+  HopcroftKarp solver;
+  fill_mask_at_least(g, ws[lo], mask);
+  solver.rebind_shared_mask(g, &mask);
+  Matching best = solver.solve();
   REDIST_CHECK_MSG(best.size() >= target, "bottleneck: target unreachable");
   while (lo < hi) {
     const std::size_t mid = lo + (hi - lo + 1) / 2;
-    Matching candidate = max_matching(g, mask_at_least(g, ws[mid]));
+    fill_mask_at_least(g, ws[mid], mask);
+    solver.rebind_shared_mask(g, &mask);
+    Matching candidate = solver.solve();
     if (candidate.size() >= target) {
       lo = mid;
       best = std::move(candidate);
@@ -62,18 +68,28 @@ Matching bottleneck_search(const BipartiteGraph& g, std::size_t target) {
 
 Matching bottleneck_maximal_threshold(const BipartiteGraph& g) {
   const std::size_t target = max_matching_size(g);
-  return bottleneck_search(g, target);
+  std::vector<Weight> ws;
+  std::vector<char> mask;
+  return bottleneck_search(g, target, ws, mask);
 }
 
-Matching bottleneck_perfect_threshold(const BipartiteGraph& g) {
+Matching bottleneck_perfect_threshold(const BipartiteGraph& g,
+                                      std::vector<Weight>& ws_buf,
+                                      std::vector<char>& mask_buf) {
   REDIST_CHECK_MSG(g.left_count() == g.right_count(),
                    "perfect matching requires equal sides");
   const auto target = static_cast<std::size_t>(g.left_count());
-  Matching m = bottleneck_search(g, target);
+  Matching m = bottleneck_search(g, target, ws_buf, mask_buf);
   REDIST_CHECK_MSG(m.size() == target,
                    "no perfect matching exists (size " << m.size() << " of "
                                                        << target << ")");
   return m;
+}
+
+Matching bottleneck_perfect_threshold(const BipartiteGraph& g) {
+  std::vector<Weight> ws;
+  std::vector<char> mask;
+  return bottleneck_perfect_threshold(g, ws, mask);
 }
 
 Matching bottleneck_maximal_incremental(const BipartiteGraph& g) {

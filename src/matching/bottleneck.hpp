@@ -13,7 +13,13 @@
 //    matching reaches maximum cardinality): O(m^2). Kept for fidelity and
 //    cross-validation in tests.
 // Both return matchings achieving the same (optimal) bottleneck value.
+//
+// The threshold search allocates a distinct-weight array and a per-probe
+// edge mask; the buffer-taking overloads let a peeling loop (PeelingContext)
+// hoist those allocations out of the per-step hot path.
 #pragma once
+
+#include <vector>
 
 #include "graph/bipartite_graph.hpp"
 #include "matching/matching.hpp"
@@ -29,7 +35,24 @@ Matching bottleneck_maximal_threshold(const BipartiteGraph& g);
 /// matching to exist (throws otherwise). Left/right sizes must be equal.
 Matching bottleneck_perfect_threshold(const BipartiteGraph& g);
 
+/// Buffer-reusing variant of bottleneck_perfect_threshold: `ws_buf` and
+/// `mask_buf` are scratch space (overwritten; contents need not survive the
+/// call). Produces the identical matching.
+Matching bottleneck_perfect_threshold(const BipartiteGraph& g,
+                                      std::vector<Weight>& ws_buf,
+                                      std::vector<char>& mask_buf);
+
 /// The paper's Figure 6 algorithm, literal version.
 Matching bottleneck_maximal_incremental(const BipartiteGraph& g);
+
+/// Distinct alive-edge weights, ascending, written into `out` (cleared
+/// first). Exposed so a peeling loop can cross-check its incrementally
+/// maintained weight ledger against a recomputation.
+void distinct_alive_weights(const BipartiteGraph& g, std::vector<Weight>& out);
+
+/// Fills `mask` (resized to edge_count) with 1 for alive edges of weight
+/// >= threshold, 0 otherwise.
+void fill_mask_at_least(const BipartiteGraph& g, Weight threshold,
+                        std::vector<char>& mask);
 
 }  // namespace redist

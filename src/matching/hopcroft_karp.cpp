@@ -1,5 +1,6 @@
 #include "matching/hopcroft_karp.hpp"
 
+#include <algorithm>
 #include <deque>
 #include <limits>
 
@@ -7,27 +8,46 @@ namespace redist {
 
 namespace {
 constexpr int kInf = std::numeric_limits<int>::max();
+}  // namespace
+
+HopcroftKarp::HopcroftKarp(const BipartiteGraph& g, std::vector<char> mask) {
+  rebind(g, std::move(mask));
 }
 
-HopcroftKarp::HopcroftKarp(const BipartiteGraph& g, std::vector<char> mask)
-    : g_(g),
-      mask_(std::move(mask)),
-      match_left_(static_cast<std::size_t>(g.left_count()), kNoEdge),
-      match_right_(static_cast<std::size_t>(g.right_count()), kNoEdge),
-      dist_(static_cast<std::size_t>(g.left_count()), kInf) {
+void HopcroftKarp::rebind(const BipartiteGraph& g, std::vector<char> mask) {
+  mask_ = std::move(mask);
+  rebind_shared_mask(g, mask_.empty() ? nullptr : &mask_);
+}
+
+void HopcroftKarp::rebind_shared_mask(const BipartiteGraph& g,
+                                      const std::vector<char>* mask) {
+  g_ = &g;
+  mask_view_ = mask;
+  min_weight_ = 0;
   REDIST_CHECK_MSG(
-      mask_.empty() || mask_.size() == static_cast<std::size_t>(g.edge_count()),
+      mask_view_ == nullptr ||
+          mask_view_->size() == static_cast<std::size_t>(g.edge_count()),
       "edge mask size mismatch");
+  match_left_.assign(static_cast<std::size_t>(g.left_count()), kNoEdge);
+  match_right_.assign(static_cast<std::size_t>(g.right_count()), kNoEdge);
+  dist_.assign(static_cast<std::size_t>(g.left_count()), kInf);
+}
+
+void HopcroftKarp::rebind_threshold(const BipartiteGraph& g,
+                                    Weight min_weight) {
+  rebind_shared_mask(g, nullptr);
+  min_weight_ = min_weight;
 }
 
 bool HopcroftKarp::edge_usable(EdgeId e) const {
-  if (!g_.alive(e)) return false;
-  return mask_.empty() || mask_[static_cast<std::size_t>(e)];
+  if (!g_->alive(e)) return false;
+  if (min_weight_ > 0 && g_->edge(e).weight < min_weight_) return false;
+  return mask_view_ == nullptr || (*mask_view_)[static_cast<std::size_t>(e)];
 }
 
 bool HopcroftKarp::bfs_layers() {
   std::deque<NodeId> queue;
-  for (NodeId v = 0; v < g_.left_count(); ++v) {
+  for (NodeId v = 0; v < g_->left_count(); ++v) {
     if (match_left_[static_cast<std::size_t>(v)] == kNoEdge) {
       dist_[static_cast<std::size_t>(v)] = 0;
       queue.push_back(v);
@@ -39,14 +59,14 @@ bool HopcroftKarp::bfs_layers() {
   while (!queue.empty()) {
     const NodeId u = queue.front();
     queue.pop_front();
-    for (EdgeId e : g_.edges_of_left(u)) {
+    for (EdgeId e : g_->edges_of_left(u)) {
       if (!edge_usable(e)) continue;
-      const NodeId r = g_.edge(e).right;
+      const NodeId r = g_->edge(e).right;
       const EdgeId back = match_right_[static_cast<std::size_t>(r)];
       if (back == kNoEdge) {
         found_free_right = true;
       } else {
-        const NodeId next = g_.edge(back).left;
+        const NodeId next = g_->edge(back).left;
         if (dist_[static_cast<std::size_t>(next)] == kInf) {
           dist_[static_cast<std::size_t>(next)] =
               dist_[static_cast<std::size_t>(u)] + 1;
@@ -59,15 +79,15 @@ bool HopcroftKarp::bfs_layers() {
 }
 
 bool HopcroftKarp::dfs_augment(NodeId left) {
-  for (EdgeId e : g_.edges_of_left(left)) {
+  for (EdgeId e : g_->edges_of_left(left)) {
     if (!edge_usable(e)) continue;
-    const NodeId r = g_.edge(e).right;
+    const NodeId r = g_->edge(e).right;
     const EdgeId back = match_right_[static_cast<std::size_t>(r)];
     bool reachable;
     if (back == kNoEdge) {
       reachable = true;
     } else {
-      const NodeId next = g_.edge(back).left;
+      const NodeId next = g_->edge(back).left;
       reachable = dist_[static_cast<std::size_t>(next)] ==
                       dist_[static_cast<std::size_t>(left)] + 1 &&
                   dfs_augment(next);
@@ -82,17 +102,10 @@ bool HopcroftKarp::dfs_augment(NodeId left) {
   return false;
 }
 
-Matching HopcroftKarp::solve() {
-  // Seed with a greedy matching: cheap and typically covers most vertices.
-  const Matching seed = greedy_matching(g_, mask_);
-  for (EdgeId e : seed.edges) {
-    const Edge& edge = g_.edge(e);
-    match_left_[static_cast<std::size_t>(edge.left)] = e;
-    match_right_[static_cast<std::size_t>(edge.right)] = e;
-  }
+Matching HopcroftKarp::augment_to_maximum() {
   while (bfs_layers()) {
     bool augmented = false;
-    for (NodeId v = 0; v < g_.left_count(); ++v) {
+    for (NodeId v = 0; v < g_->left_count(); ++v) {
       if (match_left_[static_cast<std::size_t>(v)] == kNoEdge) {
         augmented |= dfs_augment(v);
       }
@@ -100,11 +113,42 @@ Matching HopcroftKarp::solve() {
     if (!augmented) break;
   }
   Matching result;
-  for (NodeId v = 0; v < g_.left_count(); ++v) {
+  for (NodeId v = 0; v < g_->left_count(); ++v) {
     const EdgeId e = match_left_[static_cast<std::size_t>(v)];
     if (e != kNoEdge) result.edges.push_back(e);
   }
   return result;
+}
+
+Matching HopcroftKarp::solve() {
+  REDIST_CHECK_MSG(g_ != nullptr, "HopcroftKarp::solve before rebind");
+  // Seed with a greedy matching: cheap and typically covers most vertices.
+  // Same edge-id scan order as greedy_matching, but honoring the active
+  // mask/threshold restriction via edge_usable.
+  for (EdgeId e = 0; e < g_->edge_count(); ++e) {
+    if (!edge_usable(e)) continue;
+    const Edge& edge = g_->edge(e);
+    const auto l = static_cast<std::size_t>(edge.left);
+    const auto r = static_cast<std::size_t>(edge.right);
+    if (match_left_[l] != kNoEdge || match_right_[r] != kNoEdge) continue;
+    match_left_[l] = e;
+    match_right_[r] = e;
+  }
+  return augment_to_maximum();
+}
+
+Matching HopcroftKarp::solve_seeded(const Matching& seed) {
+  REDIST_CHECK_MSG(g_ != nullptr, "HopcroftKarp::solve before rebind");
+  for (EdgeId e : seed.edges) {
+    if (e < 0 || e >= g_->edge_count() || !edge_usable(e)) continue;
+    const Edge& edge = g_->edge(e);
+    const auto l = static_cast<std::size_t>(edge.left);
+    const auto r = static_cast<std::size_t>(edge.right);
+    if (match_left_[l] != kNoEdge || match_right_[r] != kNoEdge) continue;
+    match_left_[l] = e;
+    match_right_[r] = e;
+  }
+  return augment_to_maximum();
 }
 
 Matching max_matching(const BipartiteGraph& g, std::vector<char> mask) {

@@ -4,6 +4,11 @@
 // an edge mask. The paper's WRGP engine calls this once per peeling step (it
 // cites Micali–Vazirani / Alt et al.; Hopcroft–Karp has the same O(m sqrt n)
 // bound on bipartite graphs and is the standard practical choice).
+//
+// The solver is rebindable: one instance can be pointed at successive
+// graph/mask pairs, reusing its match/layer buffers instead of reallocating.
+// PeelingContext exploits this (plus solve_seeded) to warm-start the
+// bottleneck binary search across WRGP peeling steps.
 #pragma once
 
 #include <vector>
@@ -15,13 +20,40 @@ namespace redist {
 
 class HopcroftKarp {
  public:
+  /// Creates an unbound solver; rebind() must be called before solving.
+  HopcroftKarp() = default;
+
   /// Binds to a graph. The graph must outlive the solver. `mask` (if
   /// non-empty) must have one entry per edge id; zero entries are excluded.
   explicit HopcroftKarp(const BipartiteGraph& g,
                         std::vector<char> mask = {});
 
-  /// Computes a maximum matching; can be called once per instance.
+  /// Re-binds to a graph/mask, reusing internal buffers. Equivalent to
+  /// constructing a fresh solver (all matching state is reset).
+  void rebind(const BipartiteGraph& g, std::vector<char> mask = {});
+
+  /// Like rebind, but the mask is borrowed, not owned: the caller keeps
+  /// `mask` alive and unchanged for the duration of the next solve. Lets a
+  /// peeling loop refill one threshold mask instead of reallocating per
+  /// probe. `mask` may be nullptr (no restriction).
+  void rebind_shared_mask(const BipartiteGraph& g,
+                          const std::vector<char>* mask);
+
+  /// Re-binds restricting to alive edges of weight >= `min_weight` — the
+  /// bottleneck search's subgraph, expressed as an O(1) predicate instead
+  /// of an O(m) mask fill per probe. Equivalent to a mask built by
+  /// fill_mask_at_least: identical edge set, identical matchings.
+  void rebind_threshold(const BipartiteGraph& g, Weight min_weight);
+
+  /// Computes a maximum matching from a greedy seed. Deterministic: a given
+  /// (graph, mask) pair always yields the same matching.
   Matching solve();
+
+  /// Computes a maximum matching warm-started from `seed`: seed edges that
+  /// are usable (alive, mask-permitted, endpoints free) are pre-matched and
+  /// only the remaining deficit is augmented. The matching *size* always
+  /// equals solve()'s; the edge set may differ.
+  Matching solve_seeded(const Matching& seed);
 
   /// Matched edge of a left/right node after solve(), or kNoEdge.
   EdgeId matched_edge_of_left(NodeId v) const {
@@ -32,12 +64,15 @@ class HopcroftKarp {
   }
 
  private:
+  Matching augment_to_maximum();
   bool bfs_layers();
   bool dfs_augment(NodeId left);
   bool edge_usable(EdgeId e) const;
 
-  const BipartiteGraph& g_;
-  std::vector<char> mask_;
+  const BipartiteGraph* g_ = nullptr;
+  std::vector<char> mask_;                  // owned mask storage
+  const std::vector<char>* mask_view_ = nullptr;  // active mask (may borrow)
+  Weight min_weight_ = 0;                   // threshold restriction (0 = off)
   std::vector<EdgeId> match_left_;   // left node -> matched edge id
   std::vector<EdgeId> match_right_;  // right node -> matched edge id
   std::vector<int> dist_;            // BFS layer per left node

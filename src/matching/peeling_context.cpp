@@ -1,0 +1,117 @@
+#include "matching/peeling_context.hpp"
+
+#include <algorithm>
+
+#include "matching/bottleneck.hpp"
+
+namespace redist {
+
+Matching PeelingContext::arbitrary_perfect(const BipartiteGraph& g) {
+  // GGP's matching must stay bit-identical to max_matching(g), whose result
+  // depends on the greedy seed — so no warm seed here, only buffer reuse.
+  hk_.rebind_shared_mask(g, nullptr);
+  last_ = hk_.solve();
+  return last_;
+}
+
+Matching PeelingContext::bottleneck_perfect(const BipartiteGraph& g) {
+  REDIST_CHECK_MSG(g.left_count() == g.right_count(),
+                   "perfect matching requires equal sides");
+  const auto target = static_cast<std::size_t>(g.left_count());
+  if (target == 0) return Matching{};
+  ensure_ledger(g);
+
+  // Ascending distinct residual weights, by ledger traversal (no sort).
+  ws_.clear();
+  ws_.reserve(weight_count_.size());
+  for (const auto& entry : weight_count_) ws_.push_back(entry.first);
+#ifdef REDIST_VALIDATE
+  {
+    std::vector<Weight> recomputed;
+    distinct_alive_weights(g, recomputed);
+    REDIST_CHECK_MSG(ws_ == recomputed,
+                     "peeling context weight ledger out of sync");
+  }
+#endif
+  REDIST_CHECK_MSG(!ws_.empty(), "bottleneck: target unreachable");
+
+  // Binary search for the optimal threshold, landing on the same index the
+  // cold search finds: feasibility at a threshold is a property of the
+  // graph alone, not of how a probe computes its maximum matching. Three
+  // warm shortcuts make the probes cheap:
+  //  * the probe at ws_[0] is skipped — WRGP residuals are weight-regular,
+  //    so a perfect matching always exists there (Hall); the canonical
+  //    replay below still hard-checks it;
+  //  * a probe whose seed survives the threshold intact is feasible with no
+  //    search at all (the seed is itself a perfect matching of the probe
+  //    subgraph);
+  //  * other probes augment from the seed under an O(1) weight-threshold
+  //    predicate instead of an O(m) mask fill.
+  std::size_t lo = 0;
+  std::size_t hi = ws_.size() - 1;
+  Matching cur = last_;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo + 1) / 2;
+    std::size_t surviving = 0;
+    for (EdgeId e : cur.edges) {
+      if (g.alive(e) && g.edge(e).weight >= ws_[mid]) ++surviving;
+    }
+    if (surviving >= target) {  // seed already perfect at this threshold
+      lo = mid;
+      continue;
+    }
+    hk_.rebind_threshold(g, ws_[mid]);
+    Matching candidate = hk_.solve_seeded(cur);
+    if (candidate.size() >= target) {
+      lo = mid;
+      cur = std::move(candidate);
+    } else {
+      hi = mid - 1;
+    }
+  }
+
+  // Canonical replay: a greedy-seeded run at the optimal threshold is the
+  // exact computation the cold path performs last, so the returned matching
+  // (not just its bottleneck value) matches bottleneck_perfect_threshold.
+  hk_.rebind_threshold(g, ws_[lo]);
+  Matching result = hk_.solve();
+  REDIST_CHECK_MSG(result.size() == target,
+                   "no perfect matching exists (size "
+                       << result.size() << " of " << target << ")");
+  // Warm search and canonical replay must agree on the bottleneck value:
+  // a strictly larger minimum would mean threshold ws_[lo + 1] was feasible,
+  // contradicting the binary search.
+  REDIST_CHECK_MSG(min_weight(g, result) == ws_[lo],
+                   "warm bottleneck value diverged from threshold "
+                       << ws_[lo]);
+  last_ = result;
+  return result;
+}
+
+void PeelingContext::before_peel(const BipartiteGraph& g, const Matching& m,
+                                 Weight amount) {
+  if (!tracking_weights_) return;  // GGP path: ledger never materialized
+  REDIST_CHECK(amount > 0);
+  for (EdgeId e : m.edges) {
+    const Weight old_weight = g.edge(e).weight;
+    REDIST_CHECK_MSG(old_weight >= amount,
+                     "peel amount exceeds residual weight");
+    const auto it = weight_count_.find(old_weight);
+    REDIST_CHECK_MSG(it != weight_count_.end() && it->second > 0,
+                     "peeling context weight ledger out of sync");
+    if (--(it->second) == 0) weight_count_.erase(it);
+    const Weight new_weight = old_weight - amount;
+    if (new_weight > 0) ++weight_count_[new_weight];
+  }
+}
+
+void PeelingContext::ensure_ledger(const BipartiteGraph& g) {
+  if (tracking_weights_) return;
+  weight_count_.clear();
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    if (g.alive(e)) ++weight_count_[g.edge(e).weight];
+  }
+  tracking_weights_ = true;
+}
+
+}  // namespace redist

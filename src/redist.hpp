@@ -24,9 +24,11 @@
 #include "matching/hopcroft_karp.hpp"
 #include "matching/hungarian.hpp"
 #include "matching/matching.hpp"
+#include "matching/peeling_context.hpp"
 
 #include "kpbs/analysis.hpp"
 #include "kpbs/async_relax.hpp"
+#include "kpbs/batch.hpp"
 #include "kpbs/lower_bound.hpp"
 #include "kpbs/regularize.hpp"
 #include "kpbs/schedule.hpp"
@@ -55,6 +57,7 @@
 #include "netsim/platform.hpp"
 
 #include "runtime/engine.hpp"
+#include "runtime/thread_pool.hpp"
 #include "runtime/token_bucket.hpp"
 
 #include "aggregation/aggregate.hpp"

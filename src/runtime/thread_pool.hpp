@@ -1,0 +1,91 @@
+// Fixed-size worker pool for CPU-bound fan-out (the batch solver's "many
+// independent instances" serving shape).
+//
+// Deliberately minimal: submit() enqueues a job, wait_idle() blocks until
+// the queue is drained and every worker is between jobs. Jobs must not
+// throw — wrap the body in try/catch and stash the exception (as
+// solve_kpbs_batch does) if failure is an expected outcome.
+//
+// Header-only so layers below redist_runtime (the kpbs batch front end) can
+// use it without a link-time cycle between the static libraries.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace redist {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (clamped to at least 1).
+  explicit ThreadPool(int threads) {
+    if (threads < 1) threads = 1;
+    workers_.reserve(static_cast<std::size_t>(threads));
+    for (int i = 0; i < threads; ++i) {
+      workers_.emplace_back([this] { work(); });
+    }
+  }
+
+  /// Drains outstanding jobs, then joins the workers.
+  ~ThreadPool() {
+    wait_idle();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    work_available_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a job. Safe to call from any thread, including from a job.
+  void submit(std::function<void()> job) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.push_back(std::move(job));
+    }
+    work_available_.notify_one();
+  }
+
+  /// Blocks until every submitted job has completed. The pool is reusable
+  /// afterwards (submit/wait cycles may repeat).
+  void wait_idle() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  }
+
+ private:
+  void work() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      work_available_.wait(lock,
+                           [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // only reachable when stopping
+      std::function<void()> job = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+      lock.unlock();
+      job();
+      lock.lock();
+      if (--active_ == 0 && queue_.empty()) idle_.notify_all();
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int active_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace redist

@@ -1,0 +1,91 @@
+// Golden-makespan regression corpus: ten committed instance files
+// (tests/data/golden_*.graph, produced by `redist_cli generate` with the
+// recorded seeds) whose exact GGP/OGGP step counts and costs were captured
+// from the reference solver. Any change to normalization, regularization,
+// peeling order, matching tie-breaking, or extraction that alters a single
+// schedule shows up here as an exact-value diff — for the cold engine and,
+// because the warm engine must be bit-identical, for the warm engine too.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+
+#include "graph/graphio.hpp"
+#include "kpbs/regularize.hpp"
+#include "kpbs/solver.hpp"
+
+#ifndef REDIST_TEST_DATA_DIR
+#error "REDIST_TEST_DATA_DIR must point at tests/data"
+#endif
+
+namespace redist {
+namespace {
+
+struct GoldenCase {
+  const char* file;  // relative to tests/data
+  int k;
+  Weight beta;
+  std::size_t ggp_steps;
+  Weight ggp_cost;
+  std::size_t oggp_steps;
+  Weight oggp_cost;
+};
+
+// Captured from the reference (cold) solver; see the generation parameters
+// in docs/PERF.md. golden_01 is a deliberate degenerate corner (one edge).
+constexpr GoldenCase kGolden[] = {
+    {"golden_01.graph", 3, 1, 1, 3, 1, 3},
+    {"golden_02.graph", 4, 1, 16, 83, 12, 79},
+    {"golden_03.graph", 4, 2, 24, 528, 20, 520},
+    {"golden_04.graph", 6, 1, 66, 55319, 45, 55298},
+    {"golden_05.graph", 2, 0, 4, 6, 4, 6},
+    {"golden_06.graph", 1, 5, 14, 511, 14, 511},
+    {"golden_07.graph", 8, 1, 82, 236, 27, 181},
+    {"golden_08.graph", 3, 10, 16, 1358, 12, 1318},
+    {"golden_09.graph", 5, 1, 11, 44, 9, 42},
+    {"golden_10.graph", 2, 100, 5, 3456, 4, 3356},
+};
+
+BipartiteGraph load_golden(const std::string& file) {
+  const std::string path = std::string(REDIST_TEST_DATA_DIR) + "/" + file;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing golden instance: " << path;
+  return read_graph(in);
+}
+
+class GoldenMakespans : public ::testing::TestWithParam<MatchingEngine> {};
+
+TEST_P(GoldenMakespans, ExactStepCountsAndCosts) {
+  const MatchingEngine engine = GetParam();
+  for (const GoldenCase& c : kGolden) {
+    const BipartiteGraph g = load_golden(c.file);
+    const Schedule ggp = solve_kpbs(g, c.k, c.beta, Algorithm::kGGP, engine);
+    EXPECT_EQ(ggp.step_count(), c.ggp_steps) << c.file << " (ggp)";
+    EXPECT_EQ(ggp.cost(c.beta), c.ggp_cost) << c.file << " (ggp)";
+    validate_schedule(g, ggp, clamp_k(g, c.k));
+
+    const Schedule oggp = solve_kpbs(g, c.k, c.beta, Algorithm::kOGGP, engine);
+    EXPECT_EQ(oggp.step_count(), c.oggp_steps) << c.file << " (oggp)";
+    EXPECT_EQ(oggp.cost(c.beta), c.oggp_cost) << c.file << " (oggp)";
+    validate_schedule(g, oggp, clamp_k(g, c.k));
+  }
+}
+
+// OGGP never produces a costlier schedule than GGP on the corpus — the
+// property the paper's Section 5 experiments rely on.
+TEST(GoldenMakespans, OggpNeverWorseThanGgpOnCorpus) {
+  for (const GoldenCase& c : kGolden) {
+    EXPECT_LE(c.oggp_cost, c.ggp_cost) << c.file;
+    EXPECT_LE(c.oggp_steps, c.ggp_steps) << c.file;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, GoldenMakespans,
+                         ::testing::Values(MatchingEngine::kCold,
+                                           MatchingEngine::kWarm),
+                         [](const ::testing::TestParamInfo<MatchingEngine>& i) {
+                           return engine_name(i.param);
+                         });
+
+}  // namespace
+}  // namespace redist

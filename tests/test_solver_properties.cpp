@@ -3,6 +3,9 @@
 // structural invariants of the peeling pipeline.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "common/math.hpp"
 #include "common/rng.hpp"
 #include "kpbs/lower_bound.hpp"
 #include "kpbs/regularize.hpp"
@@ -99,6 +102,53 @@ TEST(SolverProperties, OggpStepsTendSmaller) {
         solve_kpbs(g, k, 1, Algorithm::kOGGP).step_count());
   }
   EXPECT_LE(oggp_steps, ggp_steps * 1.02);
+}
+
+TEST(SolverProperties, StepCountWithinPeelingBound) {
+  // Section 4.1: every WRGP peel kills at least one edge of the regularized
+  // graph J, so the emitted schedule can never contain more steps than J
+  // has alive edges (extraction only ever *drops* all-synthetic steps).
+  // And since every step costs at least beta, steps * beta <= cost <= 2*LB.
+  Rng rng(60601);
+  for (int trial = 0; trial < 40; ++trial) {
+    RandomGraphConfig config;
+    config.max_left = 10;
+    config.max_right = 10;
+    config.max_edges = 40;
+    config.max_weight = (trial % 2 == 0) ? 20 : 2000;
+    const BipartiteGraph g = random_bipartite(rng, config);
+    const int k = static_cast<int>(rng.uniform_int(1, 12));
+    const Weight beta = rng.uniform_int(0, 4);
+
+    // Replicate the solver's normalization + regularization to measure the
+    // peeling bound it faces.
+    const Weight unit = std::max<Weight>(1, beta);
+    BipartiteGraph normalized(g.left_count(), g.right_count());
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      if (!g.alive(e)) continue;
+      const Edge& edge = g.edge(e);
+      normalized.add_edge(edge.left, edge.right,
+                          ceil_div(edge.weight, unit));
+    }
+    const Regularized reg = regularize(normalized, k);
+    const std::size_t bound = reg.graph.alive_edge_count();
+
+    for (const Algorithm algo : {Algorithm::kGGP, Algorithm::kOGGP}) {
+      for (const MatchingEngine engine :
+           {MatchingEngine::kCold, MatchingEngine::kWarm}) {
+        const Schedule s = solve_kpbs(g, k, beta, algo, engine);
+        ASSERT_LE(s.step_count(), bound)
+            << algorithm_name(algo) << "/" << engine_name(engine)
+            << " trial=" << trial << " k=" << k << " beta=" << beta;
+        if (beta > 0) {
+          const LowerBound lb = kpbs_lower_bound(g, k, beta);
+          ASSERT_LE(Rational(static_cast<Weight>(s.step_count()) * beta),
+                    Rational(2) * lb.value())
+              << algorithm_name(algo) << " trial=" << trial;
+        }
+      }
+    }
+  }
 }
 
 TEST(SolverProperties, DeterministicForFixedInput) {

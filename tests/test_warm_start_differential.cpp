@@ -1,0 +1,179 @@
+// Differential tests for the warm-start peeling engine: on hundreds of
+// seeded random instances (varying sizes, k, beta, weight skew), the warm
+// engine's GGP/OGGP schedules must be step-for-step identical to the cold
+// reference path, and ScheduleValidator must accept both. A second layer
+// checks the identity at the WRGP peel level (matching edge ids included),
+// which is stricter than schedule equality.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "kpbs/regularize.hpp"
+#include "kpbs/solver.hpp"
+#include "kpbs/wrgp.hpp"
+#include "matching/peeling_context.hpp"
+#include "validate/schedule_validator.hpp"
+#include "workload/random_graphs.hpp"
+
+namespace redist {
+namespace {
+
+void expect_identical_schedules(const Schedule& cold, const Schedule& warm,
+                                const std::string& context) {
+  ASSERT_EQ(cold.step_count(), warm.step_count()) << context;
+  for (std::size_t s = 0; s < cold.step_count(); ++s) {
+    const Step& a = cold.steps()[s];
+    const Step& b = warm.steps()[s];
+    ASSERT_EQ(a.comms.size(), b.comms.size()) << context << " step " << s;
+    for (std::size_t c = 0; c < a.comms.size(); ++c) {
+      ASSERT_EQ(a.comms[c].sender, b.comms[c].sender)
+          << context << " step " << s << " comm " << c;
+      ASSERT_EQ(a.comms[c].receiver, b.comms[c].receiver)
+          << context << " step " << s << " comm " << c;
+      ASSERT_EQ(a.comms[c].amount, b.comms[c].amount)
+          << context << " step " << s << " comm " << c;
+    }
+  }
+}
+
+struct DifferentialCase {
+  std::uint64_t seed;
+  Weight beta;
+  Weight max_weight;  // weight skew: 1..max_weight
+  NodeId max_nodes;
+  int max_edges;
+  int trials;
+};
+
+class WarmStartDifferential
+    : public ::testing::TestWithParam<DifferentialCase> {};
+
+// Four parameter sets x 60 trials x {GGP, OGGP} = 240 instances compared,
+// every one validated by ScheduleValidator on both engines.
+TEST_P(WarmStartDifferential, WarmSchedulesMatchColdStepForStep) {
+  const DifferentialCase param = GetParam();
+  Rng rng(param.seed);
+  for (int trial = 0; trial < param.trials; ++trial) {
+    RandomGraphConfig config;
+    config.max_left = param.max_nodes;
+    config.max_right = param.max_nodes;
+    config.max_edges = param.max_edges;
+    config.max_weight = param.max_weight;
+    const BipartiteGraph g = random_bipartite(rng, config);
+    const int k = static_cast<int>(
+        rng.uniform_int(1, static_cast<std::int64_t>(param.max_nodes) + 4));
+    for (const Algorithm algo : {Algorithm::kGGP, Algorithm::kOGGP}) {
+      const std::string context = algorithm_name(algo) + " seed=" +
+                                  std::to_string(param.seed) + " trial=" +
+                                  std::to_string(trial) + " k=" +
+                                  std::to_string(k);
+      const Schedule cold =
+          solve_kpbs(g, k, param.beta, algo, MatchingEngine::kCold);
+      const Schedule warm =
+          solve_kpbs(g, k, param.beta, algo, MatchingEngine::kWarm);
+      expect_identical_schedules(cold, warm, context);
+
+      ScheduleValidatorOptions options;
+      options.k = clamp_k(g, k);
+      options.beta = param.beta;
+      options.check_approximation_bound = true;
+      const ScheduleValidator validator(options);
+      EXPECT_TRUE(validator.validate(g, cold).ok()) << context << " (cold)";
+      EXPECT_TRUE(validator.validate(g, warm).ok()) << context << " (warm)";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WarmStartDifferential,
+    ::testing::Values(
+        DifferentialCase{601, 1, 20, 12, 40, 60},      // paper-ish weights
+        DifferentialCase{602, 0, 10000, 10, 40, 60},   // heavy skew, beta=0
+        DifferentialCase{603, 7, 3, 14, 60, 60},       // many weight ties
+        DifferentialCase{604, 2, 200, 8, 30, 60}));    // mid skew, small n
+
+// Larger instances exercise longer peel sequences and deeper binary
+// searches (more warm-start reuse per run).
+TEST(WarmStartDifferential, LargerInstances) {
+  Rng rng(77);
+  for (int trial = 0; trial < 3; ++trial) {
+    RandomGraphConfig config;
+    config.max_left = 24;
+    config.max_right = 24;
+    config.max_edges = 200;
+    config.max_weight = 500;
+    const BipartiteGraph g = random_bipartite(rng, config);
+    for (const Algorithm algo : {Algorithm::kGGP, Algorithm::kOGGP}) {
+      const Schedule cold = solve_kpbs(g, 6, 1, algo, MatchingEngine::kCold);
+      const Schedule warm = solve_kpbs(g, 6, 1, algo, MatchingEngine::kWarm);
+      expect_identical_schedules(
+          cold, warm, algorithm_name(algo) + " trial=" + std::to_string(trial));
+    }
+  }
+}
+
+// WRGP-level identity: stricter than schedule equality — the peeled
+// matchings must contain the same edge ids in the same order, so even
+// synthetic (filler/deficit) edge choices agree between the engines.
+TEST(WarmStartDifferential, PeelSequencesIdenticalAtWrgpLevel) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 25; ++trial) {
+    const NodeId n = static_cast<NodeId>(rng.uniform_int(2, 10));
+    const int layers = static_cast<int>(rng.uniform_int(2, 6));
+    BipartiteGraph cold_g = random_weight_regular(rng, n, layers, 1, 50);
+    BipartiteGraph warm_g = cold_g;
+
+    const auto cold_steps = wrgp_peel(cold_g, bottleneck_perfect_matching);
+    PeelingContext ctx;
+    const auto warm_steps =
+        wrgp_peel_warm(warm_g, WarmStrategy::kBottleneck, ctx);
+
+    ASSERT_EQ(cold_steps.size(), warm_steps.size()) << "trial " << trial;
+    for (std::size_t s = 0; s < cold_steps.size(); ++s) {
+      EXPECT_EQ(cold_steps[s].amount, warm_steps[s].amount)
+          << "trial " << trial << " step " << s;
+      EXPECT_EQ(cold_steps[s].matching.edges, warm_steps[s].matching.edges)
+          << "trial " << trial << " step " << s;
+    }
+  }
+}
+
+// The arbitrary (GGP) warm strategy likewise replays the cold matchings.
+TEST(WarmStartDifferential, ArbitraryPeelSequencesIdentical) {
+  Rng rng(995);
+  for (int trial = 0; trial < 25; ++trial) {
+    const NodeId n = static_cast<NodeId>(rng.uniform_int(2, 10));
+    const int layers = static_cast<int>(rng.uniform_int(2, 6));
+    BipartiteGraph cold_g = random_weight_regular(rng, n, layers, 1, 50);
+    BipartiteGraph warm_g = cold_g;
+
+    const auto cold_steps = wrgp_peel(cold_g, arbitrary_perfect_matching);
+    const auto warm_steps = wrgp_peel_warm(warm_g, WarmStrategy::kArbitrary);
+
+    ASSERT_EQ(cold_steps.size(), warm_steps.size()) << "trial " << trial;
+    for (std::size_t s = 0; s < cold_steps.size(); ++s) {
+      EXPECT_EQ(cold_steps[s].amount, warm_steps[s].amount)
+          << "trial " << trial << " step " << s;
+      EXPECT_EQ(cold_steps[s].matching.edges, warm_steps[s].matching.edges)
+          << "trial " << trial << " step " << s;
+    }
+  }
+}
+
+// kGGPMaxWeight has no warm path; requesting the warm engine must still
+// produce the (cold) reference schedule rather than failing.
+TEST(WarmStartDifferential, MaxWeightAblationFallsBackToCold) {
+  Rng rng(31);
+  RandomGraphConfig config;
+  config.max_left = 8;
+  config.max_right = 8;
+  config.max_edges = 24;
+  const BipartiteGraph g = random_bipartite(rng, config);
+  const Schedule cold =
+      solve_kpbs(g, 3, 1, Algorithm::kGGPMaxWeight, MatchingEngine::kCold);
+  const Schedule warm =
+      solve_kpbs(g, 3, 1, Algorithm::kGGPMaxWeight, MatchingEngine::kWarm);
+  expect_identical_schedules(cold, warm, "ggp-mw");
+}
+
+}  // namespace
+}  // namespace redist

@@ -5,9 +5,16 @@
 //             [--min-weight=1] [--max-weight=20]
 //       Writes a random instance in the graph text format.
 //   solve     --in=FILE [--k=4] [--beta=1] [--algo=oggp|ggp|ggp-mw]
-//             [--out=FILE] [--quiet]
+//             [--engine=warm|cold] [--out=FILE] [--quiet]
 //       Solves K-PBS, validates the result, prints schedule + stats, and
-//       optionally writes the schedule in the schedule text format.
+//       optionally writes the schedule in the schedule text format. The
+//       warm engine (default) reuses matching state across peeling steps;
+//       both engines emit identical schedules (see docs/PERF.md).
+//   batch     --in=FILE[,FILE...] [--k=4] [--beta=1] [--algo=oggp]
+//             [--engine=warm|cold] [--threads=0] [--repeat=1]
+//       Solves every instance concurrently on a worker pool (0 threads =
+//       hardware concurrency) and prints per-instance results plus
+//       aggregate throughput.
 //   lb        --in=FILE [--k=4] [--beta=1]
 //       Prints the lower bound decomposition.
 //   simulate  --in=FILE [--k=4] [--beta=1] [--algo=oggp]
@@ -28,6 +35,7 @@
 //
 // Graphs use the text format of graph/graphio.hpp; schedules the format of
 // kpbs/schedule_io.hpp.
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 
@@ -42,6 +50,26 @@ Algorithm parse_algo(const std::string& name) {
   if (name == "oggp") return Algorithm::kOGGP;
   if (name == "ggp-mw") return Algorithm::kGGPMaxWeight;
   throw Error("unknown algorithm '" + name + "' (ggp | oggp | ggp-mw)");
+}
+
+MatchingEngine parse_engine(const std::string& name) {
+  if (name == "warm") return MatchingEngine::kWarm;
+  if (name == "cold") return MatchingEngine::kCold;
+  throw Error("unknown engine '" + name + "' (warm | cold)");
+}
+
+std::vector<std::string> split_list(const std::string& value) {
+  std::vector<std::string> parts;
+  std::string::size_type start = 0;
+  while (start <= value.size()) {
+    const std::string::size_type comma = value.find(',', start);
+    const std::string part = value.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!part.empty()) parts.push_back(part);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return parts;
 }
 
 BipartiteGraph load_graph(const std::string& path) {
@@ -77,12 +105,14 @@ int cmd_solve(Flags& flags) {
   const int k = static_cast<int>(flags.get_int("k", 4));
   const Weight beta = flags.get_int("beta", 1);
   const Algorithm algo = parse_algo(flags.get_string("algo", "oggp"));
+  const MatchingEngine engine =
+      parse_engine(flags.get_string("engine", "warm"));
   const std::string out = flags.get_string("out", "");
   const bool quiet = flags.get_bool("quiet", false);
   flags.check_unused();
 
   const BipartiteGraph g = load_graph(in);
-  const Schedule s = solve_kpbs(g, k, beta, algo);
+  const Schedule s = solve_kpbs(g, k, beta, algo, engine);
   validate_schedule(g, s, clamp_k(g, k));
   const LowerBound lb = kpbs_lower_bound(g, k, beta);
 
@@ -97,6 +127,57 @@ int cmd_solve(Flags& flags) {
     write_schedule(os, s);
     std::cout << "schedule written to " << out << '\n';
   }
+  return 0;
+}
+
+int cmd_batch(Flags& flags) {
+  const std::string in = flags.get_string("in", "");
+  if (in.empty()) throw Error("batch requires --in=FILE[,FILE...]");
+  const int k = static_cast<int>(flags.get_int("k", 4));
+  const Weight beta = flags.get_int("beta", 1);
+  const Algorithm algo = parse_algo(flags.get_string("algo", "oggp"));
+  const MatchingEngine engine =
+      parse_engine(flags.get_string("engine", "warm"));
+  const int threads = static_cast<int>(flags.get_int("threads", 0));
+  const int repeat = static_cast<int>(flags.get_int("repeat", 1));
+  flags.check_unused();
+  if (repeat < 1) throw Error("--repeat must be >= 1");
+
+  const std::vector<std::string> paths = split_list(in);
+  if (paths.empty()) throw Error("batch requires at least one graph file");
+  std::vector<KpbsRequest> requests;
+  requests.reserve(paths.size() * static_cast<std::size_t>(repeat));
+  for (int r = 0; r < repeat; ++r) {
+    for (const std::string& path : paths) {
+      KpbsRequest request;
+      request.demand = load_graph(path);
+      request.k = k;
+      request.beta = beta;
+      request.algorithm = algo;
+      requests.push_back(std::move(request));
+    }
+  }
+
+  BatchOptions options;
+  options.threads = threads;
+  options.engine = engine;
+  Stopwatch timer;
+  const std::vector<Schedule> schedules = solve_kpbs_batch(requests, options);
+  const double seconds = timer.elapsed_seconds();
+
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    std::cout << paths[i] << ": " << schedules[i].step_count()
+              << " steps, cost " << schedules[i].cost(beta) << '\n';
+  }
+  std::cout << algorithm_name(algo) << "/" << engine_name(engine) << ": "
+            << schedules.size() << " instances in "
+            << Table::fmt(seconds * 1e3, 2) << " ms ("
+            << Table::fmt(static_cast<double>(schedules.size()) /
+                              std::max(seconds, 1e-9),
+                          1)
+            << " instances/s, threads="
+            << (threads > 0 ? std::to_string(threads) : std::string("auto"))
+            << ")\n";
   return 0;
 }
 
@@ -255,7 +336,7 @@ int main(int argc, char** argv) {
   try {
     if (argc < 2) {
       std::cerr << "usage: redist_cli "
-                   "<generate|solve|lb|simulate|analyze|gantt|verify> "
+                   "<generate|solve|batch|lb|simulate|analyze|gantt|verify> "
                    "[--flags...]\n(see the file header for details)\n";
       return 2;
     }
@@ -263,6 +344,7 @@ int main(int argc, char** argv) {
     Flags flags(argc - 1, argv + 1);
     if (cmd == "generate") return cmd_generate(flags);
     if (cmd == "solve") return cmd_solve(flags);
+    if (cmd == "batch") return cmd_batch(flags);
     if (cmd == "lb") return cmd_lb(flags);
     if (cmd == "simulate") return cmd_simulate(flags);
     if (cmd == "analyze") return cmd_analyze(flags);
