@@ -80,6 +80,23 @@ void BM_OGGP_Warm(benchmark::State& state) {
 }
 BENCHMARK(BM_OGGP_Warm)->Range(8, 64)->Complexity();
 
+// Identical workload to BM_OGGP_Warm but with a metrics registry installed
+// (no trace). The delta between the two is the enabled-telemetry overhead
+// budget: docs/OBSERVABILITY.md pins it below 5%.
+void BM_OGGP_Warm_Metrics(benchmark::State& state) {
+  const BipartiteGraph g = make_graph(state.range(0), 20);
+  obs::MetricsRegistry registry;
+  obs::ScopedTelemetry scoped(&registry, nullptr);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        solve_kpbs(g, 5, 1, Algorithm::kOGGP, MatchingEngine::kWarm)
+            .step_count());
+  }
+  state.SetComplexityN(g.alive_edge_count() + g.left_count() +
+                       g.right_count());
+}
+BENCHMARK(BM_OGGP_Warm_Metrics)->Range(8, 64)->Complexity();
+
 void BM_GGP_Warm(benchmark::State& state) {
   const BipartiteGraph g = make_graph(state.range(0), 20);
   for (auto _ : state) {

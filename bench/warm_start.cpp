@@ -89,6 +89,59 @@ struct AlgoResult {
   double speedup() const { return warm_ms > 0 ? cold_ms / warm_ms : 0; }
 };
 
+// Per-phase counters for one (algorithm, engine) pass over the pool,
+// collected with a private registry so the timing passes stay
+// uninstrumented. Zero for counters the engine never touches (e.g. the
+// warm ledger under the cold engine).
+struct PhaseCounters {
+  std::uint64_t wrgp_steps = 0;
+  std::uint64_t bottleneck_probes = 0;
+  std::uint64_t hk_phases = 0;
+  std::uint64_t hk_paths = 0;
+  std::uint64_t ledger_hits = 0;
+  std::uint64_t ledger_misses = 0;
+  std::uint64_t seed_hits = 0;
+  std::uint64_t seed_misses = 0;
+};
+
+PhaseCounters collect_phase_counters(const std::vector<BipartiteGraph>& pool,
+                                     int k, Weight beta, Algorithm algo,
+                                     MatchingEngine engine) {
+  obs::MetricsRegistry registry;
+  {
+    obs::ScopedTelemetry scoped(&registry, nullptr);
+    for (const BipartiteGraph& g : pool) {
+      solve_kpbs(g, k, beta, algo, engine);
+    }
+  }
+  const auto counter = [&registry](std::string_view name) {
+    return registry.counter(name).value();
+  };
+  PhaseCounters out;
+  out.wrgp_steps = counter("wrgp.steps");
+  out.bottleneck_probes = counter("bottleneck.probes");
+  out.hk_phases = counter("hk.phases");
+  out.hk_paths = counter("hk.augmenting_paths");
+  out.ledger_hits = counter("warm.ledger.hits");
+  out.ledger_misses = counter("warm.ledger.misses");
+  out.seed_hits = counter("warm.seed.hits");
+  out.seed_misses = counter("warm.seed.misses");
+  return out;
+}
+
+void write_phase_counters(std::ostream& os, const char* engine,
+                          const PhaseCounters& c, bool trailing_comma) {
+  os << "      \"" << engine << "\": {\"wrgp_steps\": " << c.wrgp_steps
+     << ", \"bottleneck_probes\": " << c.bottleneck_probes
+     << ", \"hk_phases\": " << c.hk_phases
+     << ", \"hk_augmenting_paths\": " << c.hk_paths
+     << ", \"warm_ledger_hits\": " << c.ledger_hits
+     << ", \"warm_ledger_misses\": " << c.ledger_misses
+     << ", \"warm_seed_hits\": " << c.seed_hits
+     << ", \"warm_seed_misses\": " << c.seed_misses << "}"
+     << (trailing_comma ? "," : "") << '\n';
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -142,6 +195,14 @@ int main(int argc, char** argv) {
       results.push_back(result);
     }
 
+    // Per-phase counters (separate instrumented passes, not timed).
+    std::vector<std::pair<PhaseCounters, PhaseCounters>> phase_counters;
+    for (const Algorithm algo : {Algorithm::kGGP, Algorithm::kOGGP}) {
+      phase_counters.emplace_back(
+          collect_phase_counters(pool, k, beta, algo, MatchingEngine::kCold),
+          collect_phase_counters(pool, k, beta, algo, MatchingEngine::kWarm));
+    }
+
     // Batch throughput: same OGGP instances, 1 worker vs a pool.
     std::vector<KpbsRequest> requests;
     for (const BipartiteGraph& g : pool) {
@@ -184,8 +245,10 @@ int main(int argc, char** argv) {
          << Table::fmt(result.cold_ms, 3) << ", \"warm_ms\": "
          << Table::fmt(result.warm_ms, 3) << ", \"speedup\": "
          << Table::fmt(result.speedup(), 3)
-         << ", \"schedules_identical\": true}"
-         << (i + 1 < results.size() ? "," : "") << '\n';
+         << ", \"schedules_identical\": true, \"metrics\": {\n";
+      write_phase_counters(os, "cold", phase_counters[i].first, true);
+      write_phase_counters(os, "warm", phase_counters[i].second, false);
+      os << "    }}" << (i + 1 < results.size() ? "," : "") << '\n';
     }
     os << "  ],\n"
        << "  \"batch\": {\"instances\": " << requests.size()
@@ -209,6 +272,19 @@ int main(int argc, char** argv) {
                 << " ms, speedup " << Table::fmt(result.speedup(), 2)
                 << "x (schedules identical)\n";
     }
+    const PhaseCounters& oggp_warm = phase_counters.back().second;
+    const std::uint64_t ledger_total =
+        oggp_warm.ledger_hits + oggp_warm.ledger_misses;
+    std::cout << "OGGP warm: " << oggp_warm.bottleneck_probes
+              << " probes over " << oggp_warm.wrgp_steps
+              << " steps, ledger hit rate "
+              << Table::fmt(ledger_total > 0
+                                ? static_cast<double>(oggp_warm.ledger_hits) /
+                                      static_cast<double>(ledger_total)
+                                : 0,
+                            3)
+              << ", seed hits " << oggp_warm.seed_hits << "/"
+              << (oggp_warm.seed_hits + oggp_warm.seed_misses) << '\n';
     std::cout << "batch: sequential " << Table::fmt(batch_seq_ms, 2)
               << " ms, pooled " << Table::fmt(batch_pool_ms, 2)
               << " ms\nwrote " << out << '\n';

@@ -2,10 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/error.hpp"
 
 namespace redist {
+
+namespace {
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+}  // namespace
 
 void RunningStats::add(double x) {
   if (n_ == 0) {
@@ -21,10 +26,7 @@ void RunningStats::add(double x) {
   m2_ += delta * (x - mean_);
 }
 
-double RunningStats::mean() const {
-  REDIST_CHECK(n_ > 0);
-  return mean_;
-}
+double RunningStats::mean() const { return n_ > 0 ? mean_ : kNaN; }
 
 double RunningStats::variance() const {
   if (n_ < 2) return 0.0;
@@ -33,15 +35,9 @@ double RunningStats::variance() const {
 
 double RunningStats::stddev() const { return std::sqrt(variance()); }
 
-double RunningStats::min() const {
-  REDIST_CHECK(n_ > 0);
-  return min_;
-}
+double RunningStats::min() const { return n_ > 0 ? min_ : kNaN; }
 
-double RunningStats::max() const {
-  REDIST_CHECK(n_ > 0);
-  return max_;
-}
+double RunningStats::max() const { return n_ > 0 ? max_ : kNaN; }
 
 void RunningStats::merge(const RunningStats& other) {
   if (other.n_ == 0) return;
@@ -61,25 +57,25 @@ void RunningStats::merge(const RunningStats& other) {
 }
 
 double SampleSet::mean() const {
-  REDIST_CHECK(!xs_.empty());
+  if (xs_.empty()) return kNaN;
   double s = 0.0;
   for (double x : xs_) s += x;
   return s / static_cast<double>(xs_.size());
 }
 
 double SampleSet::min() const {
-  REDIST_CHECK(!xs_.empty());
+  if (xs_.empty()) return kNaN;
   return *std::min_element(xs_.begin(), xs_.end());
 }
 
 double SampleSet::max() const {
-  REDIST_CHECK(!xs_.empty());
+  if (xs_.empty()) return kNaN;
   return *std::max_element(xs_.begin(), xs_.end());
 }
 
 double SampleSet::percentile(double p) const {
-  REDIST_CHECK(!xs_.empty());
   REDIST_CHECK(p >= 0.0 && p <= 100.0);
+  if (xs_.empty()) return kNaN;
   std::vector<double> sorted = xs_;
   std::sort(sorted.begin(), sorted.end());
   const auto rank = static_cast<std::size_t>(

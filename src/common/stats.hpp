@@ -1,4 +1,11 @@
-// Streaming statistics accumulators used by the benchmark harnesses.
+// Streaming statistics accumulators used by the benchmark harnesses and as
+// the summary type of the telemetry registry's histograms (src/obs).
+//
+// Empty-accumulator contract: every query on an accumulator holding zero
+// samples is well-defined — mean/min/max return quiet NaN (there is no
+// sample to report), variance/stddev return 0, sum returns 0, and merging
+// an empty accumulator in either direction is the identity. Callers that
+// must distinguish "no data" check count() (exporters emit null for NaN).
 #pragma once
 
 #include <cstddef>
@@ -12,14 +19,15 @@ class RunningStats {
   void add(double x);
 
   std::size_t count() const { return n_; }
-  double mean() const;
+  double mean() const;      ///< NaN when empty.
   double variance() const;  ///< Unbiased sample variance (n-1 denominator).
   double stddev() const;
-  double min() const;
-  double max() const;
+  double min() const;  ///< NaN when empty.
+  double max() const;  ///< NaN when empty.
   double sum() const { return sum_; }
 
-  /// Merge another accumulator into this one (parallel-safe combine).
+  /// Merge another accumulator into this one (parallel-safe combine;
+  /// either side may be empty, including both).
   void merge(const RunningStats& other);
 
  private:
@@ -37,10 +45,11 @@ class SampleSet {
  public:
   void add(double x) { xs_.push_back(x); }
   std::size_t count() const { return xs_.size(); }
-  double mean() const;
-  double min() const;
-  double max() const;
-  /// Exact percentile by nearest-rank; p in [0, 100].
+  double mean() const;  ///< NaN when empty.
+  double min() const;   ///< NaN when empty.
+  double max() const;   ///< NaN when empty.
+  /// Exact percentile by nearest-rank; p in [0, 100] (out-of-range p
+  /// throws). NaN when empty.
   double percentile(double p) const;
 
  private:

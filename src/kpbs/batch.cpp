@@ -4,13 +4,21 @@
 #include <exception>
 #include <thread>
 
+#include "common/stopwatch.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace redist {
 
 std::vector<Schedule> solve_kpbs_batch(
-    const std::vector<KpbsRequest>& requests, const BatchOptions& options) {
+    const std::vector<KpbsRequest>& requests, const BatchOptions& options,
+    std::vector<double>* instance_solve_ms) {
   std::vector<Schedule> results(requests.size());
+  if (instance_solve_ms != nullptr) {
+    instance_solve_ms->assign(requests.size(), 0.0);
+  }
   if (requests.empty()) return results;
 
   int threads = options.threads;
@@ -20,14 +28,33 @@ std::vector<Schedule> solve_kpbs_batch(
   threads = std::max(1, std::min<int>(threads,
                                       static_cast<int>(requests.size())));
 
+  obs::MetricsRegistry* const metrics = obs::metrics();
+  obs::TraceSpan batch_span(obs::trace(), "kpbs.batch");
+  if (batch_span) {
+    batch_span.arg("instances", requests.size());
+    batch_span.arg("threads", threads);
+  }
+  if (metrics != nullptr) {
+    metrics->counter("kpbs.batch.count").add();
+    metrics->counter("kpbs.batch.instances").add(requests.size());
+  }
+
   std::vector<std::exception_ptr> errors(requests.size());
   const auto solve_one = [&](std::size_t i) {
+    obs::TraceSpan instance_span(obs::trace(), "kpbs.batch.instance");
+    if (instance_span) instance_span.arg("instance", i);
+    const Stopwatch timer;
     try {
       const KpbsRequest& request = requests[i];
       results[i] = solve_kpbs(request.demand, request.k, request.beta,
                               request.algorithm, options.engine);
     } catch (...) {
       errors[i] = std::current_exception();
+    }
+    const double ms = timer.elapsed_ms();
+    if (instance_solve_ms != nullptr) (*instance_solve_ms)[i] = ms;
+    if (metrics != nullptr) {
+      metrics->histogram("kpbs.batch.instance_ms").record(ms);
     }
   };
 

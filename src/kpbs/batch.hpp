@@ -32,8 +32,14 @@ struct BatchOptions {
 /// each request in order (any engine: schedules are engine-independent).
 /// If any instance throws, the remaining instances still run to completion
 /// and the first failing index's exception is rethrown afterwards.
+///
+/// If `instance_solve_ms` is non-null it is resized to requests.size() and
+/// filled with each instance's wall-clock solve time in milliseconds (timed
+/// on the worker that ran it, shared Stopwatch timebase). Purely
+/// observational — never affects the schedules.
 std::vector<Schedule> solve_kpbs_batch(
     const std::vector<KpbsRequest>& requests,
-    const BatchOptions& options = {});
+    const BatchOptions& options = {},
+    std::vector<double>* instance_solve_ms = nullptr);
 
 }  // namespace redist

@@ -3,6 +3,9 @@
 #include <algorithm>
 
 #include "common/math.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 
 #ifdef REDIST_VALIDATE
 #include "validate/graph_validator.hpp"
@@ -18,6 +21,7 @@ int clamp_k(const BipartiteGraph& g, int k) {
 Regularized regularize(const BipartiteGraph& g, int k) {
   REDIST_CHECK_MSG(!g.empty(), "cannot regularize an empty graph");
   k = clamp_k(g, k);
+  obs::TraceSpan span(obs::trace(), "regularize");
 
 #ifdef REDIST_VALIDATE
   // The construction below reads the input's cached aggregates (node
@@ -122,6 +126,30 @@ Regularized regularize(const BipartiteGraph& g, int k) {
                    "regularization produced a non-regular graph");
   REDIST_CHECK(out.origin.size() ==
                static_cast<std::size_t>(out.graph.edge_count()));
+
+  // Case 1: c pinned by the heaviest node (W >= ceil(P/k)); case 2: by the
+  // average load ceil(P/k). Synthetic-structure counters let the metrics
+  // dump explain how much padding the transform added.
+  const bool case1 = w_max >= ceil_div(p, k);
+  if (obs::MetricsRegistry* const metrics = obs::metrics()) {
+    metrics->counter("regularize.calls").add();
+    metrics->counter(case1 ? "regularize.case1_wmax" : "regularize.case2_pk")
+        .add();
+    metrics->counter("regularize.filler_edges").add(n_filler);
+    metrics->counter("regularize.dummy_nodes").add(dummy_left + dummy_right);
+    metrics->counter("regularize.synthetic_edges")
+        .add(static_cast<std::uint64_t>(
+            std::count(out.origin.begin(), out.origin.end(), kNoEdge)));
+  }
+  if (span) {
+    span.arg("k", k);
+    span.arg("c", c);
+    span.arg("case", case1 ? std::string_view("W(G)")
+                           : std::string_view("ceil(P/k)"));
+    span.arg("filler_edges", n_filler);
+    span.arg("dummy_nodes", dummy_left + dummy_right);
+    span.arg("edges_out", out.graph.edge_count());
+  }
 
 #ifdef REDIST_VALIDATE
   // Full contract audit: c-regular equal sides, original + filler weight

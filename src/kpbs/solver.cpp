@@ -4,9 +4,13 @@
 #include <vector>
 
 #include "common/math.hpp"
+#include "common/stopwatch.hpp"
 #include "kpbs/regularize.hpp"
 #include "kpbs/wrgp.hpp"
 #include "matching/hungarian.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 
 #ifdef REDIST_VALIDATE
 #include "validate/schedule_validator.hpp"
@@ -69,6 +73,26 @@ Schedule solve_kpbs(const BipartiteGraph& demand, int k, Weight beta,
   if (demand.empty()) return schedule;
   k = clamp_k(demand, k);
 
+  // Telemetry (observation only — never feeds back into the schedule).
+  obs::MetricsRegistry* const metrics = obs::metrics();
+  const Stopwatch solve_timer;
+  obs::TraceSpan solve_span(obs::trace(), "solve_kpbs");
+  if (solve_span) {
+    solve_span.arg("algo", std::string_view(algorithm_name(algorithm)));
+    solve_span.arg("engine", std::string_view(engine_name(engine)));
+    solve_span.arg("k", k);
+    solve_span.arg("beta", beta);
+    solve_span.arg("nodes", demand.left_count() + demand.right_count());
+    solve_span.arg("edges", demand.alive_edge_count());
+  }
+  if (metrics != nullptr) {
+    metrics->counter("kpbs.solve.count").add();
+    metrics
+        ->counter(engine == MatchingEngine::kWarm ? "kpbs.solve.engine_warm"
+                                                  : "kpbs.solve.engine_cold")
+        .add();
+  }
+
   // Step 1 — beta-normalization. All weights are expressed in units of
   // beta (rounded up); beta in {0, 1} degenerates to the raw weights.
   const Weight unit = std::max<Weight>(1, beta);
@@ -88,27 +112,36 @@ Schedule solve_kpbs(const BipartiteGraph& demand, int k, Weight beta,
       peel_regularized(reg.graph, algorithm, engine);
 
   // Step 4 — extract real communications with realized amounts.
-  std::vector<Weight> remaining(demand_edge.size());
-  for (std::size_t i = 0; i < demand_edge.size(); ++i) {
-    remaining[i] = demand.edge(demand_edge[i]).weight;
-  }
-  for (const PeelStep& peel : peels) {
-    Step step;
-    for (EdgeId je : peel.matching.edges) {
-      const EdgeId ne = reg.origin[static_cast<std::size_t>(je)];
-      if (ne == kNoEdge) continue;  // filler or deficit edge
-      const auto idx = static_cast<std::size_t>(ne);
-      const Weight realized = std::min(peel.amount * unit, remaining[idx]);
-      // Normalization guarantees remaining > 0 while the normalized edge is
-      // alive, so every real matched edge transmits something.
-      REDIST_CHECK(realized > 0);
-      remaining[idx] -= realized;
-      const Edge& src = demand.edge(demand_edge[idx]);
-      step.comms.push_back(Communication{src.left, src.right, realized});
+  {
+    obs::TraceSpan extract_span(obs::trace(), "extract");
+    std::vector<Weight> remaining(demand_edge.size());
+    for (std::size_t i = 0; i < demand_edge.size(); ++i) {
+      remaining[i] = demand.edge(demand_edge[i]).weight;
     }
-    if (!step.comms.empty()) schedule.add_step(std::move(step));
+    for (const PeelStep& peel : peels) {
+      Step step;
+      for (EdgeId je : peel.matching.edges) {
+        const EdgeId ne = reg.origin[static_cast<std::size_t>(je)];
+        if (ne == kNoEdge) continue;  // filler or deficit edge
+        const auto idx = static_cast<std::size_t>(ne);
+        const Weight realized = std::min(peel.amount * unit, remaining[idx]);
+        // Normalization guarantees remaining > 0 while the normalized edge
+        // is alive, so every real matched edge transmits something.
+        REDIST_CHECK(realized > 0);
+        remaining[idx] -= realized;
+        const Edge& src = demand.edge(demand_edge[idx]);
+        step.comms.push_back(Communication{src.left, src.right, realized});
+      }
+      if (!step.comms.empty()) schedule.add_step(std::move(step));
+    }
+    for (Weight r : remaining) REDIST_CHECK(r == 0);
   }
-  for (Weight r : remaining) REDIST_CHECK(r == 0);
+
+  if (metrics != nullptr) {
+    metrics->counter("kpbs.schedule.steps").add(schedule.step_count());
+    metrics->histogram("kpbs.solve_ms").record(solve_timer.elapsed_ms());
+  }
+  if (solve_span) solve_span.arg("steps", schedule.step_count());
 
 #ifdef REDIST_VALIDATE
   // Self-audit: the emitted schedule must satisfy every invariant of the

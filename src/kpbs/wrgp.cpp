@@ -3,6 +3,9 @@
 #include "matching/bottleneck.hpp"
 #include "matching/hopcroft_karp.hpp"
 #include "matching/peeling_context.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 
 #ifdef REDIST_VALIDATE
 #include "validate/graph_validator.hpp"
@@ -28,6 +31,19 @@ std::vector<PeelStep> wrgp_peel(BipartiteGraph& g,
   REDIST_CHECK_MSG(g.is_weight_regular(&c),
                    "WRGP requires a weight-regular graph");
 
+  // Telemetry: one counter handle per peel run, one span per step (the
+  // per-step "how long / how much was clamped" breakdown the paper's step
+  // counts are compared against).
+  obs::MetricsRegistry* const metrics = obs::metrics();
+  obs::Counter* const steps_counter =
+      metrics != nullptr ? &metrics->counter("wrgp.steps") : nullptr;
+  obs::Histogram* const amount_hist =
+      metrics != nullptr
+          ? &metrics->histogram("wrgp.peel_amount",
+                                obs::default_amount_bounds())
+          : nullptr;
+  obs::TraceSpan peel_span(obs::trace(), "wrgp_peel");
+
   std::vector<PeelStep> steps;
   // Upper bound on iterations: one edge dies per step.
   const EdgeId max_iterations = g.edge_count() + 1;
@@ -35,6 +51,7 @@ std::vector<PeelStep> wrgp_peel(BipartiteGraph& g,
   while (!g.empty()) {
     REDIST_CHECK_MSG(++iterations <= max_iterations,
                      "WRGP failed to make progress");
+    obs::TraceSpan step_span(obs::trace(), "wrgp.step");
     Matching m = strategy(g);
     REDIST_CHECK_MSG(is_perfect_matching(g, m),
                      "strategy did not return a perfect matching (size "
@@ -43,6 +60,15 @@ std::vector<PeelStep> wrgp_peel(BipartiteGraph& g,
     REDIST_CHECK(w > 0);
     if (observer) observer(g, m, w);
     for (EdgeId e : m.edges) g.decrease_weight(e, w);
+    if (steps_counter != nullptr) steps_counter->add();
+    if (amount_hist != nullptr) {
+      amount_hist->record(static_cast<double>(w));
+    }
+    if (step_span) {
+      step_span.arg("step", iterations - 1);
+      step_span.arg("amount", w);
+      step_span.arg("matched_edges", m.edges.size());
+    }
     steps.push_back(PeelStep{std::move(m), w});
 
 #ifdef REDIST_VALIDATE
@@ -54,6 +80,7 @@ std::vector<PeelStep> wrgp_peel(BipartiteGraph& g,
         .throw_if_failed("WRGP residual lost weight-regularity");
 #endif
   }
+  if (peel_span) peel_span.arg("steps", steps.size());
   return steps;
 }
 

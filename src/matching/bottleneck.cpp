@@ -4,6 +4,9 @@
 #include <vector>
 
 #include "matching/hopcroft_karp.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 
 namespace redist {
 
@@ -37,27 +40,50 @@ Matching bottleneck_search(const BipartiteGraph& g, std::size_t target,
   distinct_alive_weights(g, ws);
   if (target == 0 || ws.empty()) return Matching{};
 
+  obs::MetricsRegistry* const metrics = obs::metrics();
+  obs::Counter* const probe_counter =
+      metrics != nullptr ? &metrics->counter("bottleneck.probes") : nullptr;
+  obs::TraceSpan search_span(obs::trace(), "bottleneck.search");
+  if (search_span) search_span.arg("distinct_weights", ws.size());
+
   // Invariant: feasible at ws[lo], infeasible above ws[hi] (hi beyond end
   // means untested). Feasibility is monotone decreasing in the threshold.
   std::size_t lo = 0;
   std::size_t hi = ws.size() - 1;
   HopcroftKarp solver;
-  fill_mask_at_least(g, ws[lo], mask);
-  solver.rebind_shared_mask(g, &mask);
-  Matching best = solver.solve();
+  Matching best;
+  {
+    obs::TraceSpan probe_span(obs::trace(), "bottleneck.probe");
+    if (probe_counter != nullptr) probe_counter->add();
+    fill_mask_at_least(g, ws[lo], mask);
+    solver.rebind_shared_mask(g, &mask);
+    best = solver.solve();
+    if (probe_span) {
+      probe_span.arg("threshold", ws[lo]);
+      probe_span.arg("feasible", best.size() >= target);
+    }
+  }
   REDIST_CHECK_MSG(best.size() >= target, "bottleneck: target unreachable");
   while (lo < hi) {
     const std::size_t mid = lo + (hi - lo + 1) / 2;
+    obs::TraceSpan probe_span(obs::trace(), "bottleneck.probe");
+    if (probe_counter != nullptr) probe_counter->add();
     fill_mask_at_least(g, ws[mid], mask);
     solver.rebind_shared_mask(g, &mask);
     Matching candidate = solver.solve();
-    if (candidate.size() >= target) {
+    const bool feasible = candidate.size() >= target;
+    if (probe_span) {
+      probe_span.arg("threshold", ws[mid]);
+      probe_span.arg("feasible", feasible);
+    }
+    if (feasible) {
       lo = mid;
       best = std::move(candidate);
     } else {
       hi = mid - 1;
     }
   }
+  if (search_span) search_span.arg("bottleneck", ws[lo]);
   // `best` may exceed the target; any subset of a matching is a matching,
   // but we keep the full maximum matching — more parallelism never hurts
   // the caller (WRGP trims via k using the regularized structure instead).

@@ -4,6 +4,9 @@
 #include <deque>
 #include <limits>
 
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
+
 namespace redist {
 
 namespace {
@@ -103,14 +106,35 @@ bool HopcroftKarp::dfs_augment(NodeId left) {
 }
 
 Matching HopcroftKarp::augment_to_maximum() {
+  obs::MetricsRegistry* const metrics = obs::metrics();
+  if (metrics != metrics_src_) {
+    metrics_src_ = metrics;
+    phases_counter_ =
+        metrics != nullptr ? &metrics->counter("hk.phases") : nullptr;
+    paths_counter_ =
+        metrics != nullptr ? &metrics->counter("hk.augmenting_paths") : nullptr;
+  }
+  obs::TraceSession* const trace = obs::trace();
+
+  std::uint64_t phase = 0;
   while (bfs_layers()) {
-    bool augmented = false;
+    obs::TraceSpan phase_span(trace, "hk.phase");
+    std::uint64_t paths = 0;
     for (NodeId v = 0; v < g_->left_count(); ++v) {
       if (match_left_[static_cast<std::size_t>(v)] == kNoEdge) {
-        augmented |= dfs_augment(v);
+        if (dfs_augment(v)) ++paths;
       }
     }
-    if (!augmented) break;
+    if (phases_counter_ != nullptr) {
+      phases_counter_->add();
+      paths_counter_->add(paths);
+    }
+    if (phase_span) {
+      phase_span.arg("phase", phase);
+      phase_span.arg("paths", paths);
+    }
+    ++phase;
+    if (paths == 0) break;
   }
   Matching result;
   for (NodeId v = 0; v < g_->left_count(); ++v) {

@@ -15,6 +15,7 @@
 
 #include "graph/bipartite_graph.hpp"
 #include "matching/matching.hpp"
+#include "obs/metrics.hpp"
 
 namespace redist {
 
@@ -70,6 +71,12 @@ class HopcroftKarp {
   bool edge_usable(EdgeId e) const;
 
   const BipartiteGraph* g_ = nullptr;
+  // Telemetry handles, cached per installed registry: the solver sits in the
+  // innermost loops, so it pays one pointer compare per solve instead of a
+  // registry lookup (and nothing at all when telemetry is disabled).
+  obs::MetricsRegistry* metrics_src_ = nullptr;
+  obs::Counter* phases_counter_ = nullptr;
+  obs::Counter* paths_counter_ = nullptr;
   std::vector<char> mask_;                  // owned mask storage
   const std::vector<char>* mask_view_ = nullptr;  // active mask (may borrow)
   Weight min_weight_ = 0;                   // threshold restriction (0 = off)

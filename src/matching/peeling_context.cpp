@@ -3,6 +3,9 @@
 #include <algorithm>
 
 #include "matching/bottleneck.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 
 namespace redist {
 
@@ -19,6 +22,9 @@ Matching PeelingContext::bottleneck_perfect(const BipartiteGraph& g) {
                    "perfect matching requires equal sides");
   const auto target = static_cast<std::size_t>(g.left_count());
   if (target == 0) return Matching{};
+
+  obs::MetricsRegistry* const metrics = obs::metrics();
+  obs::TraceSpan search_span(obs::trace(), "bottleneck.search.warm");
   ensure_ledger(g);
 
   // Ascending distinct residual weights, by ledger traversal (no sort).
@@ -47,22 +53,44 @@ Matching PeelingContext::bottleneck_perfect(const BipartiteGraph& g) {
   //    subgraph);
   //  * other probes augment from the seed under an O(1) weight-threshold
   //    predicate instead of an O(m) mask fill.
+  obs::Counter* const probe_counter =
+      metrics != nullptr ? &metrics->counter("bottleneck.probes") : nullptr;
+  obs::Counter* const seed_hits =
+      metrics != nullptr ? &metrics->counter("warm.seed.hits") : nullptr;
+  obs::Counter* const seed_misses =
+      metrics != nullptr ? &metrics->counter("warm.seed.misses") : nullptr;
+
   std::size_t lo = 0;
   std::size_t hi = ws_.size() - 1;
   Matching cur = last_;
   while (lo < hi) {
     const std::size_t mid = lo + (hi - lo + 1) / 2;
+    obs::TraceSpan probe_span(obs::trace(), "bottleneck.probe");
+    if (probe_counter != nullptr) probe_counter->add();
     std::size_t surviving = 0;
     for (EdgeId e : cur.edges) {
       if (g.alive(e) && g.edge(e).weight >= ws_[mid]) ++surviving;
     }
     if (surviving >= target) {  // seed already perfect at this threshold
+      if (seed_hits != nullptr) seed_hits->add();
+      if (probe_span) {
+        probe_span.arg("threshold", ws_[mid]);
+        probe_span.arg("feasible", true);
+        probe_span.arg("seed_hit", true);
+      }
       lo = mid;
       continue;
     }
+    if (seed_misses != nullptr) seed_misses->add();
     hk_.rebind_threshold(g, ws_[mid]);
     Matching candidate = hk_.solve_seeded(cur);
-    if (candidate.size() >= target) {
+    const bool feasible = candidate.size() >= target;
+    if (probe_span) {
+      probe_span.arg("threshold", ws_[mid]);
+      probe_span.arg("feasible", feasible);
+      probe_span.arg("seed_hit", false);
+    }
+    if (feasible) {
       lo = mid;
       cur = std::move(candidate);
     } else {
@@ -73,6 +101,8 @@ Matching PeelingContext::bottleneck_perfect(const BipartiteGraph& g) {
   // Canonical replay: a greedy-seeded run at the optimal threshold is the
   // exact computation the cold path performs last, so the returned matching
   // (not just its bottleneck value) matches bottleneck_perfect_threshold.
+  obs::TraceSpan replay_span(obs::trace(), "bottleneck.replay");
+  if (replay_span) replay_span.arg("threshold", ws_[lo]);
   hk_.rebind_threshold(g, ws_[lo]);
   Matching result = hk_.solve();
   REDIST_CHECK_MSG(result.size() == target,
@@ -84,6 +114,10 @@ Matching PeelingContext::bottleneck_perfect(const BipartiteGraph& g) {
   REDIST_CHECK_MSG(min_weight(g, result) == ws_[lo],
                    "warm bottleneck value diverged from threshold "
                        << ws_[lo]);
+  if (search_span) {
+    search_span.arg("distinct_weights", ws_.size());
+    search_span.arg("bottleneck", ws_[lo]);
+  }
   last_ = result;
   return result;
 }
@@ -106,7 +140,17 @@ void PeelingContext::before_peel(const BipartiteGraph& g, const Matching& m,
 }
 
 void PeelingContext::ensure_ledger(const BipartiteGraph& g) {
-  if (tracking_weights_) return;
+  obs::MetricsRegistry* const metrics = obs::metrics();
+  if (tracking_weights_) {
+    // Ledger carried over from the previous step: the O(m log m) rebuild
+    // below was avoided — the whole point of the warm engine.
+    if (metrics != nullptr) metrics->counter("warm.ledger.hits").add();
+    return;
+  }
+  if (metrics != nullptr) {
+    metrics->counter("warm.ledger.hits");  // materialize the pair in exports
+    metrics->counter("warm.ledger.misses").add();
+  }
   weight_count_.clear();
   for (EdgeId e = 0; e < g.edge_count(); ++e) {
     if (g.alive(e)) ++weight_count_[g.edge(e).weight];

@@ -1,0 +1,138 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <ostream>
+#include <unordered_map>
+
+namespace redist::obs {
+
+namespace {
+
+// Nanoseconds as decimal microseconds ("123.456") — exact, locale-free.
+std::string ns_as_us(std::uint64_t ns) {
+  std::string out = std::to_string(ns / 1000);
+  const std::uint64_t rem = ns % 1000;
+  out.push_back('.');
+  out.push_back(static_cast<char>('0' + rem / 100));
+  out.push_back(static_cast<char>('0' + rem / 10 % 10));
+  out.push_back(static_cast<char>('0' + rem % 10));
+  return out;
+}
+
+void write_histogram_json(std::ostream& os, const HistogramSnapshot& h,
+                          const char* indent) {
+  const bool empty = h.summary.count() == 0;
+  os << "{\n"
+     << indent << "  \"count\": " << h.summary.count() << ",\n"
+     << indent << "  \"sum\": " << json_number(empty ? 0.0 : h.summary.sum())
+     << ",\n";
+  const auto stat = [&](const char* key, double v, const char* sep) {
+    os << indent << "  \"" << key << "\": ";
+    if (empty) {
+      os << "null";
+    } else {
+      os << json_number(v);
+    }
+    os << sep;
+  };
+  stat("mean", empty ? 0.0 : h.summary.mean(), ",\n");
+  stat("min", empty ? 0.0 : h.summary.min(), ",\n");
+  stat("max", empty ? 0.0 : h.summary.max(), ",\n");
+  stat("stddev", h.summary.stddev(), ",\n");
+  os << indent << "  \"buckets\": [";
+  for (std::size_t b = 0; b < h.counts.size(); ++b) {
+    if (b > 0) os << ", ";
+    os << "{\"le\": "
+       << (b < h.bounds.size() ? json_number(h.bounds[b])
+                               : std::string("\"inf\""))
+       << ", \"count\": " << h.counts[b] << "}";
+  }
+  os << "]\n" << indent << "}";
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const TraceSession& session) {
+  std::vector<TraceEvent> events = session.snapshot();
+  // Stable order: by begin time, outermost (longest) span first on ties, so
+  // nesting renders identically run to run under a deterministic clock.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.ts_ns != b.ts_ns) return a.ts_ns < b.ts_ns;
+                     if (a.dur_ns != b.dur_ns) return a.dur_ns > b.dur_ns;
+                     return std::strcmp(a.name, b.name) < 0;
+                   });
+  std::unordered_map<std::uint32_t, std::uint32_t> tid_index;
+  for (const TraceEvent& event : events) {
+    tid_index.emplace(event.tid, static_cast<std::uint32_t>(tid_index.size()));
+  }
+
+  os << "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& event = events[i];
+    os << "{\"name\": " << json_quote(event.name)
+       << ", \"cat\": " << json_quote(event.cat)
+       << ", \"ph\": \"X\", \"ts\": " << ns_as_us(event.ts_ns)
+       << ", \"dur\": " << ns_as_us(event.dur_ns)
+       << ", \"pid\": 1, \"tid\": " << tid_index.at(event.tid);
+    if (!event.args.empty()) {
+      os << ", \"args\": {";
+      for (std::size_t a = 0; a < event.args.size(); ++a) {
+        if (a > 0) os << ", ";
+        os << json_quote(event.args[a].key) << ": "
+           << event.args[a].json_value;
+      }
+      os << "}";
+    }
+    os << "}" << (i + 1 < events.size() ? "," : "") << "\n";
+  }
+  os << "]\n}\n";
+}
+
+void write_metrics_json(std::ostream& os, const MetricsRegistry& registry) {
+  const MetricsSnapshot snap = registry.snapshot();
+  os << "{\n\"schema\": \"redist.metrics.v1\",\n\"counters\": {";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    os << (i > 0 ? ",\n  " : "\n  ") << json_quote(snap.counters[i].first)
+       << ": " << snap.counters[i].second;
+  }
+  os << "\n},\n\"gauges\": {";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    os << (i > 0 ? ",\n  " : "\n  ") << json_quote(snap.gauges[i].first)
+       << ": {\"value\": " << snap.gauges[i].second.value
+       << ", \"max\": " << snap.gauges[i].second.max << "}";
+  }
+  os << "\n},\n\"histograms\": {";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    os << (i > 0 ? ",\n  " : "\n  ") << json_quote(snap.histograms[i].first)
+       << ": ";
+    write_histogram_json(os, snap.histograms[i].second, "  ");
+  }
+  os << "\n}\n}\n";
+}
+
+void write_metrics_csv(std::ostream& os, const MetricsRegistry& registry) {
+  const MetricsSnapshot snap = registry.snapshot();
+  os << "name,kind,count,value,mean,min,max\n";
+  for (const auto& [name, value] : snap.counters) {
+    os << name << ",counter,," << value << ",,,\n";
+  }
+  for (const auto& [name, gauge] : snap.gauges) {
+    os << name << ",gauge,," << gauge.value << ",,," << "\n";
+  }
+  for (const auto& [name, hist] : snap.histograms) {
+    os << name << ",histogram," << hist.summary.count() << ","
+       << json_number(hist.summary.count() > 0 ? hist.summary.sum() : 0.0);
+    if (hist.summary.count() > 0) {
+      os << "," << json_number(hist.summary.mean()) << ","
+         << json_number(hist.summary.min()) << ","
+         << json_number(hist.summary.max());
+    } else {
+      os << ",,,";
+    }
+    os << "\n";
+  }
+}
+
+}  // namespace redist::obs

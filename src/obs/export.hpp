@@ -1,0 +1,26 @@
+// Telemetry exporters (formats documented in docs/OBSERVABILITY.md):
+//
+//  * write_chrome_trace — Chrome trace_event JSON ("X" complete events);
+//    open the file in chrome://tracing or https://ui.perfetto.dev. Thread
+//    ids are renumbered densely in order of first appearance so the output
+//    is deterministic for a deterministic span stream.
+//  * write_metrics_json — flat `{"counters": .., "gauges": .., "histograms":
+//    ..}` document under the "redist.metrics.v1" schema tag. Empty
+//    histograms export null mean/min/max (JSON has no NaN).
+//  * write_metrics_csv — one row per instrument for spreadsheet ingestion.
+#pragma once
+
+#include <iosfwd>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace redist::obs {
+
+void write_chrome_trace(std::ostream& os, const TraceSession& session);
+
+void write_metrics_json(std::ostream& os, const MetricsRegistry& registry);
+
+void write_metrics_csv(std::ostream& os, const MetricsRegistry& registry);
+
+}  // namespace redist::obs

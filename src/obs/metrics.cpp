@@ -1,0 +1,92 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+namespace redist::obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::record(double x) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  summary_.add(x);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return HistogramSnapshot{bounds_, counts_, summary_};
+}
+
+std::vector<double> default_latency_bounds_ms() {
+  return {0.01, 0.025, 0.05, 0.1,  0.25, 0.5,  1.0,    2.5,   5.0,
+          10.0, 25.0,  50.0, 100.0, 250.0, 500.0, 1000.0, 10000.0};
+}
+
+std::vector<double> default_amount_bounds() {
+  std::vector<double> bounds;
+  for (double b = 1.0; b <= 1048576.0; b *= 2.0) bounds.push_back(b);
+  return bounds;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  Shard& shard = shard_for(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.counters.find(name);
+  if (it != shard.counters.end()) return *it->second;
+  return *shard.counters.emplace(std::string(name), std::make_unique<Counter>())
+              .first->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  Shard& shard = shard_for(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.gauges.find(name);
+  if (it != shard.gauges.end()) return *it->second;
+  return *shard.gauges.emplace(std::string(name), std::make_unique<Gauge>())
+              .first->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> bounds) {
+  Shard& shard = shard_for(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.histograms.find(name);
+  if (it != shard.histograms.end()) return *it->second;
+  if (bounds.empty()) bounds = default_latency_bounds_ms();
+  return *shard.histograms
+              .emplace(std::string(name),
+                       std::make_unique<Histogram>(std::move(bounds)))
+              .first->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& entry : shard.counters) {
+      out.counters.emplace_back(entry.first, entry.second->value());
+    }
+    for (const auto& entry : shard.gauges) {
+      out.gauges.emplace_back(
+          entry.first,
+          GaugeSnapshot{entry.second->value(), entry.second->max()});
+    }
+    for (const auto& entry : shard.histograms) {
+      out.histograms.emplace_back(entry.first, entry.second->snapshot());
+    }
+  }
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.first < b.first;
+  };
+  std::sort(out.counters.begin(), out.counters.end(), by_name);
+  std::sort(out.gauges.begin(), out.gauges.end(), by_name);
+  std::sort(out.histograms.begin(), out.histograms.end(), by_name);
+  return out;
+}
+
+}  // namespace redist::obs

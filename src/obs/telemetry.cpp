@@ -1,0 +1,8 @@
+#include "obs/telemetry.hpp"
+
+namespace redist::obs::detail {
+
+std::atomic<MetricsRegistry*> g_metrics{nullptr};
+std::atomic<TraceSession*> g_trace{nullptr};
+
+}  // namespace redist::obs::detail

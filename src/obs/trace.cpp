@@ -1,0 +1,87 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+
+#include "common/stopwatch.hpp"
+
+namespace redist::obs {
+
+TraceSession::TraceSession(std::function<std::uint64_t()> clock)
+    : clock_(std::move(clock)) {
+  if (!clock_) origin_ns_ = Stopwatch::now_ns();
+}
+
+std::uint64_t TraceSession::now() const {
+  if (clock_) return clock_();
+  return Stopwatch::now_ns() - origin_ns_;
+}
+
+void TraceSession::record(TraceEvent&& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> TraceSession::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::size_t TraceSession::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::uint32_t TraceSession::current_tid() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t tid =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.12g", v);
+  return buffer;
+}
+
+std::string json_quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+        break;
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace redist::obs

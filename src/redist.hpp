@@ -15,6 +15,11 @@
 #include "common/table.hpp"
 #include "common/types.hpp"
 
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
+
 #include "graph/bipartite_graph.hpp"
 #include "graph/graphio.hpp"
 #include "graph/traffic_matrix.hpp"

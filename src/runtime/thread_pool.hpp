@@ -17,6 +17,10 @@
 #include <thread>
 #include <vector>
 
+#include "common/stopwatch.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+
 namespace redist {
 
 class ThreadPool {
@@ -48,9 +52,19 @@ class ThreadPool {
 
   /// Enqueues a job. Safe to call from any thread, including from a job.
   void submit(std::function<void()> job) {
+    obs::MetricsRegistry* const metrics = obs::metrics();
+    std::uint64_t enqueue_ns = 0;
+    if (metrics != nullptr) {
+      metrics->counter("runtime.pool.tasks").add();
+      enqueue_ns = Stopwatch::now_ns();
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      queue_.push_back(std::move(job));
+      queue_.push_back(QueuedJob{std::move(job), enqueue_ns});
+      if (metrics != nullptr) {
+        metrics->gauge("runtime.pool.queue_depth")
+            .set(static_cast<std::int64_t>(queue_.size()));
+      }
     }
     work_available_.notify_one();
   }
@@ -63,17 +77,40 @@ class ThreadPool {
   }
 
  private:
+  struct QueuedJob {
+    std::function<void()> job;
+    std::uint64_t enqueue_ns;  // Stopwatch::now_ns at submit; 0 = untimed
+  };
+
   void work() {
     std::unique_lock<std::mutex> lock(mutex_);
     for (;;) {
       work_available_.wait(lock,
                            [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // only reachable when stopping
-      std::function<void()> job = std::move(queue_.front());
+      QueuedJob entry = std::move(queue_.front());
       queue_.pop_front();
       ++active_;
+      // Re-read the sink per job: telemetry may have been installed (or
+      // torn down) after this worker was spawned.
+      obs::MetricsRegistry* const metrics = obs::metrics();
+      if (metrics != nullptr) {
+        metrics->gauge("runtime.pool.queue_depth")
+            .set(static_cast<std::int64_t>(queue_.size()));
+      }
       lock.unlock();
-      job();
+      if (metrics != nullptr) {
+        const std::uint64_t start_ns = Stopwatch::now_ns();
+        if (entry.enqueue_ns != 0 && start_ns >= entry.enqueue_ns) {
+          metrics->histogram("runtime.pool.task_wait_ms")
+              .record(static_cast<double>(start_ns - entry.enqueue_ns) / 1e6);
+        }
+        entry.job();
+        metrics->histogram("runtime.pool.task_run_ms")
+            .record(static_cast<double>(Stopwatch::now_ns() - start_ns) / 1e6);
+      } else {
+        entry.job();
+      }
       lock.lock();
       if (--active_ == 0 && queue_.empty()) idle_.notify_all();
     }
@@ -82,7 +119,7 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable idle_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedJob> queue_;
   std::vector<std::thread> workers_;
   int active_ = 0;
   bool stopping_ = false;

@@ -141,6 +141,75 @@ TEST(Cli, VerifyRejectsTamperedSchedule) {
   EXPECT_NE(bad.output.find("coverage"), std::string::npos) << bad.output;
 }
 
+TEST(Cli, SolveWritesMetricsAndTrace) {
+  const std::string graph = temp_dir() + "/telemetry_g.txt";
+  const std::string metrics = temp_dir() + "/telemetry_m.json";
+  const std::string trace = temp_dir() + "/telemetry_t.json";
+  // Seed 7 yields a 9x4, 31-edge instance — large enough that the warm
+  // bottleneck search actually probes and Hopcroft–Karp runs phases.
+  ASSERT_EQ(run_cli("generate --out=" + graph +
+                    " --seed=7 --max-nodes=12 --max-edges=60")
+                .status,
+            0);
+  const CommandResult solve =
+      run_cli("solve --in=" + graph + " --k=3 --engine=warm --quiet" +
+              " --metrics-out=" + metrics + " --trace-out=" + trace);
+  ASSERT_EQ(solve.status, 0) << solve.output;
+  EXPECT_NE(solve.output.find("metrics written to"), std::string::npos);
+  EXPECT_NE(solve.output.find("trace written to"), std::string::npos);
+
+  const std::string metrics_json = slurp(metrics);
+  EXPECT_NE(metrics_json.find("\"schema\": \"redist.metrics.v1\""),
+            std::string::npos);
+  EXPECT_NE(metrics_json.find("\"wrgp.steps\""), std::string::npos);
+  EXPECT_NE(metrics_json.find("\"warm.ledger.hits\""), std::string::npos);
+  EXPECT_NE(metrics_json.find("\"bottleneck.probes\""), std::string::npos);
+
+  const std::string trace_json = slurp(trace);
+  EXPECT_NE(trace_json.find("\"traceEvents\""), std::string::npos);
+  for (const char* span : {"\"solve_kpbs\"", "\"regularize\"", "\"wrgp.step\"",
+                           "\"bottleneck.probe\"", "\"hk.phase\""}) {
+    EXPECT_NE(trace_json.find(span), std::string::npos) << span;
+  }
+}
+
+TEST(Cli, SolveWritesMetricsCsv) {
+  const std::string graph = temp_dir() + "/telemetry_csv_g.txt";
+  const std::string metrics = temp_dir() + "/telemetry_m.csv";
+  ASSERT_EQ(run_cli("generate --out=" + graph +
+                    " --seed=12 --max-nodes=8 --max-edges=20")
+                .status,
+            0);
+  ASSERT_EQ(run_cli("solve --in=" + graph + " --k=3 --quiet --metrics-out=" +
+                    metrics)
+                .status,
+            0);
+  const std::string csv = slurp(metrics);
+  EXPECT_EQ(csv.rfind("name,kind,count,value,mean,min,max\n", 0), 0u);
+  EXPECT_NE(csv.find("wrgp.steps,counter,"), std::string::npos);
+}
+
+TEST(Cli, BatchPrintsSummaryTableAndMetrics) {
+  const std::string graph = temp_dir() + "/batch_g.txt";
+  const std::string metrics = temp_dir() + "/batch_m.json";
+  ASSERT_EQ(run_cli("generate --out=" + graph +
+                    " --seed=13 --max-nodes=8 --max-edges=24")
+                .status,
+            0);
+  const CommandResult batch =
+      run_cli("batch --in=" + graph + "," + graph +
+              " --k=3 --threads=2 --metrics-out=" + metrics);
+  ASSERT_EQ(batch.status, 0) << batch.output;
+  EXPECT_NE(batch.output.find("instance"), std::string::npos);
+  EXPECT_NE(batch.output.find("solve_ms"), std::string::npos);
+  EXPECT_NE(batch.output.find("instances/s"), std::string::npos);
+  const std::string metrics_json = slurp(metrics);
+  EXPECT_NE(metrics_json.find("\"kpbs.batch.instances\": 2"),
+            std::string::npos);
+  EXPECT_NE(metrics_json.find("\"runtime.pool.tasks\": 2"),
+            std::string::npos);
+}
+
 TEST(Cli, SimulateReportsBothModes) {
   const std::string graph = temp_dir() + "/sim.txt";
   ASSERT_EQ(run_cli("generate --out=" + graph +

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/error.hpp"
 #include "common/rng.hpp"
 
@@ -19,11 +21,40 @@ TEST(RunningStats, BasicMoments) {
   EXPECT_DOUBLE_EQ(s.sum(), 40.0);
 }
 
-TEST(RunningStats, EmptyThrowsOnQueries) {
+TEST(RunningStats, EmptyQueriesAreWellDefined) {
   RunningStats s;
-  EXPECT_THROW(s.mean(), Error);
-  EXPECT_THROW(s.min(), Error);
-  EXPECT_THROW(s.max(), Error);
+  EXPECT_TRUE(std::isnan(s.mean()));
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.max()));
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+  EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(RunningStats, MergeEmptyIntoEmptyStaysEmpty) {
+  RunningStats a;
+  RunningStats b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_TRUE(std::isnan(a.mean()));
+}
+
+// Negative-only samples guard against a merge that treats the zero-valued
+// fields of an empty accumulator as real min/max candidates.
+TEST(RunningStats, MergeFromEmptyDoesNotInventZeroExtrema) {
+  RunningStats a;
+  RunningStats b;
+  b.add(-5.0);
+  b.add(-1.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.min(), -5.0);
+  EXPECT_DOUBLE_EQ(a.max(), -1.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.min(), -5.0);
+  EXPECT_DOUBLE_EQ(a.max(), -1.0);
+  EXPECT_EQ(a.count(), 2u);
 }
 
 TEST(RunningStats, SingleSample) {
@@ -79,7 +110,10 @@ TEST(SampleSet, ExactPercentiles) {
 
 TEST(SampleSet, PercentileValidatesInput) {
   SampleSet s;
-  EXPECT_THROW(s.percentile(50), Error);  // empty
+  EXPECT_TRUE(std::isnan(s.percentile(50)));  // empty: NaN, not a throw
+  EXPECT_TRUE(std::isnan(s.mean()));
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.max()));
   s.add(1.0);
   EXPECT_THROW(s.percentile(-1), Error);
   EXPECT_THROW(s.percentile(101), Error);

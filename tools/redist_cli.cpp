@@ -6,14 +6,16 @@
 //       Writes a random instance in the graph text format.
 //   solve     --in=FILE [--k=4] [--beta=1] [--algo=oggp|ggp|ggp-mw]
 //             [--engine=warm|cold] [--out=FILE] [--quiet]
+//             [--metrics-out=FILE] [--trace-out=FILE]
 //       Solves K-PBS, validates the result, prints schedule + stats, and
 //       optionally writes the schedule in the schedule text format. The
 //       warm engine (default) reuses matching state across peeling steps;
 //       both engines emit identical schedules (see docs/PERF.md).
 //   batch     --in=FILE[,FILE...] [--k=4] [--beta=1] [--algo=oggp]
 //             [--engine=warm|cold] [--threads=0] [--repeat=1]
+//             [--metrics-out=FILE] [--trace-out=FILE]
 //       Solves every instance concurrently on a worker pool (0 threads =
-//       hardware concurrency) and prints per-instance results plus
+//       hardware concurrency) and prints a per-instance summary table plus
 //       aggregate throughput.
 //   lb        --in=FILE [--k=4] [--beta=1]
 //       Prints the lower bound decomposition.
@@ -27,11 +29,16 @@
 //             [--async]
 //       Renders the schedule (or its barrier-relaxed variant) as SVG.
 //   verify    --in=FILE --schedule=FILE [--k=4] [--beta=1] [--makespan=M]
-//             [--bound]
+//             [--bound] [--metrics-out=FILE] [--trace-out=FILE]
 //       Validates a schedule file against its source graph: 1-port
 //       matchings, step width <= k, exact coverage of the demanded
 //       weights, makespan consistency (against --makespan when given) and,
 //       with --bound, the 2x lower-bound guarantee. Exits 0 iff valid.
+//
+// The solve, batch, and verify subcommands accept --metrics-out=FILE (flat
+// metrics JSON, or CSV when FILE ends in .csv) and --trace-out=FILE (Chrome
+// trace_event JSON for chrome://tracing / Perfetto); see
+// docs/OBSERVABILITY.md for the formats and the metric catalog.
 //
 // Graphs use the text format of graph/graphio.hpp; schedules the format of
 // kpbs/schedule_io.hpp.
@@ -78,6 +85,50 @@ BipartiteGraph load_graph(const std::string& path) {
   return read_graph(in);
 }
 
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// Consumes --metrics-out / --trace-out, installs process-wide telemetry
+// sinks for the lifetime of the object, and writes the export files on
+// flush(). With neither flag given the null sinks stay installed and the
+// solve paths record nothing.
+class CliTelemetry {
+ public:
+  explicit CliTelemetry(Flags& flags)
+      : metrics_path_(flags.get_string("metrics-out", "")),
+        trace_path_(flags.get_string("trace-out", "")),
+        scoped_(metrics_path_.empty() ? nullptr : &registry_,
+                trace_path_.empty() ? nullptr : &session_) {}
+
+  void flush() const {
+    if (!metrics_path_.empty()) {
+      std::ofstream os(metrics_path_);
+      if (!os) throw Error("cannot write: " + metrics_path_);
+      if (ends_with(metrics_path_, ".csv")) {
+        obs::write_metrics_csv(os, registry_);
+      } else {
+        obs::write_metrics_json(os, registry_);
+      }
+      std::cout << "metrics written to " << metrics_path_ << '\n';
+    }
+    if (!trace_path_.empty()) {
+      std::ofstream os(trace_path_);
+      if (!os) throw Error("cannot write: " + trace_path_);
+      obs::write_chrome_trace(os, session_);
+      std::cout << "trace written to " << trace_path_ << '\n';
+    }
+  }
+
+ private:
+  std::string metrics_path_;
+  std::string trace_path_;
+  obs::MetricsRegistry registry_;
+  obs::TraceSession session_;
+  obs::ScopedTelemetry scoped_;
+};
+
 int cmd_generate(Flags& flags) {
   const std::string out = flags.get_string("out", "");
   if (out.empty()) throw Error("generate requires --out=FILE");
@@ -109,6 +160,7 @@ int cmd_solve(Flags& flags) {
       parse_engine(flags.get_string("engine", "warm"));
   const std::string out = flags.get_string("out", "");
   const bool quiet = flags.get_bool("quiet", false);
+  CliTelemetry telemetry(flags);
   flags.check_unused();
 
   const BipartiteGraph g = load_graph(in);
@@ -127,6 +179,7 @@ int cmd_solve(Flags& flags) {
     write_schedule(os, s);
     std::cout << "schedule written to " << out << '\n';
   }
+  telemetry.flush();
   return 0;
 }
 
@@ -140,6 +193,7 @@ int cmd_batch(Flags& flags) {
       parse_engine(flags.get_string("engine", "warm"));
   const int threads = static_cast<int>(flags.get_int("threads", 0));
   const int repeat = static_cast<int>(flags.get_int("repeat", 1));
+  CliTelemetry telemetry(flags);
   flags.check_unused();
   if (repeat < 1) throw Error("--repeat must be >= 1");
 
@@ -162,13 +216,23 @@ int cmd_batch(Flags& flags) {
   options.threads = threads;
   options.engine = engine;
   Stopwatch timer;
-  const std::vector<Schedule> schedules = solve_kpbs_batch(requests, options);
+  std::vector<double> instance_ms;
+  const std::vector<Schedule> schedules =
+      solve_kpbs_batch(requests, options, &instance_ms);
   const double seconds = timer.elapsed_seconds();
 
+  // Per-instance summary (first repeat only: later repeats are identical
+  // schedules re-solved for throughput measurement).
+  Table summary({"instance", "steps", "cost", "solve_ms"});
   for (std::size_t i = 0; i < paths.size(); ++i) {
-    std::cout << paths[i] << ": " << schedules[i].step_count()
-              << " steps, cost " << schedules[i].cost(beta) << '\n';
+    summary.add_row({paths[i],
+                     Table::fmt(static_cast<std::int64_t>(
+                         schedules[i].step_count())),
+                     Table::fmt(static_cast<std::int64_t>(
+                         schedules[i].cost(beta))),
+                     Table::fmt(instance_ms[i], 3)});
   }
+  summary.print(std::cout);
   std::cout << algorithm_name(algo) << "/" << engine_name(engine) << ": "
             << schedules.size() << " instances in "
             << Table::fmt(seconds * 1e3, 2) << " ms ("
@@ -178,6 +242,7 @@ int cmd_batch(Flags& flags) {
             << " instances/s, threads="
             << (threads > 0 ? std::to_string(threads) : std::string("auto"))
             << ")\n";
+  telemetry.flush();
   return 0;
 }
 
@@ -272,6 +337,7 @@ int cmd_verify(Flags& flags) {
   const Weight beta = flags.get_int("beta", 1);
   const Weight makespan = flags.get_int("makespan", -1);
   const bool bound = flags.get_bool("bound", false);
+  CliTelemetry telemetry(flags);
   flags.check_unused();
 
   const BipartiteGraph g = load_graph(in);
@@ -289,6 +355,7 @@ int cmd_verify(Flags& flags) {
   std::cout << "schedule: " << s.step_count() << " steps, cost "
             << s.cost(beta) << " (k=" << options.k << ", beta=" << beta
             << ")\n";
+  telemetry.flush();
   if (report.ok()) {
     std::cout << "VALID: all invariants hold"
               << (bound ? " (incl. 2x lower-bound)" : "") << '\n';
