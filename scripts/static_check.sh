@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# Single entry point for every static gate (docs/STATIC_ANALYSIS.md).
+#
+#   scripts/static_check.sh               # run all stages, skip missing tools
+#   scripts/static_check.sh lint tidy     # run named stages, fail if missing
+#
+# Stages:
+#   lint           build + run tools/redist_lint over src/ tools/ bench/
+#   thread-safety  clang -fsyntax-only -Werror=thread-safety over the
+#                  annotated dirs (src/runtime, src/obs, src/mpilite)
+#   tidy           run-clang-tidy over src/ tools/ bench/ tests/
+#   cppcheck       cppcheck smoke (warning,performance,portability)
+#   format         tools/check_format.sh (check-only clang-format)
+#
+# With no arguments the script is a best-effort local pre-push hook: a
+# stage whose tool is not installed is reported and skipped. CI names each
+# stage explicitly, which turns a missing tool into a hard failure.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-${ROOT}/build}"
+ALL_STAGES=(lint thread-safety tidy cppcheck format)
+STRICT=1
+FAILED=0
+
+if [[ $# -eq 0 ]]; then
+  STRICT=0
+  set -- "${ALL_STAGES[@]}"
+fi
+
+note() { printf '== static_check: %s\n' "$*"; }
+
+missing_tool() {
+  if [[ ${STRICT} -eq 1 ]]; then
+    note "FAIL: required tool '$1' not found"
+    exit 1
+  fi
+  note "skip: '$1' not installed"
+}
+
+ensure_build() {
+  if [[ ! -f "${BUILD_DIR}/CMakeCache.txt" ]]; then
+    cmake -S "${ROOT}" -B "${BUILD_DIR}" >/dev/null
+  fi
+}
+
+stage_lint() {
+  command -v cmake >/dev/null || { missing_tool cmake; return; }
+  ensure_build
+  cmake --build "${BUILD_DIR}" --target redist_lint -j >/dev/null
+  "${BUILD_DIR}/tools/redist_lint" --root="${ROOT}" src tools bench
+  note "ok: redist_lint clean"
+}
+
+stage_thread_safety() {
+  command -v clang++ >/dev/null || { missing_tool clang++; return; }
+  local f
+  for f in "${ROOT}"/src/{runtime,obs,mpilite}/*.{cpp,hpp}; do
+    [[ -e "${f}" ]] || continue
+    clang++ -std=c++20 -x c++ -fsyntax-only -I "${ROOT}/src" \
+      -Wthread-safety -Werror=thread-safety "${f}"
+  done
+  note "ok: thread-safety analysis clean"
+}
+
+stage_tidy() {
+  command -v run-clang-tidy >/dev/null || { missing_tool run-clang-tidy; return; }
+  ensure_build
+  run-clang-tidy -p "${BUILD_DIR}" -quiet \
+    "${ROOT}/(src|tools|bench|tests)/.*\.cpp\$"
+  note "ok: clang-tidy clean"
+}
+
+stage_cppcheck() {
+  command -v cppcheck >/dev/null || { missing_tool cppcheck; return; }
+  cppcheck --enable=warning,performance,portability --error-exitcode=1 \
+    --std=c++20 --inline-suppr --quiet \
+    --suppress=internalAstError --suppress=uninitMemberVar \
+    -I "${ROOT}/src" "${ROOT}/src" "${ROOT}/tools"
+  note "ok: cppcheck clean"
+}
+
+stage_format() {
+  command -v clang-format >/dev/null || { missing_tool clang-format; return; }
+  "${ROOT}/tools/check_format.sh"
+  note "ok: clang-format clean"
+}
+
+for stage in "$@"; do
+  case "${stage}" in
+    lint) stage_lint ;;
+    thread-safety) stage_thread_safety ;;
+    tidy) stage_tidy ;;
+    cppcheck) stage_cppcheck ;;
+    format) stage_format ;;
+    *)
+      note "unknown stage '${stage}' (stages: ${ALL_STAGES[*]})"
+      exit 2
+      ;;
+  esac || FAILED=1
+done
+
+exit "${FAILED}"

@@ -87,6 +87,9 @@ double Rng::normal(double mean, double stddev) {
     u = 2.0 * uniform01() - 1.0;
     v = 2.0 * uniform01() - 1.0;
     s = u * u + v * v;
+    // Marsaglia polar rejection: s == 0.0 is the exact degenerate sample
+    // (log(0) below), not a tolerance question.
+    // redist-lint: allow(float-eq)
   } while (s >= 1.0 || s == 0.0);
   const double factor = std::sqrt(-2.0 * std::log(s) / s);
   cached_normal_ = v * factor;

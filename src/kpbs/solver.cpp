@@ -162,6 +162,9 @@ double evaluation_ratio(const BipartiteGraph& demand, const Schedule& s,
                         int k, Weight beta) {
   const LowerBound lb = kpbs_lower_bound(demand, k, beta);
   const double bound = lb.value_double();
+  // The lower bound is a ratio of exact integers; it is 0.0 only when the
+  // integer numerator is zero, so exact comparison is the correct guard.
+  // redist-lint: allow(float-eq)
   if (bound == 0.0) return 1.0;
   return static_cast<double>(s.cost(beta)) / bound;
 }

@@ -94,7 +94,7 @@ void Communicator::send(int to, std::uint32_t tag, const void* data,
                         const std::vector<TokenBucket*>& shapers,
                         Bytes chunk) {
   Mesh::Link& link = link_to(to);
-  std::lock_guard<std::mutex> guard(link.send_mutex);
+  MutexLock guard(link.send_mutex);
   send_message(link.stream, tag, data, size, shapers, chunk);
 }
 
@@ -102,7 +102,7 @@ std::vector<char> Communicator::recv(int from, std::uint32_t expected_tag,
                                      const std::vector<TokenBucket*>& shapers,
                                      Bytes chunk) {
   Mesh::Link& link = link_to(from);
-  std::unique_lock<std::mutex> lock(link.recv_mutex);
+  MutexLock lock(link.recv_mutex);
   for (;;) {
     // Someone may already have parked our message.
     const auto it = link.inbox.find(expected_tag);
@@ -112,29 +112,28 @@ std::vector<char> Communicator::recv(int from, std::uint32_t expected_tag,
       return payload;
     }
     if (!link.reader_active) {
-      // Become the reader: pull the next frame off the wire.
+      // Become the reader: pull the next frame off the wire with the lock
+      // released. The wire failure is captured and rethrown after
+      // re-acquiring, so every lock transition is straight-line code the
+      // thread-safety analysis can verify.
       link.reader_active = true;
       lock.unlock();
       std::vector<char> payload;
       std::uint32_t got = 0;
+      std::exception_ptr wire_error;
       try {
         got = recv_message(link.stream, payload, shapers, chunk);
       } catch (...) {
-        lock.lock();
-        link.reader_active = false;
-        link.recv_cv.notify_all();
-        throw;
+        wire_error = std::current_exception();
       }
       lock.lock();
       link.reader_active = false;
-      if (got == expected_tag) {
-        link.recv_cv.notify_all();
-        return payload;
-      }
-      link.inbox[got].push_back(std::move(payload));
       link.recv_cv.notify_all();
+      if (wire_error) std::rethrow_exception(wire_error);
+      if (got == expected_tag) return payload;
+      link.inbox[got].push_back(std::move(payload));
     } else {
-      link.recv_cv.wait(lock);
+      link.recv_cv.wait(link.recv_mutex);
     }
   }
 }

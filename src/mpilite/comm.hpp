@@ -12,15 +12,14 @@
 // backlog makes the ordering race-free.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/sync.hpp"
 #include "net/message.hpp"
 #include "net/socket.hpp"
 
@@ -46,12 +45,17 @@ class Mesh {
   // with different tags (e.g. a data-drain thread and a barrier); frames
   // read for someone else's tag are parked in the inbox.
   struct Link {
-    TcpStream stream;
-    std::mutex send_mutex;
-    std::mutex recv_mutex;
-    std::condition_variable recv_cv;
-    bool reader_active = false;
-    std::map<std::uint32_t, std::deque<std::vector<char>>> inbox;
+    // Full-duplex socket: the write side is serialized by send_mutex, the
+    // read side by the reader_active hand-off below (exactly one thread
+    // reads the wire at a time, with recv_mutex released during the read).
+    // That protocol spans two capabilities, which is beyond GUARDED_BY.
+    TcpStream stream;  // redist-lint: allow(mutex-guard) duplex protocol
+    Mutex send_mutex;
+    Mutex recv_mutex;
+    CondVar recv_cv;
+    bool reader_active REDIST_GUARDED_BY(recv_mutex) = false;
+    std::map<std::uint32_t, std::deque<std::vector<char>>> inbox
+        REDIST_GUARDED_BY(recv_mutex);
   };
 
   int size_ = 0;

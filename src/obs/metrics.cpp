@@ -11,14 +11,14 @@ Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
 }
 
 void Histogram::record(double x) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
   ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
   summary_.add(x);
 }
 
 HistogramSnapshot Histogram::snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return HistogramSnapshot{bounds_, counts_, summary_};
 }
 
@@ -35,7 +35,7 @@ std::vector<double> default_amount_bounds() {
 
 Counter& MetricsRegistry::counter(std::string_view name) {
   Shard& shard = shard_for(name);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   const auto it = shard.counters.find(name);
   if (it != shard.counters.end()) return *it->second;
   return *shard.counters.emplace(std::string(name), std::make_unique<Counter>())
@@ -44,7 +44,7 @@ Counter& MetricsRegistry::counter(std::string_view name) {
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
   Shard& shard = shard_for(name);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   const auto it = shard.gauges.find(name);
   if (it != shard.gauges.end()) return *it->second;
   return *shard.gauges.emplace(std::string(name), std::make_unique<Gauge>())
@@ -54,7 +54,7 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
 Histogram& MetricsRegistry::histogram(std::string_view name,
                                       std::vector<double> bounds) {
   Shard& shard = shard_for(name);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   const auto it = shard.histograms.find(name);
   if (it != shard.histograms.end()) return *it->second;
   if (bounds.empty()) bounds = default_latency_bounds_ms();
@@ -67,7 +67,7 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
 MetricsSnapshot MetricsRegistry::snapshot() const {
   MetricsSnapshot out;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     for (const auto& entry : shard.counters) {
       out.counters.emplace_back(entry.first, entry.second->value());
     }

@@ -22,13 +22,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
 #include "common/stats.hpp"
+#include "common/sync.hpp"
 
 namespace redist::obs {
 
@@ -90,10 +90,10 @@ class Histogram {
   HistogramSnapshot snapshot() const;
 
  private:
-  mutable std::mutex mu_;
-  std::vector<double> bounds_;
-  std::vector<std::uint64_t> counts_;
-  RunningStats summary_;
+  mutable Mutex mu_;
+  std::vector<double> bounds_ REDIST_GUARDED_BY(mu_);
+  std::vector<std::uint64_t> counts_ REDIST_GUARDED_BY(mu_);
+  RunningStats summary_ REDIST_GUARDED_BY(mu_);
 };
 
 /// Default bucket layout for millisecond latencies (10 µs .. 10 s).
@@ -135,10 +135,13 @@ class MetricsRegistry {
 
  private:
   struct Shard {
-    mutable std::mutex mu;
-    std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
-    std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
-    std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+    mutable Mutex mu;
+    std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters
+        REDIST_GUARDED_BY(mu);
+    std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges
+        REDIST_GUARDED_BY(mu);
+    std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms
+        REDIST_GUARDED_BY(mu);
   };
   static constexpr std::size_t kShards = 8;
 

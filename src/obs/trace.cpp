@@ -9,9 +9,8 @@
 namespace redist::obs {
 
 TraceSession::TraceSession(std::function<std::uint64_t()> clock)
-    : clock_(std::move(clock)) {
-  if (!clock_) origin_ns_ = Stopwatch::now_ns();
-}
+    : clock_(std::move(clock)),
+      origin_ns_(clock_ ? 0 : Stopwatch::now_ns()) {}
 
 std::uint64_t TraceSession::now() const {
   if (clock_) return clock_();
@@ -19,17 +18,17 @@ std::uint64_t TraceSession::now() const {
 }
 
 void TraceSession::record(TraceEvent&& event) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   events_.push_back(std::move(event));
 }
 
 std::vector<TraceEvent> TraceSession::snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return events_;
 }
 
 std::size_t TraceSession::event_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return events_.size();
 }
 

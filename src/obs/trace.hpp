@@ -22,11 +22,12 @@
 
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <type_traits>
 #include <vector>
+
+#include "common/sync.hpp"
 
 namespace redist::obs {
 
@@ -67,10 +68,12 @@ class TraceSession {
   static std::uint32_t current_tid();
 
  private:
-  std::function<std::uint64_t()> clock_;
-  std::uint64_t origin_ns_ = 0;
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> events_;
+  // Both immutable after construction: clock_ is called (const) from any
+  // thread, origin_ns_ only rebases the default clock.
+  const std::function<std::uint64_t()> clock_;
+  const std::uint64_t origin_ns_;
+  mutable Mutex mu_;
+  std::vector<TraceEvent> events_ REDIST_GUARDED_BY(mu_);
 };
 
 /// Renders a double as a JSON number token (no exponent surprises for the

@@ -6,18 +6,24 @@
 // throw — wrap the body in try/catch and stash the exception (as
 // solve_kpbs_batch does) if failure is an expected outcome.
 //
+// Locking discipline is machine-checked: queue_, active_ and stopping_
+// are REDIST_GUARDED_BY(mutex_) and clang -Werror=thread-safety proves
+// every access holds the lock (docs/STATIC_ANALYSIS.md). The worker loop
+// releases the lock around the job body through MutexLock's checked
+// unlock()/lock(), and waits are explicit while-loops because the
+// analysis cannot see into predicate lambdas.
+//
 // Header-only so layers below redist_runtime (the kpbs batch front end) can
 // use it without a link-time cycle between the static libraries.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/stopwatch.hpp"
+#include "common/sync.hpp"
 #include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
 
@@ -38,7 +44,7 @@ class ThreadPool {
   ~ThreadPool() {
     wait_idle();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       stopping_ = true;
     }
     work_available_.notify_all();
@@ -59,7 +65,7 @@ class ThreadPool {
       enqueue_ns = Stopwatch::now_ns();
     }
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       queue_.push_back(QueuedJob{std::move(job), enqueue_ns});
       if (metrics != nullptr) {
         metrics->gauge("runtime.pool.queue_depth")
@@ -72,8 +78,8 @@ class ThreadPool {
   /// Blocks until every submitted job has completed. The pool is reusable
   /// afterwards (submit/wait cycles may repeat).
   void wait_idle() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+    MutexLock lock(mutex_);
+    while (!queue_.empty() || active_ != 0) idle_.wait(mutex_);
   }
 
  private:
@@ -83,10 +89,9 @@ class ThreadPool {
   };
 
   void work() {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (;;) {
-      work_available_.wait(lock,
-                           [this] { return stopping_ || !queue_.empty(); });
+      while (!stopping_ && queue_.empty()) work_available_.wait(mutex_);
       if (queue_.empty()) return;  // only reachable when stopping
       QueuedJob entry = std::move(queue_.front());
       queue_.pop_front();
@@ -116,13 +121,15 @@ class ThreadPool {
     }
   }
 
-  std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable idle_;
-  std::deque<QueuedJob> queue_;
-  std::vector<std::thread> workers_;
-  int active_ = 0;
-  bool stopping_ = false;
+  Mutex mutex_;
+  CondVar work_available_;
+  CondVar idle_;
+  std::deque<QueuedJob> queue_ REDIST_GUARDED_BY(mutex_);
+  // Written only by the constructor, joined only by the destructor (both
+  // single-threaded by contract).
+  std::vector<std::thread> workers_;  // redist-lint: allow(mutex-guard)
+  int active_ REDIST_GUARDED_BY(mutex_) = 0;
+  bool stopping_ REDIST_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace redist

@@ -4,12 +4,16 @@
 // module, "a software token bucket filter". This class is that filter in
 // user space: acquire(n) blocks the calling thread until n byte-tokens are
 // available. Buckets refill continuously at `rate_bps` up to `burst_bytes`.
+//
+// tokens_ and last_refill_ are REDIST_GUARDED_BY(mutex_) and
+// refill_locked() carries REDIST_REQUIRES(mutex_), so the "caller holds
+// the mutex" contract is compiler-checked under clang -Wthread-safety
+// instead of being a comment.
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
-#include <mutex>
 
+#include "common/sync.hpp"
 #include "common/types.hpp"
 
 namespace redist {
@@ -31,14 +35,14 @@ class TokenBucket {
  private:
   using Clock = std::chrono::steady_clock;
 
-  /// Refills based on elapsed time. Caller holds the mutex.
-  void refill_locked(Clock::time_point now);
+  /// Refills based on elapsed time.
+  void refill_locked(Clock::time_point now) REDIST_REQUIRES(mutex_);
 
   const double rate_bps_;
   const double burst_;
-  std::mutex mutex_;
-  double tokens_;
-  Clock::time_point last_refill_;
+  Mutex mutex_;
+  double tokens_ REDIST_GUARDED_BY(mutex_);
+  Clock::time_point last_refill_ REDIST_GUARDED_BY(mutex_);
 };
 
 }  // namespace redist

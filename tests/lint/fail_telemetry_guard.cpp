@@ -1,0 +1,5 @@
+// Lint fixture (never compiled): must fire telemetry-guard twice.
+void bump() {
+  obs::metrics()->counter("x").add();
+  obs::trace()->begin("span");
+}

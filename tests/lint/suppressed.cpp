@@ -1,0 +1,8 @@
+// Lint fixture (never compiled): allow() directives neutralize findings
+// on the same line and on the line directly below the comment.
+// redist-lint: allow(wallclock) deliberate wall-clock read in fixture
+long stamp() { return time(nullptr); }
+
+long stamp_again() {
+  return time(nullptr);  // redist-lint: allow(wallclock) same-line allow
+}

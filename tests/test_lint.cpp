@@ -1,0 +1,197 @@
+// Pins the redist_lint rule pass: every rule has a must-fire and a
+// near-miss fixture under tests/lint/, plus unit tests for scoping,
+// suppressions, and the two acceptance scenarios (rand() in the solver,
+// GUARDED_BY removed from an annotated class).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "lint/lint_core.hpp"
+
+namespace redist::lint {
+namespace {
+
+#ifndef REDIST_LINT_FIXTURE_DIR
+#error "REDIST_LINT_FIXTURE_DIR must point at tests/lint"
+#endif
+
+std::string rule_file_stem(const std::string& rule) {
+  std::string stem = rule;
+  for (char& c : stem) {
+    if (c == '-') c = '_';
+  }
+  return stem;
+}
+
+Options fixture_options(const std::string& rule) {
+  Options options;
+  options.scope_by_path = false;
+  options.rules = {rule};
+  return options;
+}
+
+std::vector<Finding> lint_fixture(const std::string& name,
+                                  const Options& options) {
+  const std::string path = std::string(REDIST_LINT_FIXTURE_DIR) + "/" + name;
+  return lint_file(path, name, options);
+}
+
+class LintFixtures : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(LintFixtures, MustFireFixtureFires) {
+  const std::string rule = GetParam();
+  const auto findings =
+      lint_fixture("fail_" + rule_file_stem(rule) + ".cpp",
+                   fixture_options(rule));
+  ASSERT_FALSE(findings.empty()) << "fixture for " << rule << " is silent";
+  for (const Finding& f : findings) EXPECT_EQ(f.rule, rule);
+}
+
+TEST_P(LintFixtures, NearMissFixtureStaysClean) {
+  const std::string rule = GetParam();
+  const auto findings =
+      lint_fixture("pass_" + rule_file_stem(rule) + ".cpp",
+                   fixture_options(rule));
+  for (const Finding& f : findings) {
+    ADD_FAILURE() << f.file << ":" << f.line << " [" << f.rule << "] "
+                  << f.message;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRules, LintFixtures,
+                         ::testing::ValuesIn(rule_ids()),
+                         [](const auto& info) {
+                           return rule_file_stem(info.param);
+                         });
+
+TEST(LintRules, RegistryIsComplete) {
+  EXPECT_EQ(rule_ids().size(), 5u);
+  for (const std::string& id : rule_ids()) {
+    EXPECT_FALSE(rule_description(id).empty()) << id;
+  }
+}
+
+TEST(LintSuppression, DirectivesNeutralizeFindings) {
+  const auto findings =
+      lint_fixture("suppressed.cpp", fixture_options("wallclock"));
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintSuppression, DirectiveOnlyCoversAdjacentLine) {
+  const char* src =
+      "// redist-lint: allow(wallclock) covers next line only\n"
+      "long a() { return time(nullptr); }\n"
+      "long b() { return time(nullptr); }\n";
+  Options options = fixture_options("wallclock");
+  const auto findings = lint_source("f.cpp", src, options);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(LintSuppression, TrailingDirectiveDoesNotBlanketTheNextLine) {
+  // Regression: a trailing allow on one member must not swallow a finding
+  // on the member declared directly below it.
+  const char* src =
+      "class C {\n"
+      "  Mutex mu_;\n"
+      "  Engine eng_;  // redist-lint: allow(mutex-guard) ctor-only\n"
+      "  int active_ = 0;\n"
+      "};\n";
+  const auto findings = lint_source("src/runtime/x.hpp", src, Options{});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 4);
+}
+
+TEST(LintSuppression, WrongRuleIdDoesNotSuppress) {
+  const char* src =
+      "// redist-lint: allow(float-eq) wrong rule\n"
+      "long a() { return time(nullptr); }\n";
+  const auto findings =
+      lint_source("f.cpp", src, fixture_options("wallclock"));
+  EXPECT_EQ(findings.size(), 1u);
+}
+
+// Acceptance scenario 1: seeding rand() into the solver must fail the run.
+TEST(LintScoping, RandInSolverFires) {
+  const char* src = "int jitter() { return rand(); }\n";
+  const auto findings = lint_source("src/kpbs/solver.cpp", src, Options{});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "no-nondeterminism");
+}
+
+TEST(LintScoping, TestsAreOutsideNondeterminismScope) {
+  const char* src = "int jitter() { return rand(); }\n";
+  const auto findings =
+      lint_source("tests/test_foo.cpp", src, Options{});
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintScoping, RngImplementationIsExempt) {
+  const char* src = "struct S { int x = mt19937_size; };\nint mt19937;\n";
+  const auto findings = lint_source("src/common/rng.hpp", src, Options{});
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintScoping, StopwatchOwnsTheWallClock) {
+  const char* src = "long f() { return time(nullptr); }\n";
+  EXPECT_TRUE(
+      lint_source("src/common/stopwatch.hpp", src, Options{}).empty());
+  EXPECT_EQ(lint_source("src/common/stopwatch.cpp", src, Options{}).size(),
+            1u);
+}
+
+// Acceptance scenario 2: deleting a GUARDED_BY from an annotated class
+// must fail the run.
+TEST(LintMutexGuard, RemovingGuardedByFires) {
+  const char* annotated =
+      "class C {\n"
+      "  Mutex mu_;\n"
+      "  long total_ REDIST_GUARDED_BY(mu_) = 0;\n"
+      "};\n";
+  const char* stripped =
+      "class C {\n"
+      "  Mutex mu_;\n"
+      "  long total_ = 0;\n"
+      "};\n";
+  EXPECT_TRUE(lint_source("src/runtime/x.hpp", annotated, Options{}).empty());
+  const auto findings = lint_source("src/runtime/x.hpp", stripped, Options{});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "mutex-guard");
+  EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(LintMutexGuard, ConstAtomicAndReferencesAreExemptByDefault) {
+  const char* src =
+      "class C {\n"
+      "  Mutex mu_;\n"
+      "  const int capacity_ = 4;\n"
+      "  std::atomic<bool> done_{false};\n"
+      "  Engine& engine_;\n"
+      "  static int instances;\n"
+      "};\n";
+  EXPECT_TRUE(lint_source("src/runtime/x.hpp", src, Options{}).empty());
+}
+
+TEST(LintFloatEq, NullptrComparisonIsNotAFloatCompare) {
+  const char* src =
+      "bool f(double* solve_ms) { return solve_ms != nullptr; }\n";
+  EXPECT_TRUE(lint_source("src/kpbs/x.cpp", src, Options{}).empty());
+}
+
+TEST(LintTokenizer, StringsCommentsAndPreprocessorAreInvisible) {
+  const char* src =
+      "#include <random>  // mt19937 lives here\n"
+      "const char* kName = \"mt19937\";\n"
+      "/* rand() in a block comment */\n"
+      "int f() { return 0; }\n";
+  EXPECT_TRUE(lint_source("src/kpbs/x.cpp", src, Options{}).empty());
+}
+
+TEST(LintCli, MissingFileThrows) {
+  EXPECT_THROW(lint_file("/nonexistent/nope.cpp", "nope.cpp", Options{}),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace redist::lint

@@ -1,0 +1,147 @@
+// Regression tests for the annotated synchronization layer
+// (common/sync.hpp) and the subsystems whose locking discipline the
+// thread-safety annotation pass reworked: ThreadPool's worker loop and
+// TokenBucket's guarded refill. Suites here run under TSan in CI.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/sync.hpp"
+#include "runtime/thread_pool.hpp"
+#include "runtime/token_bucket.hpp"
+
+namespace redist {
+namespace {
+
+TEST(SyncMutex, ProvidesMutualExclusion) {
+  Mutex mu;
+  long counter = 0;
+  std::vector<std::thread> threads;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&mu, &counter]() {
+      for (int i = 0; i < kIters; ++i) {
+        MutexLock lock(mu);
+        ++counter;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter, static_cast<long>(kThreads) * kIters);
+}
+
+TEST(SyncMutex, TryLockReportsContention) {
+  Mutex mu;
+  mu.lock();
+  EXPECT_FALSE(mu.try_lock());
+  mu.unlock();
+  EXPECT_TRUE(mu.try_lock());
+  mu.unlock();
+}
+
+TEST(SyncMutex, MidScopeUnlockReleasesTheLock) {
+  Mutex mu;
+  MutexLock lock(mu);
+  lock.unlock();
+  EXPECT_TRUE(mu.try_lock());  // provably released
+  mu.unlock();
+  lock.lock();  // re-acquire so the destructor's release is balanced
+}
+
+TEST(SyncCondVar, WakesWaiterOnNotify) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  std::thread waiter([&]() {
+    MutexLock lock(mu);
+    while (!ready) cv.wait(mu);
+  });
+  {
+    MutexLock lock(mu);
+    ready = true;
+  }
+  cv.notify_one();
+  waiter.join();
+  SUCCEED();
+}
+
+TEST(SyncCondVar, NotifyAllReleasesEveryWaiter) {
+  Mutex mu;
+  CondVar cv;
+  bool go = false;
+  std::atomic<int> awake{0};
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < 4; ++i) {
+    waiters.emplace_back([&]() {
+      MutexLock lock(mu);
+      while (!go) cv.wait(mu);
+      awake.fetch_add(1);
+    });
+  }
+  {
+    MutexLock lock(mu);
+    go = true;
+  }
+  cv.notify_all();
+  for (std::thread& t : waiters) t.join();
+  EXPECT_EQ(awake.load(), 4);
+}
+
+TEST(ThreadPoolSafety, ReusableAcrossWaitIdleCycles) {
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 64; ++i) {
+      pool.submit([&done]() { done.fetch_add(1); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(done.load(), (round + 1) * 64);
+  }
+}
+
+TEST(ThreadPoolSafety, SubmitFromWithinAJob) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.submit([&pool, &done]() {
+      pool.submit([&done]() { done.fetch_add(1); });
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 16);
+}
+
+TEST(ThreadPoolSafety, DestructorDrainsTheQueue) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 128; ++i) {
+      pool.submit([&done]() { done.fetch_add(1); });
+    }
+  }  // ~ThreadPool waits for idle before joining
+  EXPECT_EQ(done.load(), 128);
+}
+
+TEST(TokenBucketSafety, ConcurrentTryAcquireNeverOverIssues) {
+  // Very slow refill so the budget is essentially the burst; concurrent
+  // winners must never exceed burst + the tiny refill accrued in-flight.
+  TokenBucket bucket(1.0, 1000);
+  std::atomic<long> granted{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&bucket, &granted]() {
+      for (int i = 0; i < 50; ++i) {
+        if (bucket.try_acquire(10)) granted.fetch_add(10);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_LE(granted.load(), 1010);
+  EXPECT_GE(granted.load(), 1000);
+}
+
+}  // namespace
+}  // namespace redist

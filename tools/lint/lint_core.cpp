@@ -1,0 +1,680 @@
+#include "lint/lint_core.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace redist::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+enum class TokenKind { kIdent, kNumber, kString, kPunct };
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line;
+};
+
+// Suppression directives harvested from comments: line -> allowed rule ids.
+using AllowMap = std::map<int, std::set<std::string>>;
+
+// Records `allow(rule[, rule...])` directives found in a comment. A
+// standalone comment covers its own line(s) plus the line below; a
+// trailing comment (code before it on the same line) covers only its own
+// line, so it cannot accidentally blanket the next declaration.
+void harvest_directives(std::string_view comment, int first_line,
+                        int last_line, bool standalone, AllowMap& allows) {
+  const std::size_t marker = comment.find("redist-lint:");
+  if (marker == std::string_view::npos) return;
+  std::size_t pos = marker;
+  while ((pos = comment.find("allow(", pos)) != std::string_view::npos) {
+    pos += 6;
+    const std::size_t close = comment.find(')', pos);
+    if (close == std::string_view::npos) return;
+    std::string list(comment.substr(pos, close - pos));
+    std::stringstream stream(list);
+    std::string rule;
+    while (std::getline(stream, rule, ',')) {
+      const std::size_t begin = rule.find_first_not_of(" \t");
+      const std::size_t end = rule.find_last_not_of(" \t");
+      if (begin == std::string::npos) continue;
+      const int cover_to = standalone ? last_line + 1 : last_line;
+      for (int l = first_line; l <= cover_to; ++l) {
+        allows[l].insert(rule.substr(begin, end - begin + 1));
+      }
+    }
+    pos = close;
+  }
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::vector<Token> tokenize(std::string_view src, AllowMap& allows) {
+  std::vector<Token> tokens;
+  int line = 1;
+  bool line_start = true;  // only whitespace seen since the last newline
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      line_start = true;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: skip the whole (continued) line.
+    if (c == '#' && line_start) {
+      while (i < n) {
+        if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
+          ++line;
+          i += 2;
+          continue;
+        }
+        if (src[i] == '\n') break;
+        ++i;
+      }
+      continue;
+    }
+    line_start = false;
+    // Line comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      const bool standalone =
+          tokens.empty() || tokens.back().line != line;
+      const std::size_t end = src.find('\n', i);
+      const std::size_t stop = end == std::string_view::npos ? n : end;
+      harvest_directives(src.substr(i, stop - i), line, line, standalone,
+                         allows);
+      i = stop;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      const int first_line = line;
+      const bool standalone =
+          tokens.empty() || tokens.back().line != first_line;
+      std::size_t j = i + 2;
+      while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/')) {
+        if (src[j] == '\n') ++line;
+        ++j;
+      }
+      const std::size_t stop = j + 1 < n ? j + 2 : n;
+      harvest_directives(src.substr(i, stop - i), first_line, line,
+                         standalone, allows);
+      i = stop;
+      continue;
+    }
+    // Raw string literal (the R was just lexed as an identifier).
+    if (c == '"' && !tokens.empty() && tokens.back().kind == TokenKind::kIdent &&
+        (tokens.back().text == "R" || tokens.back().text == "LR" ||
+         tokens.back().text == "uR" || tokens.back().text == "UR" ||
+         tokens.back().text == "u8R")) {
+      tokens.pop_back();
+      std::size_t j = i + 1;
+      std::string delim;
+      while (j < n && src[j] != '(') delim.push_back(src[j++]);
+      const std::string closer = ")" + delim + "\"";
+      const std::size_t end = src.find(closer, j);
+      const std::size_t stop =
+          end == std::string_view::npos ? n : end + closer.size();
+      for (std::size_t k = i; k < stop; ++k) {
+        if (src[k] == '\n') ++line;
+      }
+      tokens.push_back(Token{TokenKind::kString, "", line});
+      i = stop;
+      continue;
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t j = i + 1;
+      while (j < n && src[j] != quote) {
+        if (src[j] == '\\' && j + 1 < n) ++j;
+        if (src[j] == '\n') ++line;
+        ++j;
+      }
+      tokens.push_back(Token{TokenKind::kString, "", line});
+      i = j < n ? j + 1 : n;
+      continue;
+    }
+    // Identifier.
+    if (ident_char(c) && std::isdigit(static_cast<unsigned char>(c)) == 0) {
+      std::size_t j = i;
+      while (j < n && ident_char(src[j])) ++j;
+      tokens.push_back(
+          Token{TokenKind::kIdent, std::string(src.substr(i, j - i)), line});
+      i = j;
+      continue;
+    }
+    // Number (covers hex, float, exponents, digit separators, suffixes).
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(src[i + 1])) != 0)) {
+      std::size_t j = i;
+      while (j < n && (ident_char(src[j]) || src[j] == '.' || src[j] == '\'' ||
+                       ((src[j] == '+' || src[j] == '-') && j > i &&
+                        (src[j - 1] == 'e' || src[j - 1] == 'E')))) {
+        ++j;
+      }
+      tokens.push_back(
+          Token{TokenKind::kNumber, std::string(src.substr(i, j - i)), line});
+      i = j;
+      continue;
+    }
+    // Multi-char punctuation the rules care about.
+    if (i + 1 < n) {
+      const std::string_view two = src.substr(i, 2);
+      if (two == "==" || two == "!=" || two == "::" || two == "->") {
+        tokens.push_back(Token{TokenKind::kPunct, std::string(two), line});
+        i += 2;
+        continue;
+      }
+    }
+    tokens.push_back(Token{TokenKind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return tokens;
+}
+
+// ---------------------------------------------------------------------------
+// Shared helpers
+// ---------------------------------------------------------------------------
+
+bool is_float_literal(const Token& t) {
+  if (t.kind != TokenKind::kNumber) return false;
+  if (t.text.size() > 1 && t.text[0] == '0' &&
+      (t.text[1] == 'x' || t.text[1] == 'X')) {
+    return false;  // hex
+  }
+  if (t.text.find('.') != std::string::npos) return true;
+  return t.text.find('e') != std::string::npos ||
+         t.text.find('E') != std::string::npos;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
+/// Identifier names that are doubles by repo convention (weights and
+/// costs are integral; these are the floating spellings that show up at
+/// the schedule-quality seams).
+bool double_valued_name(std::string_view name) {
+  if (ends_with(name, "_bps") || ends_with(name, "_ms") ||
+      ends_with(name, "_seconds") || ends_with(name, "_ratio") ||
+      ends_with(name, "_double")) {
+    return true;
+  }
+  return name == "ratio" || name == "seconds" || name == "bps" ||
+         name == "elapsed" || name == "makespan_ratio";
+}
+
+const std::set<std::string>& nondeterminism_idents() {
+  static const std::set<std::string> kBanned = {
+      "rand",          "srand",         "rand_r",
+      "drand48",       "lrand48",       "mrand48",
+      "random_device", "mt19937",       "mt19937_64",
+      "minstd_rand",   "minstd_rand0",  "default_random_engine",
+      "knuth_b",       "ranlux24",      "ranlux48",
+      "random_shuffle"};
+  return kBanned;
+}
+
+const std::set<std::string>& wallclock_idents() {
+  static const std::set<std::string> kBanned = {
+      "system_clock", "gettimeofday", "clock_gettime", "ntp_gettime",
+      "localtime",    "localtime_r",  "gmtime",        "gmtime_r",
+      "ctime",        "strftime",     "timespec_get"};
+  return kBanned;
+}
+
+struct RuleInfo {
+  std::string id;
+  std::string description;
+};
+
+const std::vector<RuleInfo>& rule_infos() {
+  static const std::vector<RuleInfo> kRules = {
+      {"no-nondeterminism",
+       "no rand()/std::random_device/std::mt19937/... in solver code; use "
+       "seeded redist::Rng"},
+      {"float-eq",
+       "no ==/!= against float literals or double-valued cost names; "
+       "schedule costs compare exactly only as integers"},
+      {"telemetry-guard",
+       "never dereference obs::metrics()/obs::trace() inline; bind to a "
+       "pointer and null-check (null sink = telemetry off)"},
+      {"mutex-guard",
+       "no raw std::mutex members (use redist::Mutex), and every mutable "
+       "member of a Mutex-holding class needs REDIST_GUARDED_BY"},
+      {"wallclock",
+       "no wall-clock reads (system_clock/time()/...) outside "
+       "common/stopwatch.hpp; time through redist::Stopwatch"}};
+  return kRules;
+}
+
+// Per-rule repo path scope (paths are repo-relative, '/'-separated).
+bool rule_in_scope(std::string_view rule, std::string_view path) {
+  const bool in_src = starts_with(path, "src/");
+  const bool in_tools = starts_with(path, "tools/");
+  const bool in_bench = starts_with(path, "bench/");
+  if (rule == "no-nondeterminism") {
+    return (in_src && !starts_with(path, "src/common/rng.")) || in_tools ||
+           in_bench;
+  }
+  if (rule == "float-eq") return in_src || in_tools;
+  if (rule == "telemetry-guard") return in_src || in_tools || in_bench;
+  if (rule == "mutex-guard") return in_src || in_tools;
+  if (rule == "wallclock") {
+    return (in_src && path != "src/common/stopwatch.hpp") || in_tools;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Simple token-window rules
+// ---------------------------------------------------------------------------
+
+void check_nondeterminism(const std::vector<Token>& tokens,
+                          std::vector<Finding>& out) {
+  for (const Token& t : tokens) {
+    if (t.kind != TokenKind::kIdent) continue;
+    if (nondeterminism_idents().count(t.text) == 0) continue;
+    out.push_back(Finding{
+        "", t.line, "no-nondeterminism",
+        "nondeterminism source '" + t.text +
+            "' in solver code; schedules must be replayable — draw from a "
+            "seeded redist::Rng (common/rng.hpp) instead"});
+  }
+}
+
+void check_float_eq(const std::vector<Token>& tokens,
+                    std::vector<Finding>& out) {
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    if (t.kind != TokenKind::kPunct || (t.text != "==" && t.text != "!="))
+      continue;
+    if (i == 0 || i + 1 >= tokens.size()) continue;
+    const Token& prev = tokens[i - 1];
+    if (prev.kind == TokenKind::kIdent && prev.text == "operator") continue;
+    const Token& next = tokens[i + 1];
+    // Pointer null checks on double-valued names are not float compares.
+    if (prev.text == "nullptr" || next.text == "nullptr" ||
+        prev.text == "NULL" || next.text == "NULL") {
+      continue;
+    }
+    std::string culprit;
+    if (is_float_literal(prev)) culprit = prev.text;
+    if (is_float_literal(next)) culprit = next.text;
+    if (culprit.empty() && prev.kind == TokenKind::kIdent &&
+        double_valued_name(prev.text)) {
+      culprit = prev.text;
+    }
+    if (culprit.empty() && next.kind == TokenKind::kIdent &&
+        double_valued_name(next.text)) {
+      culprit = next.text;
+    }
+    if (culprit.empty()) continue;
+    out.push_back(Finding{
+        "", t.line, "float-eq",
+        "floating-point '" + t.text + "' against '" + culprit +
+            "'; schedule costs/weights compare exactly only as integers — "
+            "use a tolerance or integer units"});
+  }
+}
+
+void check_telemetry_guard(const std::vector<Token>& tokens,
+                           std::vector<Finding>& out) {
+  for (std::size_t i = 4; i + 1 < tokens.size(); ++i) {
+    // Pattern: obs :: (metrics|trace) ( ) ->
+    if (tokens[i].kind != TokenKind::kIdent ||
+        (tokens[i].text != "metrics" && tokens[i].text != "trace")) {
+      continue;
+    }
+    if (tokens[i - 1].text != "::" || tokens[i - 2].text != "obs") continue;
+    if (tokens[i + 1].text != "(" || i + 3 >= tokens.size() ||
+        tokens[i + 2].text != ")" || tokens[i + 3].text != "->") {
+      continue;
+    }
+    out.push_back(Finding{
+        "", tokens[i].line, "telemetry-guard",
+        "obs::" + tokens[i].text +
+            "()-> dereferences the telemetry sink without a null guard; "
+            "bind it to a pointer and branch (nullptr = telemetry off)"});
+  }
+}
+
+void check_wallclock(const std::vector<Token>& tokens,
+                     std::vector<Finding>& out) {
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    if (t.kind != TokenKind::kIdent) continue;
+    bool banned = wallclock_idents().count(t.text) != 0;
+    // time( and clock( only as direct calls, not members or other idents.
+    if (!banned && (t.text == "time" || t.text == "clock")) {
+      const bool called =
+          i + 1 < tokens.size() && tokens[i + 1].text == "(";
+      const bool member =
+          i > 0 && (tokens[i - 1].text == "." || tokens[i - 1].text == "->");
+      banned = called && !member;
+    }
+    if (!banned) continue;
+    out.push_back(Finding{
+        "", t.line, "wallclock",
+        "wall-clock read '" + t.text +
+            "' outside common/stopwatch.hpp; benchmarks and traces must "
+            "share the Stopwatch steady timebase"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// mutex-guard: structural pass over class bodies
+// ---------------------------------------------------------------------------
+
+bool is_annotation_macro(const std::string& name) {
+  return starts_with(name, "REDIST_") &&
+         (ends_with(name, "GUARDED_BY") || name == "REDIST_CAPABILITY" ||
+          name == "REDIST_ACQUIRED_BEFORE" || name == "REDIST_ACQUIRED_AFTER");
+}
+
+struct MemberDecl {
+  std::vector<Token> tokens;  // annotation macros removed
+  bool has_guard_annotation = false;
+  bool has_parens = false;  // top-level parens at angle depth 0 => function
+};
+
+// Parses one class body starting at the token after '{'; returns the index
+// just past the matching '}'. Emits findings for the body (recursing into
+// nested classes).
+std::size_t check_class_body(const std::vector<Token>& tokens,
+                             std::size_t begin, const std::string& class_name,
+                             std::vector<Finding>& out);
+
+// Scans tokens[i] for a class/struct definition head; if found, checks the
+// body and returns the index just past it, else returns i + 1.
+std::size_t maybe_class(const std::vector<Token>& tokens, std::size_t i,
+                        std::vector<Finding>& out) {
+  const Token& t = tokens[i];
+  if (t.kind != TokenKind::kIdent ||
+      (t.text != "class" && t.text != "struct")) {
+    return i + 1;
+  }
+  // `template <class T>` parameters are not class definitions.
+  if (i > 0 && (tokens[i - 1].text == "<" || tokens[i - 1].text == ",")) {
+    return i + 1;
+  }
+  // Find the body '{' (skipping attribute-macro parens); a ';' first means
+  // a forward declaration, and ':' introduces bases (no parens there).
+  std::string name;
+  std::size_t j = i + 1;
+  int paren = 0;
+  while (j < tokens.size()) {
+    const Token& tj = tokens[j];
+    if (tj.text == "(") ++paren;
+    if (tj.text == ")") --paren;
+    if (paren == 0) {
+      if (tj.text == ";") return j + 1;  // forward declaration
+      if (tj.text == "{") break;
+      if (tj.kind == TokenKind::kIdent && name.empty() &&
+          !is_annotation_macro(tj.text) && tj.text != "final" &&
+          tj.text != "REDIST_SCOPED_CAPABILITY") {
+        name = tj.text;
+      }
+    }
+    ++j;
+  }
+  if (j >= tokens.size()) return i + 1;
+  return check_class_body(tokens, j + 1, name.empty() ? "<anon>" : name, out);
+}
+
+std::size_t check_class_body(const std::vector<Token>& tokens,
+                             std::size_t begin, const std::string& class_name,
+                             std::vector<Finding>& out) {
+  std::vector<MemberDecl> members;
+  bool has_mutex_member = false;
+  std::size_t i = begin;
+  MemberDecl current;
+  int angle = 0;
+  auto flush = [&]() {
+    if (!current.tokens.empty()) members.push_back(std::move(current));
+    current = MemberDecl{};
+    angle = 0;
+  };
+  while (i < tokens.size()) {
+    const Token& t = tokens[i];
+    if (t.text == "}") {
+      flush();
+      ++i;
+      break;
+    }
+    // Access specifiers.
+    if (t.kind == TokenKind::kIdent &&
+        (t.text == "public" || t.text == "private" || t.text == "protected") &&
+        i + 1 < tokens.size() && tokens[i + 1].text == ":") {
+      flush();
+      i += 2;
+      continue;
+    }
+    // Nested class/struct definition: recurse, then skip its trailing ';'.
+    if (t.kind == TokenKind::kIdent &&
+        (t.text == "class" || t.text == "struct") && current.tokens.empty()) {
+      i = maybe_class(tokens, i, out);
+      if (i < tokens.size() && tokens[i].text == ";") ++i;
+      continue;
+    }
+    // Annotation macro: record and drop its tokens.
+    if (t.kind == TokenKind::kIdent && is_annotation_macro(t.text) &&
+        i + 1 < tokens.size() && tokens[i + 1].text == "(") {
+      if (ends_with(t.text, "GUARDED_BY")) current.has_guard_annotation = true;
+      std::size_t j = i + 2;
+      int depth = 1;
+      while (j < tokens.size() && depth > 0) {
+        if (tokens[j].text == "(") ++depth;
+        if (tokens[j].text == ")") --depth;
+        ++j;
+      }
+      i = j;
+      continue;
+    }
+    if (t.text == "<") ++angle;
+    if (t.text == ">" && angle > 0) --angle;
+    if (t.text == "(" && angle == 0) current.has_parens = true;
+    // Braces: a function body (parens seen) is skipped wholesale; an
+    // initializer brace is consumed into the declaration.
+    if (t.text == "{") {
+      std::size_t j = i + 1;
+      int depth = 1;
+      while (j < tokens.size() && depth > 0) {
+        if (tokens[j].text == "{") ++depth;
+        if (tokens[j].text == "}") --depth;
+        ++j;
+      }
+      if (current.has_parens) {  // function definition: declaration over
+        i = j;
+        if (i < tokens.size() && tokens[i].text == ";") ++i;
+        current = MemberDecl{};
+        angle = 0;
+        continue;
+      }
+      i = j;  // brace initializer; the ';' still follows
+      continue;
+    }
+    if (t.text == ";") {
+      flush();
+      ++i;
+      continue;
+    }
+    current.tokens.push_back(t);
+    ++i;
+  }
+  const std::size_t end = i;
+
+  // Classify collected declarations.
+  struct Pending {
+    std::string name;
+    int line;
+  };
+  std::vector<Pending> unguarded;
+  for (const MemberDecl& m : members) {
+    if (m.tokens.empty()) continue;
+    const std::string& head = m.tokens.front().text;
+    if (head == "using" || head == "typedef" || head == "friend" ||
+        head == "static" || head == "template" || head == "operator" ||
+        head == "enum" || head == "explicit" || head == "virtual") {
+      continue;
+    }
+    if (m.has_parens) continue;  // function declaration
+    bool is_const = false;
+    bool is_atomic = false;
+    bool is_reference = false;
+    bool is_sync_type = false;  // Mutex / CondVar / MutexLock members
+    bool is_raw_mutex = false;
+    std::string name;
+    int name_line = m.tokens.front().line;
+    for (std::size_t k = 0; k < m.tokens.size(); ++k) {
+      const Token& tk = m.tokens[k];
+      if (tk.text == "=") break;  // default initializer: name came before
+      if (tk.text == "const" || tk.text == "constexpr") is_const = true;
+      if (tk.text == "atomic") is_atomic = true;
+      if (tk.text == "&") is_reference = true;
+      if (tk.text == "Mutex" || tk.text == "CondVar" ||
+          tk.text == "MutexLock") {
+        is_sync_type = true;
+      }
+      if (tk.text == "mutex" || tk.text == "shared_mutex" ||
+          tk.text == "recursive_mutex" || tk.text == "timed_mutex" ||
+          tk.text == "condition_variable" ||
+          tk.text == "condition_variable_any") {
+        if (k > 0 && m.tokens[k - 1].text == "::") is_raw_mutex = true;
+      }
+      if (tk.kind == TokenKind::kIdent) {
+        name = tk.text;
+        name_line = tk.line;
+      }
+    }
+    if (name.empty()) continue;
+    if (is_raw_mutex) {
+      out.push_back(Finding{
+          "", name_line, "mutex-guard",
+          "raw std:: synchronization member '" + name + "' in '" +
+              class_name +
+              "'; use redist::Mutex/CondVar (common/sync.hpp) so clang "
+              "thread-safety analysis can track it"});
+      continue;
+    }
+    if (is_sync_type && !is_reference) {
+      has_mutex_member = true;
+      continue;
+    }
+    if (is_const || is_atomic || is_reference || is_sync_type) continue;
+    if (m.has_guard_annotation) continue;
+    unguarded.push_back(Pending{name, name_line});
+  }
+  if (has_mutex_member) {
+    for (const Pending& p : unguarded) {
+      out.push_back(Finding{
+          "", p.line, "mutex-guard",
+          "member '" + p.name + "' of Mutex-holding class '" + class_name +
+              "' has no REDIST_GUARDED_BY; annotate it, make it "
+              "const/atomic, or add an allow with a reason"});
+    }
+  }
+  return end;
+}
+
+void check_mutex_guard(const std::vector<Token>& tokens,
+                       std::vector<Finding>& out) {
+  std::size_t i = 0;
+  while (i < tokens.size()) i = maybe_class(tokens, i, out);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public interface
+// ---------------------------------------------------------------------------
+
+const std::vector<std::string>& rule_ids() {
+  static const std::vector<std::string> kIds = [] {
+    std::vector<std::string> ids;
+    for (const RuleInfo& info : rule_infos()) ids.push_back(info.id);
+    return ids;
+  }();
+  return kIds;
+}
+
+std::string rule_description(const std::string& id) {
+  for (const RuleInfo& info : rule_infos()) {
+    if (info.id == id) return info.description;
+  }
+  return "";
+}
+
+std::vector<Finding> lint_source(std::string_view path,
+                                 std::string_view content,
+                                 const Options& options) {
+  AllowMap allows;
+  const std::vector<Token> tokens = tokenize(content, allows);
+
+  const auto enabled = [&](std::string_view rule) {
+    if (!options.rules.empty() &&
+        std::find(options.rules.begin(), options.rules.end(), rule) ==
+            options.rules.end()) {
+      return false;
+    }
+    return !options.scope_by_path || rule_in_scope(rule, path);
+  };
+
+  std::vector<Finding> raw;
+  if (enabled("no-nondeterminism")) check_nondeterminism(tokens, raw);
+  if (enabled("float-eq")) check_float_eq(tokens, raw);
+  if (enabled("telemetry-guard")) check_telemetry_guard(tokens, raw);
+  if (enabled("mutex-guard")) check_mutex_guard(tokens, raw);
+  if (enabled("wallclock")) check_wallclock(tokens, raw);
+
+  std::vector<Finding> out;
+  for (Finding& f : raw) {
+    const auto it = allows.find(f.line);
+    if (it != allows.end() && it->second.count(f.rule) != 0) continue;
+    f.file = std::string(path);
+    out.push_back(std::move(f));
+  }
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
+  });
+  return out;
+}
+
+std::vector<Finding> lint_file(const std::string& file_path,
+                               const std::string& scope_path,
+                               const Options& options) {
+  std::ifstream in(file_path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read " + file_path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string content = buffer.str();
+  return lint_source(scope_path, content, options);
+}
+
+}  // namespace redist::lint

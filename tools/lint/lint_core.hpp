@@ -1,0 +1,74 @@
+// redist_lint — repo-specific static rules the generic analyzers cannot
+// express (docs/STATIC_ANALYSIS.md has the full rationale per rule).
+//
+// The pass is a token-level analysis: each file is lexed into a C++ token
+// stream (comments, strings and preprocessor lines stripped, with
+// suppression directives harvested from comments), and every rule walks
+// that stream. The container toolchain has no libclang, so the rules are
+// written against tokens instead of an AST; they are deliberately scoped
+// to patterns that are unambiguous at the token level, and every rule is
+// pinned by a must-fire and a near-miss fixture under tests/lint/.
+//
+// Rules (ids are stable; used in suppressions and CI output):
+//   no-nondeterminism  rand()/std::random_device/std::mt19937/... in
+//                      solver code — all randomness must flow through the
+//                      seeded redist::Rng so schedules stay replayable.
+//   float-eq           ==/!= where an operand is a float literal or a
+//                      conventionally-double name (ratio/seconds/bps/...):
+//                      schedule costs compare exactly only as integers.
+//   telemetry-guard    obs::metrics()->… / obs::trace()->… dereferenced
+//                      without binding + null check (nullptr = telemetry
+//                      off is a supported state on every seam).
+//   mutex-guard        raw std::mutex members (must be redist::Mutex so
+//                      clang thread-safety analysis can track them), and
+//                      unannotated mutable members in any class that holds
+//                      a Mutex (every such member needs REDIST_GUARDED_BY,
+//                      const/atomic-ness, or an explicit allow).
+//   wallclock          system_clock/time()/gettimeofday()/... outside
+//                      common/stopwatch.hpp — all timing goes through the
+//                      Stopwatch steady timebase.
+//
+// Suppression: `// redist-lint: allow(rule-id) <reason>` on the same line
+// or the line directly above the finding.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace redist::lint {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct Options {
+  /// Apply each rule only inside its repo-relative path scope (repo mode).
+  /// Off = every rule fires everywhere (fixture mode).
+  bool scope_by_path = true;
+  /// Empty = all rules; otherwise the subset of rule ids to run.
+  std::vector<std::string> rules;
+};
+
+/// Stable rule ids, in reporting order.
+const std::vector<std::string>& rule_ids();
+
+/// One-line description for --list-rules.
+std::string rule_description(const std::string& id);
+
+/// Lints one in-memory source. `path` is the repo-relative path used for
+/// rule scoping and reporting.
+std::vector<Finding> lint_source(std::string_view path,
+                                 std::string_view content,
+                                 const Options& options);
+
+/// Reads and lints `file_path`; findings report `scope_path` (pass the
+/// repo-relative form). Throws std::runtime_error when unreadable.
+std::vector<Finding> lint_file(const std::string& file_path,
+                               const std::string& scope_path,
+                               const Options& options);
+
+}  // namespace redist::lint

@@ -1,0 +1,135 @@
+// redist_lint CLI: lints .cpp/.hpp/.h files against the repo rule pass.
+//
+//   redist_lint [--root=DIR] [--no-scope] [--rules=r1,r2] [--list-rules]
+//               path...
+//
+// Paths may be files or directories (recursed). Findings are reported as
+// `path:line: [rule] message` relative to --root (default: cwd). Exit 0 on
+// a clean run, 1 when findings were emitted, 2 on usage or I/O errors.
+#include <algorithm>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint/lint_core.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using redist::lint::Finding;
+using redist::lint::Options;
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
+}
+
+void collect(const fs::path& p, std::vector<fs::path>& files) {
+  if (fs::is_directory(p)) {
+    for (const auto& entry : fs::recursive_directory_iterator(p)) {
+      if (entry.is_regular_file() && lintable(entry.path())) {
+        files.push_back(entry.path());
+      }
+    }
+    return;
+  }
+  files.push_back(p);
+}
+
+std::string scope_path(const fs::path& file, const fs::path& root) {
+  std::error_code ec;
+  const fs::path rel = fs::relative(file, root, ec);
+  if (ec || rel.empty() || *rel.begin() == "..") {
+    return file.generic_string();
+  }
+  return rel.generic_string();
+}
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--root=DIR] [--no-scope] [--rules=r1,r2] [--list-rules]"
+               " path...\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  fs::path root = fs::current_path();
+  std::vector<fs::path> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const std::string& id : redist::lint::rule_ids()) {
+        std::cout << id << "\t" << redist::lint::rule_description(id) << "\n";
+      }
+      return 0;
+    }
+    if (arg == "--no-scope") {
+      options.scope_by_path = false;
+      continue;
+    }
+    if (arg.rfind("--root=", 0) == 0) {
+      root = fs::path(arg.substr(7));
+      continue;
+    }
+    if (arg.rfind("--rules=", 0) == 0) {
+      std::string list = arg.substr(8);
+      std::size_t pos = 0;
+      while (pos <= list.size()) {
+        const std::size_t comma = list.find(',', pos);
+        const std::size_t end = comma == std::string::npos ? list.size() : comma;
+        if (end > pos) options.rules.push_back(list.substr(pos, end - pos));
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+      continue;
+    }
+    if (arg.rfind("--", 0) == 0) return usage(argv[0]);
+    inputs.emplace_back(arg);
+  }
+  if (inputs.empty()) return usage(argv[0]);
+
+  std::vector<fs::path> files;
+  try {
+    for (const fs::path& input : inputs) {
+      fs::path p = input;
+      if (p.is_relative() && !fs::exists(p) && fs::exists(root / p)) {
+        p = root / p;  // allow `redist_lint --root=R src` from anywhere
+      }
+      if (!fs::exists(p)) {
+        std::cerr << "redist_lint: no such path: " << input.string() << "\n";
+        return 2;
+      }
+      collect(p, files);
+    }
+  } catch (const fs::filesystem_error& e) {
+    std::cerr << "redist_lint: " << e.what() << "\n";
+    return 2;
+  }
+  std::sort(files.begin(), files.end());
+
+  int finding_count = 0;
+  for (const fs::path& file : files) {
+    const std::string scope = scope_path(file, root);
+    std::vector<Finding> findings;
+    try {
+      findings = redist::lint::lint_file(file.string(), scope, options);
+    } catch (const std::exception& e) {
+      std::cerr << "redist_lint: " << e.what() << "\n";
+      return 2;
+    }
+    for (const Finding& f : findings) {
+      std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
+                << f.message << "\n";
+      ++finding_count;
+    }
+  }
+  if (finding_count > 0) {
+    std::cerr << "redist_lint: " << finding_count << " finding(s)\n";
+    return 1;
+  }
+  return 0;
+}
