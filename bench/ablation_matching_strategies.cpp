@@ -42,9 +42,9 @@ int main(int argc, char** argv) {
       const BipartiteGraph g = random_bipartite(rng, config);
       const Weight beta = 1;
       const double lb = kpbs_lower_bound(g, k, beta).value_double();
-      const Schedule ggp = solve_kpbs(g, k, beta, Algorithm::kGGP);
-      const Schedule mw = solve_kpbs(g, k, beta, Algorithm::kGGPMaxWeight);
-      const Schedule oggp = solve_kpbs(g, k, beta, Algorithm::kOGGP);
+      const Schedule ggp = solve_kpbs(g, {k, beta, Algorithm::kGGP}).schedule;
+      const Schedule mw = solve_kpbs(g, {k, beta, Algorithm::kGGPMaxWeight}).schedule;
+      const Schedule oggp = solve_kpbs(g, {k, beta, Algorithm::kOGGP}).schedule;
       ratio_ggp.add(static_cast<double>(ggp.cost(beta)) / lb);
       ratio_mw.add(static_cast<double>(mw.cost(beta)) / lb);
       ratio_oggp.add(static_cast<double>(oggp.cost(beta)) / lb);

@@ -54,7 +54,7 @@ int main(int argc, char** argv) {
       const AggregationPlan plan =
           plan_aggregation(traffic, threshold_kb * 1000);
       const BipartiteGraph g = plan.consolidated.to_graph(bytes_per_unit);
-      const Schedule s = solve_kpbs(g, k, 1, Algorithm::kOGGP);
+      const Schedule s = solve_kpbs(g, {k, 1, Algorithm::kOGGP}).schedule;
       const ExecutionResult run =
           execute_schedule(platform, plan.consolidated, s, bytes_per_unit);
       const double local = plan.local_phase_seconds(local_bps);

@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
         const BipartiteGraph g = random_bipartite(rng, config);
         const int k_eff = clamp_k(g, k);
         for (const Algorithm algo : {Algorithm::kGGP, Algorithm::kOGGP}) {
-          const Schedule s = solve_kpbs(g, k, beta, algo);
+          const Schedule s = solve_kpbs(g, {k, beta, algo}).schedule;
           const AsyncSchedule a = relax_barriers(s, k_eff, beta);
           a.check_feasible(k_eff);
           if (algo == Algorithm::kGGP) {

@@ -26,8 +26,8 @@ RatioStats ratio_experiment(Rng& rng, const RandomGraphConfig& config,
     const int k = k_source(rng, g);
     const LowerBound lb = kpbs_lower_bound(g, k, beta);
     const double bound = lb.value_double();
-    const Schedule ggp = solve_kpbs(g, k, beta, Algorithm::kGGP);
-    const Schedule oggp = solve_kpbs(g, k, beta, Algorithm::kOGGP);
+    const Schedule ggp = solve_kpbs(g, {k, beta, Algorithm::kGGP}).schedule;
+    const Schedule oggp = solve_kpbs(g, {k, beta, Algorithm::kOGGP}).schedule;
     stats.ggp.add(static_cast<double>(ggp.cost(beta)) / bound);
     stats.oggp.add(static_cast<double>(oggp.cost(beta)) / bound);
   }

@@ -65,8 +65,8 @@ inline int run_fig_10_11(int k, int argc, char** argv) {
                     .total_seconds);
 
       const BipartiteGraph g = traffic.to_graph(bytes_per_unit);
-      const Schedule ggp = solve_kpbs(g, k, beta_units, Algorithm::kGGP);
-      const Schedule oggp = solve_kpbs(g, k, beta_units, Algorithm::kOGGP);
+      const Schedule ggp = solve_kpbs(g, {k, beta_units, Algorithm::kGGP}).schedule;
+      const Schedule oggp = solve_kpbs(g, {k, beta_units, Algorithm::kOGGP}).schedule;
       ggp_time +=
           execute_schedule(platform, traffic, ggp, bytes_per_unit, run_opts)
               .total_seconds;

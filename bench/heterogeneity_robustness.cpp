@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
       // The schedule is planned assuming the NOMINAL uniform speed.
       const double bytes_per_unit = platform.comm_speed_bps();
       const BipartiteGraph g = traffic.to_graph(bytes_per_unit);
-      const Schedule s = solve_kpbs(g, k, 1, Algorithm::kOGGP);
+      const Schedule s = solve_kpbs(g, {k, 1, Algorithm::kOGGP}).schedule;
       oggp_s.add(execute_schedule(platform, traffic, s, bytes_per_unit, tcp)
                      .total_seconds);
     }

@@ -48,8 +48,8 @@ int main(int argc, char** argv) {
     const RunResult brute = run_bruteforce(config, traffic);
 
     const BipartiteGraph g = traffic.to_graph(bytes_per_unit);
-    const Schedule ggp = solve_kpbs(g, k, 1, Algorithm::kGGP);
-    const Schedule oggp = solve_kpbs(g, k, 1, Algorithm::kOGGP);
+    const Schedule ggp = solve_kpbs(g, {k, 1, Algorithm::kGGP}).schedule;
+    const Schedule oggp = solve_kpbs(g, {k, 1, Algorithm::kOGGP}).schedule;
     const RunResult ggp_run =
         run_scheduled(config, traffic, ggp, bytes_per_unit);
     const RunResult oggp_run =

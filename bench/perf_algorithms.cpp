@@ -50,7 +50,7 @@ void BM_GGP(benchmark::State& state) {
   const BipartiteGraph g = make_graph(state.range(0), 20);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        solve_kpbs(g, 5, 1, Algorithm::kGGP).step_count());
+        solve_kpbs(g, {5, 1, Algorithm::kGGP}).schedule.step_count());
   }
   state.SetComplexityN(g.alive_edge_count() + g.left_count() +
                        g.right_count());
@@ -61,7 +61,7 @@ void BM_OGGP(benchmark::State& state) {
   const BipartiteGraph g = make_graph(state.range(0), 20);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        solve_kpbs(g, 5, 1, Algorithm::kOGGP).step_count());
+        solve_kpbs(g, {5, 1, Algorithm::kOGGP}).schedule.step_count());
   }
   state.SetComplexityN(g.alive_edge_count() + g.left_count() +
                        g.right_count());
@@ -72,7 +72,7 @@ void BM_OGGP_Warm(benchmark::State& state) {
   const BipartiteGraph g = make_graph(state.range(0), 20);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        solve_kpbs(g, 5, 1, Algorithm::kOGGP, MatchingEngine::kWarm)
+        solve_kpbs(g, {5, 1, Algorithm::kOGGP, MatchingEngine::kWarm}).schedule
             .step_count());
   }
   state.SetComplexityN(g.alive_edge_count() + g.left_count() +
@@ -89,7 +89,7 @@ void BM_OGGP_Warm_Metrics(benchmark::State& state) {
   obs::ScopedTelemetry scoped(&registry, nullptr);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        solve_kpbs(g, 5, 1, Algorithm::kOGGP, MatchingEngine::kWarm)
+        solve_kpbs(g, {5, 1, Algorithm::kOGGP, MatchingEngine::kWarm}).schedule
             .step_count());
   }
   state.SetComplexityN(g.alive_edge_count() + g.left_count() +
@@ -101,7 +101,7 @@ void BM_GGP_Warm(benchmark::State& state) {
   const BipartiteGraph g = make_graph(state.range(0), 20);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        solve_kpbs(g, 5, 1, Algorithm::kGGP, MatchingEngine::kWarm)
+        solve_kpbs(g, {5, 1, Algorithm::kGGP, MatchingEngine::kWarm}).schedule
             .step_count());
   }
   state.SetComplexityN(g.alive_edge_count() + g.left_count() +
@@ -114,8 +114,8 @@ void BM_KpbsBatch(benchmark::State& state) {
   for (int i = 0; i < 8; ++i) {
     KpbsRequest request;
     request.demand = make_graph(32, 20);
-    request.k = 5;
-    request.algorithm = Algorithm::kOGGP;
+    request.options.k = 5;
+    request.options.algorithm = Algorithm::kOGGP;
     requests.push_back(std::move(request));
   }
   BatchOptions options;

@@ -42,8 +42,8 @@ int main(int argc, char** argv) {
 
     const SocketRunResult brute = socket_bruteforce(config, traffic);
     const BipartiteGraph g = traffic.to_graph(bytes_per_unit);
-    const Schedule ggp = solve_kpbs(g, k, 1, Algorithm::kGGP);
-    const Schedule oggp = solve_kpbs(g, k, 1, Algorithm::kOGGP);
+    const Schedule ggp = solve_kpbs(g, {k, 1, Algorithm::kGGP}).schedule;
+    const Schedule oggp = solve_kpbs(g, {k, 1, Algorithm::kOGGP}).schedule;
     const SocketRunResult ggp_run =
         socket_scheduled(config, traffic, ggp, bytes_per_unit);
     const SocketRunResult oggp_run =

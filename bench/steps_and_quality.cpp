@@ -49,8 +49,8 @@ int main(int argc, char** argv) {
       const BipartiteGraph g = random_bipartite(rng, config);
       const Weight beta = 1;
       const double lb = kpbs_lower_bound(g, k, beta).value_double();
-      const Schedule ggp = solve_kpbs(g, k, beta, Algorithm::kGGP);
-      const Schedule oggp = solve_kpbs(g, k, beta, Algorithm::kOGGP);
+      const Schedule ggp = solve_kpbs(g, {k, beta, Algorithm::kGGP}).schedule;
+      const Schedule oggp = solve_kpbs(g, {k, beta, Algorithm::kOGGP}).schedule;
       const Schedule list = list_schedule(g, k);
       const Schedule naive = naive_matching_schedule(g, k);
       const Schedule color = coloring_schedule(g, k);

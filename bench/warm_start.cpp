@@ -70,7 +70,7 @@ double time_engine(const std::vector<BipartiteGraph>& instances, int k,
   for (int r = 0; r < repeat; ++r) {
     Stopwatch timer;
     for (const BipartiteGraph& g : instances) {
-      const Schedule s = solve_kpbs(g, k, beta, algo, engine);
+      const Schedule s = solve_kpbs(g, {k, beta, algo, engine}).schedule;
       if (s.step_count() == 0 && !g.empty()) {
         throw Error("empty schedule for non-empty instance");
       }
@@ -111,7 +111,7 @@ PhaseCounters collect_phase_counters(const std::vector<BipartiteGraph>& pool,
   {
     obs::ScopedTelemetry scoped(&registry, nullptr);
     for (const BipartiteGraph& g : pool) {
-      solve_kpbs(g, k, beta, algo, engine);
+      solve_kpbs(g, {k, beta, algo, engine}).schedule;
     }
   }
   const auto counter = [&registry](std::string_view name) {
@@ -175,9 +175,9 @@ int main(int argc, char** argv) {
       result.identical = true;
       for (const BipartiteGraph& g : pool) {
         const Schedule cold =
-            solve_kpbs(g, k, beta, algo, MatchingEngine::kCold);
+            solve_kpbs(g, {k, beta, algo, MatchingEngine::kCold}).schedule;
         const Schedule warm =
-            solve_kpbs(g, k, beta, algo, MatchingEngine::kWarm);
+            solve_kpbs(g, {k, beta, algo, MatchingEngine::kWarm}).schedule;
         if (!identical_schedules(cold, warm)) {
           result.identical = false;
           break;
@@ -208,9 +208,8 @@ int main(int argc, char** argv) {
     for (const BipartiteGraph& g : pool) {
       KpbsRequest request;
       request.demand = g;
-      request.k = k;
-      request.beta = beta;
-      request.algorithm = Algorithm::kOGGP;
+      request.options =
+          SolverOptions{k, beta, Algorithm::kOGGP, MatchingEngine::kWarm};
       requests.push_back(std::move(request));
     }
     BatchOptions sequential;

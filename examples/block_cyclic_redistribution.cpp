@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
   const LowerBound lb = kpbs_lower_bound(graph, k, 1);
 
   for (const Algorithm algo : {Algorithm::kGGP, Algorithm::kOGGP}) {
-    const Schedule s = solve_kpbs(graph, k, 1, algo);
+    const Schedule s = solve_kpbs(graph, {k, 1, algo}).schedule;
     validate_schedule(graph, s, clamp_k(graph, k));
     std::cout << '\n'
               << algorithm_name(algo) << ": " << s.step_count()
@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
       block_cyclic_2d_traffic(960, 960, element_bytes, grid_from, grid_to);
   const BipartiteGraph g2 = matrix2d.to_graph(bytes_per_unit);
   const int k2 = std::min(grid_from.procs(), grid_to.procs());
-  const Schedule s2 = solve_kpbs(g2, k2, 1, Algorithm::kOGGP);
+  const Schedule s2 = solve_kpbs(g2, {k2, 1, Algorithm::kOGGP}).schedule;
   validate_schedule(g2, s2, clamp_k(g2, k2));
   std::cout << "\n2-D grid redistribution (2x3 -> 3x2, 960x960 matrix): "
             << g2.alive_edge_count() << " messages, " << s2.step_count()

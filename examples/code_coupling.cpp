@@ -67,7 +67,7 @@ int main(int argc, char** argv) {
   const double bytes_per_unit = platform.comm_speed_bps();  // 1 s units
   const BipartiteGraph graph = traffic.to_graph(bytes_per_unit);
   for (const Algorithm algo : {Algorithm::kGGP, Algorithm::kOGGP}) {
-    const Schedule schedule = solve_kpbs(graph, k, 1, algo);
+    const Schedule schedule = solve_kpbs(graph, {k, 1, algo}).schedule;
     validate_schedule(graph, schedule, clamp_k(graph, k));
     const ExecutionResult run =
         execute_schedule(platform, traffic, schedule, bytes_per_unit, tcp);

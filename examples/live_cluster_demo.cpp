@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
   const double bytes_per_unit = config.card_out_bps * 0.25;  // 0.25 s units
   const BipartiteGraph graph = traffic.to_graph(bytes_per_unit);
   for (const Algorithm algo : {Algorithm::kGGP, Algorithm::kOGGP}) {
-    const Schedule schedule = solve_kpbs(graph, k, 1, algo);
+    const Schedule schedule = solve_kpbs(graph, {k, 1, algo}).schedule;
     const RunResult run =
         run_scheduled(config, traffic, schedule, bytes_per_unit);
     std::cout << algorithm_name(algo) << ":        "

@@ -27,7 +27,7 @@ int main() {
             << figure.cost(1) << "\n\n";
 
   for (const Algorithm algo : {Algorithm::kGGP, Algorithm::kOGGP}) {
-    const Schedule s = solve_kpbs(g, 3, 1, algo);
+    const Schedule s = solve_kpbs(g, {3, 1, algo}).schedule;
     validate_schedule(g, s, 3);
     std::cout << algorithm_name(algo) << ":\n"
               << s.to_string() << "  cost = " << s.cost(1)

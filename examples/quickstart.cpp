@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
             << graph.max_degree() << "\n\n";
 
   for (const Algorithm algo : {Algorithm::kGGP, Algorithm::kOGGP}) {
-    const Schedule schedule = solve_kpbs(graph, k, beta, algo);
+    const Schedule schedule = solve_kpbs(graph, {k, beta, algo}).schedule;
     validate_schedule(graph, schedule, clamp_k(graph, k));
     const LowerBound lb = kpbs_lower_bound(graph, k, beta);
     std::cout << algorithm_name(algo) << " (k=" << k << ", beta=" << beta

@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
 
   for (const Algorithm algo :
        {Algorithm::kGGP, Algorithm::kGGPMaxWeight, Algorithm::kOGGP}) {
-    const Schedule s = solve_kpbs(demand, transponders, switch_delay, algo);
+    const Schedule s = solve_kpbs(demand, {transponders, switch_delay, algo}).schedule;
     validate_schedule(demand, s, clamp_k(demand, transponders));
     std::cout << algorithm_name(algo) << ": " << s.step_count()
               << " switch configurations, frame length "
@@ -64,7 +64,7 @@ int main(int argc, char** argv) {
   // The weakened-barrier relaxation reads as overlapping reconfiguration
   // of independent transponders.
   const Schedule oggp =
-      solve_kpbs(demand, transponders, switch_delay, Algorithm::kOGGP);
+      solve_kpbs(demand, {transponders, switch_delay, Algorithm::kOGGP}).schedule;
   const int k_eff = clamp_k(demand, transponders);
   const AsyncSchedule relaxed = relax_barriers(oggp, k_eff, switch_delay);
   relaxed.check_feasible(k_eff);

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""One-shot rewrite of legacy solve_kpbs call sites onto SolverOptions.
+
+    solve_kpbs(g, k, beta, algo)          -> solve_kpbs(g, {k, beta, algo}).schedule
+    solve_kpbs(g, k, beta, algo, engine)  -> solve_kpbs(g, {k, beta, algo, engine}).schedule
+
+Calls that already use the 2-argument SolverOptions form are left alone.
+Kept in-tree as documentation of the deprecation-window migration.
+"""
+import re
+import sys
+
+
+def split_args(text, start):
+    """text[start] == '('; returns (args, end_index_after_close_paren)."""
+    depth = 0
+    args = []
+    current = []
+    i = start
+    while i < len(text):
+        c = text[i]
+        if c == '(':
+            depth += 1
+            if depth > 1:
+                current.append(c)
+        elif c == ')':
+            depth -= 1
+            if depth == 0:
+                args.append(''.join(current).strip())
+                return args, i + 1
+            current.append(c)
+        elif c in '{[':
+            depth += 1
+            current.append(c)
+        elif c in '}]':
+            depth -= 1
+            current.append(c)
+        elif c == ',' and depth == 1:
+            args.append(''.join(current).strip())
+            current = []
+        else:
+            current.append(c)
+        i += 1
+    raise ValueError('unbalanced parens')
+
+
+def rewrite(source):
+    out = []
+    pos = 0
+    changed = 0
+    for m in re.finditer(r'\bsolve_kpbs\(', source):
+        if m.start() < pos:
+            continue
+        args, end = split_args(source, m.end() - 1)
+        out.append(source[pos:m.start()])
+        if len(args) in (4, 5):
+            packed = ', '.join(args[1:])
+            out.append(f'solve_kpbs({args[0]}, {{{packed}}}).schedule')
+            changed += 1
+        else:
+            out.append(source[m.start():end])
+        pos = end
+    out.append(source[pos:])
+    return ''.join(out), changed
+
+
+def main():
+    total = 0
+    for path in sys.argv[1:]:
+        with open(path) as f:
+            source = f.read()
+        new_source, changed = rewrite(source)
+        if changed:
+            with open(path, 'w') as f:
+                f.write(new_source)
+            print(f'{path}: {changed} call(s) migrated')
+            total += changed
+    print(f'total: {total}')
+
+
+if __name__ == '__main__':
+    main()

@@ -7,7 +7,8 @@
 # Stages:
 #   lint           build + run tools/redist_lint over src/ tools/ bench/
 #   thread-safety  clang -fsyntax-only -Werror=thread-safety over the
-#                  annotated dirs (src/runtime, src/obs, src/mpilite)
+#                  annotated dirs (src/runtime, src/obs, src/mpilite,
+#                  src/robust)
 #   tidy           run-clang-tidy over src/ tools/ bench/ tests/
 #   cppcheck       cppcheck smoke (warning,performance,portability)
 #   format         tools/check_format.sh (check-only clang-format)
@@ -55,7 +56,7 @@ stage_lint() {
 stage_thread_safety() {
   command -v clang++ >/dev/null || { missing_tool clang++; return; }
   local f
-  for f in "${ROOT}"/src/{runtime,obs,mpilite}/*.{cpp,hpp}; do
+  for f in "${ROOT}"/src/{runtime,obs,mpilite,robust}/*.{cpp,hpp}; do
     [[ -e "${f}" ]] || continue
     clang++ -std=c++20 -x c++ -fsyntax-only -I "${ROOT}/src" \
       -Wthread-safety -Werror=thread-safety "${f}"

@@ -17,6 +17,15 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// A deadline expired before the operation completed (deadline-aware socket
+/// I/O, src/net). Distinct from Error so callers can treat a stalled peer
+/// differently from a hard protocol failure while `catch (Error&)` keeps
+/// catching both.
+class TimeoutError : public Error {
+ public:
+  explicit TimeoutError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] inline void fail(const char* expr, const char* file, int line,
                               const std::string& msg) {

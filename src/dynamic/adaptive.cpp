@@ -121,7 +121,7 @@ DynamicRunResult run_static_under_trace(const Platform& base,
   p0.backbone_bps = trace.at(0);
   const int k0 = p0.max_k();
   const BipartiteGraph g = traffic.to_graph(bytes_per_time_unit);
-  const Schedule schedule = solve_kpbs(g, k0, beta_units, algorithm);
+  const Schedule schedule = solve_kpbs(g, {k0, beta_units, algorithm}).schedule;
 
   DynamicRunResult result;
   result.replans = 1;
@@ -170,7 +170,7 @@ DynamicRunResult run_adaptive_under_trace(const Platform& base,
     p.backbone_bps = trace.at(result.total_seconds);
     const int k = choose_k(p, options);
     const BipartiteGraph g = residual_graph(residual, bytes_per_time_unit);
-    const Schedule plan = solve_kpbs(g, k, beta_units, algorithm);
+    const Schedule plan = solve_kpbs(g, {k, beta_units, algorithm}).schedule;
     ++result.replans;
     REDIST_CHECK(plan.step_count() > 0);
     const std::size_t execute =

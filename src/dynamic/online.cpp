@@ -91,7 +91,7 @@ OnlineResult run_online(const Platform& platform,
       continue;
     }
     const BipartiteGraph g = pending.to_graph(bytes_per_time_unit);
-    const Schedule plan = solve_kpbs(g, k, beta_units, algorithm);
+    const Schedule plan = solve_kpbs(g, {k, beta_units, algorithm}).schedule;
     ++result.replans;
     const std::size_t execute = std::min<std::size_t>(
         static_cast<std::size_t>(steps_per_plan), plan.step_count());
@@ -124,7 +124,7 @@ OnlineResult run_batch_sequential(const Platform& platform,
     if (batch.traffic.total() == 0) continue;
     TrafficMatrix pending = batch.traffic;
     const BipartiteGraph g = pending.to_graph(bytes_per_time_unit);
-    const Schedule plan = solve_kpbs(g, k, beta_units, algorithm);
+    const Schedule plan = solve_kpbs(g, {k, beta_units, algorithm}).schedule;
     ++result.replans;
     for (const Step& step : plan.steps()) {
       const double d = execute_one(platform, step, bytes_per_time_unit,

@@ -4,7 +4,6 @@
 #include <exception>
 #include <thread>
 
-#include "common/stopwatch.hpp"
 #include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
@@ -12,13 +11,9 @@
 
 namespace redist {
 
-std::vector<Schedule> solve_kpbs_batch(
-    const std::vector<KpbsRequest>& requests, const BatchOptions& options,
-    std::vector<double>* instance_solve_ms) {
-  std::vector<Schedule> results(requests.size());
-  if (instance_solve_ms != nullptr) {
-    instance_solve_ms->assign(requests.size(), 0.0);
-  }
+std::vector<SolveResult> solve_kpbs_batch(
+    const std::vector<KpbsRequest>& requests, const BatchOptions& options) {
+  std::vector<SolveResult> results(requests.size());
   if (requests.empty()) return results;
 
   int threads = options.threads;
@@ -43,18 +38,13 @@ std::vector<Schedule> solve_kpbs_batch(
   const auto solve_one = [&](std::size_t i) {
     obs::TraceSpan instance_span(obs::trace(), "kpbs.batch.instance");
     if (instance_span) instance_span.arg("instance", i);
-    const Stopwatch timer;
     try {
-      const KpbsRequest& request = requests[i];
-      results[i] = solve_kpbs(request.demand, request.k, request.beta,
-                              request.algorithm, options.engine);
+      results[i] = solve_kpbs(requests[i].demand, requests[i].options);
     } catch (...) {
       errors[i] = std::current_exception();
     }
-    const double ms = timer.elapsed_ms();
-    if (instance_solve_ms != nullptr) (*instance_solve_ms)[i] = ms;
     if (metrics != nullptr) {
-      metrics->histogram("kpbs.batch.instance_ms").record(ms);
+      metrics->histogram("kpbs.batch.instance_ms").record(results[i].solve_ms);
     }
   };
 

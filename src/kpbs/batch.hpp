@@ -1,8 +1,8 @@
 // Batch K-PBS front end: solve many independent instances concurrently.
 //
 // The serving shape behind "schedule redistributions for millions of users":
-// each request is an isolated (demand graph, k, beta, algorithm) instance;
-// a worker pool fans them out across cores. Determinism is preserved —
+// each request is an isolated (demand graph, SolverOptions) instance; a
+// worker pool fans them out across cores. Determinism is preserved —
 // results are positionally identical to a sequential solve_kpbs loop, and
 // the warm engine's bit-identical guarantee applies per instance.
 #pragma once
@@ -10,36 +10,29 @@
 #include <vector>
 
 #include "graph/bipartite_graph.hpp"
-#include "kpbs/schedule.hpp"
 #include "kpbs/solver.hpp"
 
 namespace redist {
 
-/// One independent K-PBS instance.
+/// One independent K-PBS instance. The per-instance SolverOptions is the
+/// same struct the single-solve API takes, so anything expressible there
+/// (including a per-instance engine choice) is expressible here.
 struct KpbsRequest {
   BipartiteGraph demand{0, 0};
-  int k = 1;
-  Weight beta = 1;
-  Algorithm algorithm = Algorithm::kOGGP;
+  SolverOptions options;
 };
 
 struct BatchOptions {
   int threads = 0;  ///< worker count; 0 picks hardware_concurrency
-  MatchingEngine engine = MatchingEngine::kWarm;
 };
 
-/// Solves requests[i] into result[i]. Equivalent to calling solve_kpbs on
-/// each request in order (any engine: schedules are engine-independent).
+/// Solves requests[i] into result[i]. Equivalent to calling
+/// solve_kpbs(requests[i].demand, requests[i].options) in order; each
+/// SolveResult carries its own lower bound, evaluation ratio and wall-clock
+/// solve time (timed on the worker that ran it, shared Stopwatch timebase).
 /// If any instance throws, the remaining instances still run to completion
 /// and the first failing index's exception is rethrown afterwards.
-///
-/// If `instance_solve_ms` is non-null it is resized to requests.size() and
-/// filled with each instance's wall-clock solve time in milliseconds (timed
-/// on the worker that ran it, shared Stopwatch timebase). Purely
-/// observational — never affects the schedules.
-std::vector<Schedule> solve_kpbs_batch(
-    const std::vector<KpbsRequest>& requests,
-    const BatchOptions& options = {},
-    std::vector<double>* instance_solve_ms = nullptr);
+std::vector<SolveResult> solve_kpbs_batch(
+    const std::vector<KpbsRequest>& requests, const BatchOptions& options = {});
 
 }  // namespace redist

@@ -1,0 +1,56 @@
+#include "kpbs/options.hpp"
+
+#include "common/error.hpp"
+
+namespace redist {
+
+std::string algorithm_name(Algorithm a) {
+  switch (a) {
+    case Algorithm::kGGP:
+      return "GGP";
+    case Algorithm::kOGGP:
+      return "OGGP";
+    case Algorithm::kGGPMaxWeight:
+      return "GGP-MW";
+  }
+  return "?";
+}
+
+std::string engine_name(MatchingEngine e) {
+  switch (e) {
+    case MatchingEngine::kCold:
+      return "cold";
+    case MatchingEngine::kWarm:
+      return "warm";
+  }
+  return "?";
+}
+
+Algorithm parse_algorithm(const std::string& name) {
+  if (name == "ggp" || name == "GGP") return Algorithm::kGGP;
+  if (name == "oggp" || name == "OGGP") return Algorithm::kOGGP;
+  if (name == "ggp-mw" || name == "GGP-MW") return Algorithm::kGGPMaxWeight;
+  throw Error("unknown algorithm '" + name +
+              "' (expected ggp, oggp or ggp-mw)");
+}
+
+MatchingEngine parse_matching_engine(const std::string& name) {
+  if (name == "cold") return MatchingEngine::kCold;
+  if (name == "warm") return MatchingEngine::kWarm;
+  throw Error("unknown matching engine '" + name +
+              "' (expected cold or warm)");
+}
+
+SolverOptions solver_options_from_flags(Flags& flags,
+                                        const SolverOptions& defaults) {
+  SolverOptions options = defaults;
+  options.k = static_cast<int>(flags.get_int("k", defaults.k));
+  options.beta = flags.get_int("beta", defaults.beta);
+  options.algorithm = parse_algorithm(
+      flags.get_string("algo", algorithm_name(defaults.algorithm)));
+  options.engine = parse_matching_engine(
+      flags.get_string("engine", engine_name(defaults.engine)));
+  return options;
+}
+
+}  // namespace redist

@@ -1,0 +1,68 @@
+// Unified solver options/result surface.
+//
+// Every way of invoking the K-PBS solvers — single solve, batch, the CLI,
+// benchmarks — shares one options struct and one result struct, so a new
+// knob lands everywhere at once instead of accreting another positional
+// parameter (the fate of the original
+// solve_kpbs(demand, k, beta, algorithm, engine) signature, now a
+// deprecated wrapper).
+#pragma once
+
+#include <string>
+
+#include "common/flags.hpp"
+#include "common/types.hpp"
+#include "kpbs/lower_bound.hpp"
+#include "kpbs/schedule.hpp"
+
+namespace redist {
+
+enum class Algorithm {
+  kGGP,           ///< Generic Graph Peeling (arbitrary perfect matchings).
+  kOGGP,          ///< Optimized GGP (bottleneck perfect matchings).
+  kGGPMaxWeight,  ///< Ablation: peeling with max-total-weight matchings.
+};
+
+std::string algorithm_name(Algorithm a);
+
+/// Which matching engine drives the WRGP peeling loop. Both engines emit
+/// bit-identical schedules (the warm engine's searches are replayed
+/// canonically at their optima); kWarm is simply faster on large instances.
+enum class MatchingEngine {
+  kCold,  ///< every peeling step solves its matchings from scratch
+  kWarm,  ///< PeelingContext persists matching/weight state across steps
+};
+
+std::string engine_name(MatchingEngine e);
+
+/// Everything a K-PBS solve needs besides the demand graph. Aggregate on
+/// purpose: call sites write solve_kpbs(g, {k, beta, algorithm, engine})
+/// or name the fields they care about.
+struct SolverOptions {
+  int k = 1;           ///< simultaneous communications (clamped to
+                       ///< [1, min(n1, n2)] like the solvers always did)
+  Weight beta = 1;     ///< per-step setup cost, same units as edge weights
+  Algorithm algorithm = Algorithm::kOGGP;
+  MatchingEngine engine = MatchingEngine::kWarm;
+};
+
+/// A solved instance plus the quality/latency facts every caller was
+/// recomputing by hand around the old API.
+struct SolveResult {
+  Schedule schedule;
+  LowerBound lower_bound;         ///< kpbs_lower_bound(demand, k, beta)
+  double evaluation_ratio = 1.0;  ///< cost / lower bound (>= 1)
+  double solve_ms = 0.0;          ///< wall clock, Stopwatch timebase
+};
+
+/// Parsers shared by the CLI, benchmarks and tests (the one place the
+/// --algo/--engine vocabularies are spelled out).
+Algorithm parse_algorithm(const std::string& name);
+MatchingEngine parse_matching_engine(const std::string& name);
+
+/// Reads --k, --beta, --algo and --engine (each optional, falling back to
+/// `defaults`) — the single flag surface for every solver entry point.
+SolverOptions solver_options_from_flags(Flags& flags,
+                                        const SolverOptions& defaults = {});
+
+}  // namespace redist

@@ -18,28 +18,6 @@
 
 namespace redist {
 
-std::string algorithm_name(Algorithm a) {
-  switch (a) {
-    case Algorithm::kGGP:
-      return "GGP";
-    case Algorithm::kOGGP:
-      return "OGGP";
-    case Algorithm::kGGPMaxWeight:
-      return "GGP-MW";
-  }
-  return "?";
-}
-
-std::string engine_name(MatchingEngine e) {
-  switch (e) {
-    case MatchingEngine::kCold:
-      return "cold";
-    case MatchingEngine::kWarm:
-      return "warm";
-  }
-  return "?";
-}
-
 namespace {
 PerfectMatchingStrategy strategy_for(Algorithm algorithm) {
   switch (algorithm) {
@@ -64,10 +42,9 @@ std::vector<PeelStep> peel_regularized(BipartiteGraph& j, Algorithm algorithm,
   }
   return wrgp_peel(j, strategy_for(algorithm));
 }
-}  // namespace
 
-Schedule solve_kpbs(const BipartiteGraph& demand, int k, Weight beta,
-                    Algorithm algorithm, MatchingEngine engine) {
+Schedule solve_schedule(const BipartiteGraph& demand, int k, Weight beta,
+                        Algorithm algorithm, MatchingEngine engine) {
   REDIST_CHECK_MSG(beta >= 0, "negative beta");
   Schedule schedule;
   if (demand.empty()) return schedule;
@@ -156,6 +133,32 @@ Schedule solve_kpbs(const BipartiteGraph& demand, int k, Weight beta,
       .throw_if_failed("solve_kpbs emitted an invalid schedule");
 #endif
   return schedule;
+}
+}  // namespace
+
+SolveResult solve_kpbs(const BipartiteGraph& demand,
+                       const SolverOptions& options) {
+  SolveResult result;
+  const Stopwatch timer;
+  result.schedule = solve_schedule(demand, options.k, options.beta,
+                                   options.algorithm, options.engine);
+  result.solve_ms = timer.elapsed_ms();
+  result.lower_bound = kpbs_lower_bound(demand, options.k, options.beta);
+  const double bound = result.lower_bound.value_double();
+  // The lower bound is a ratio of exact integers; it is 0.0 only when the
+  // integer numerator is zero, so exact comparison is the correct guard.
+  // redist-lint: allow(float-eq)
+  const bool zero_bound = bound == 0.0;
+  result.evaluation_ratio =
+      zero_bound
+          ? 1.0
+          : static_cast<double>(result.schedule.cost(options.beta)) / bound;
+  return result;
+}
+
+Schedule solve_kpbs(const BipartiteGraph& demand, int k, Weight beta,
+                    Algorithm algorithm, MatchingEngine engine) {
+  return solve_schedule(demand, k, beta, algorithm, engine);
 }
 
 double evaluation_ratio(const BipartiteGraph& demand, const Schedule& s,

@@ -13,37 +13,25 @@
 //     measured cost. Steps containing no real communication are dropped.
 #pragma once
 
-#include <string>
-
 #include "graph/bipartite_graph.hpp"
-#include "kpbs/lower_bound.hpp"
+#include "kpbs/options.hpp"
 #include "kpbs/schedule.hpp"
 
 namespace redist {
 
-enum class Algorithm {
-  kGGP,           ///< Generic Graph Peeling (arbitrary perfect matchings).
-  kOGGP,          ///< Optimized GGP (bottleneck perfect matchings).
-  kGGPMaxWeight,  ///< Ablation: peeling with max-total-weight matchings.
-};
+/// Solves K-PBS on `demand` under `options` (see kpbs/options.hpp).
+/// `options.k` is clamped to [1, min(n1, n2)]; kGGPMaxWeight has no warm
+/// path (Hungarian-based) and always runs cold. The returned schedule
+/// satisfies validate_schedule(), and the result carries the lower bound,
+/// evaluation ratio and solve latency alongside it.
+SolveResult solve_kpbs(const BipartiteGraph& demand,
+                       const SolverOptions& options);
 
-std::string algorithm_name(Algorithm a);
-
-/// Which matching engine drives the WRGP peeling loop. Both engines emit
-/// bit-identical schedules (the warm engine's searches are replayed
-/// canonically at their optima); kWarm is simply faster on large instances.
-enum class MatchingEngine {
-  kCold,  ///< every peeling step solves its matchings from scratch
-  kWarm,  ///< PeelingContext persists matching/weight state across steps
-};
-
-std::string engine_name(MatchingEngine e);
-
-/// Solves K-PBS on `demand` with at most `k` simultaneous communications and
-/// per-step setup cost `beta` (same time units as the edge weights; may be
-/// 0). Returns a schedule that validate_schedule() accepts. `k` is clamped
-/// to [1, min(n1, n2)]. `engine` selects the peeling engine; kGGPMaxWeight
-/// has no warm path (Hungarian-based) and always runs cold.
+/// Pre-SolverOptions entry point, kept one deprecation window for external
+/// callers. Identical schedule to the new API (engine defaults to kCold for
+/// signature compatibility; cold and warm are bit-identical anyway).
+[[deprecated(
+    "use solve_kpbs(demand, SolverOptions{...}) and take .schedule")]]
 Schedule solve_kpbs(const BipartiteGraph& demand, int k, Weight beta,
                     Algorithm algorithm,
                     MatchingEngine engine = MatchingEngine::kCold);

@@ -90,7 +90,7 @@ std::vector<std::vector<char>> scheduled_alltoallv(
       const BipartiteGraph g = traffic.to_graph(
           static_cast<double>(options.bytes_per_time_unit));
       const int k = options.k > 0 ? options.k : n;
-      schedule = solve_kpbs(g, k, options.beta, Algorithm::kOGGP);
+      schedule = solve_kpbs(g, {k, options.beta, Algorithm::kOGGP}).schedule;
     }
     plan_text = schedule_to_string(schedule);
     // --- 3. Broadcast the plan (and the matrix rows each rank needs). --

@@ -12,7 +12,7 @@ namespace {
 constexpr std::uint32_t kBarrierTag = 0xB0BA0000;
 }
 
-Mesh::Mesh(int size) : size_(size) {
+Mesh::Mesh(int size, const MeshOptions& options) : size_(size) {
   REDIST_CHECK_MSG(size >= 1, "mesh needs at least one rank");
   links_.resize(static_cast<std::size_t>(size));
   for (auto& row : links_) {
@@ -23,11 +23,14 @@ Mesh::Mesh(int size) : size_(size) {
   }
   if (size == 1) return;
 
-  // One listener per rank on an ephemeral loopback port.
+  // One listener per rank on an ephemeral loopback port. An armed
+  // io_timeout also bounds accept(), so a peer whose connect retries
+  // exhausted cannot strand its counterpart in accept() forever.
   std::vector<TcpListener> listeners;
   listeners.reserve(static_cast<std::size_t>(size));
   for (int r = 0; r < size; ++r) {
     listeners.push_back(TcpListener::bind_loopback(size));
+    listeners.back().set_accept_timeout_ms(options.io_timeout_ms);
   }
 
   // Wire the mesh with one thread per rank: connect to lower ranks,
@@ -35,23 +38,37 @@ Mesh::Mesh(int size) : size_(size) {
   std::vector<std::thread> wires;
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(size));
   for (int r = 0; r < size; ++r) {
-    wires.emplace_back([this, r, &listeners, &errors]() {
+    wires.emplace_back([this, r, &listeners, &errors, &options]() {
       try {
+        // Each wiring thread gets its own retrier (and so its own jitter
+        // stream, decorrelated by rank) covering connect + handshake: a
+        // failed handshake redials from scratch.
+        robust::RetryPolicy policy = options.connect_retry;
+        policy.seed += static_cast<std::uint64_t>(r);
+        robust::Retrier retrier(policy);
         for (int peer = 0; peer < r; ++peer) {
-          TcpStream stream = TcpStream::connect_loopback(
-              listeners[static_cast<std::size_t>(peer)].port());
-          stream.set_nodelay(true);
-          const std::uint32_t me = static_cast<std::uint32_t>(r);
-          stream.send_all(&me, sizeof(me));
-          auto link = std::make_unique<Link>();
-          link->stream = std::move(stream);
+          auto link = retrier.run([&]() {
+            TcpStream stream = TcpStream::connect_loopback(
+                listeners[static_cast<std::size_t>(peer)].port());
+            stream.set_nodelay(true);
+            stream.set_io_timeout_ms(options.io_timeout_ms);
+            const std::uint32_t me = static_cast<std::uint32_t>(r);
+            stream.send_all(&me, sizeof(me));
+            auto fresh = std::make_unique<Link>();
+            fresh->stream = std::move(stream);
+            return fresh;
+          });
           links_[static_cast<std::size_t>(r)][static_cast<std::size_t>(
               peer)] = std::move(link);
         }
+        connect_retries_.fetch_add(
+            static_cast<std::uint64_t>(retrier.retries()),
+            std::memory_order_relaxed);
         for (int expected = r + 1; expected < size_; ++expected) {
           TcpStream stream =
               listeners[static_cast<std::size_t>(r)].accept();
           stream.set_nodelay(true);
+          stream.set_io_timeout_ms(options.io_timeout_ms);
           std::uint32_t who = 0;
           stream.recv_all(&who, sizeof(who));
           REDIST_CHECK_MSG(static_cast<int>(who) > r &&
@@ -162,7 +179,8 @@ void Communicator::barrier(const std::vector<int>& group) {
   }
 }
 
-void run_ranks(Mesh& mesh, const std::function<void(Communicator&)>& body) {
+std::vector<std::exception_ptr> run_ranks_collect(
+    Mesh& mesh, const std::function<void(Communicator&)>& body) {
   std::vector<std::thread> threads;
   std::vector<std::exception_ptr> errors(
       static_cast<std::size_t>(mesh.size()));
@@ -176,7 +194,11 @@ void run_ranks(Mesh& mesh, const std::function<void(Communicator&)>& body) {
     });
   }
   for (std::thread& t : threads) t.join();
-  for (const auto& e : errors) {
+  return errors;
+}
+
+void run_ranks(Mesh& mesh, const std::function<void(Communicator&)>& body) {
+  for (const auto& e : run_ranks_collect(mesh, body)) {
     if (e) std::rethrow_exception(e);
   }
 }

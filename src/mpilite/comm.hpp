@@ -12,8 +12,10 @@
 // backlog makes the ordering race-free.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <map>
 #include <memory>
@@ -22,18 +24,38 @@
 #include "common/sync.hpp"
 #include "net/message.hpp"
 #include "net/socket.hpp"
+#include "robust/retry.hpp"
 
 namespace redist {
 
 class Communicator;
 
+/// Robustness knobs for a Mesh. The defaults reproduce the original
+/// behavior exactly: block forever on a silent peer, fail link setup on
+/// the first error.
+struct MeshOptions {
+  /// Idle deadline armed on every link socket (and on accept during
+  /// wiring); <= 0 blocks forever. Progress resets the deadline, so a slow
+  /// peer never trips it — only a silent one does (TimeoutError).
+  int io_timeout_ms = 0;
+  /// Retry budget for each connect-plus-handshake during wiring (transient
+  /// refusals — injected or from a peer that has not reached listen() —
+  /// are retried with capped exponential backoff).
+  robust::RetryPolicy connect_retry{1, 1, 250, 2.0, 0.25, 0x5EEDBACC};
+};
+
 /// A fully-connected group of `size` ranks. Create once, then hand each
 /// rank its Communicator and run them on separate threads.
 class Mesh {
  public:
-  explicit Mesh(int size);
+  explicit Mesh(int size) : Mesh(size, MeshOptions{}) {}
+  Mesh(int size, const MeshOptions& options);
 
   int size() const { return size_; }
+
+  /// Total connect retries spent wiring the mesh (0 when every link came
+  /// up first try).
+  std::uint64_t connect_retries() const { return connect_retries_.load(); }
 
   /// Communicator of one rank; each must be used by exactly one thread.
   Communicator& comm(int rank);
@@ -62,6 +84,7 @@ class Mesh {
   std::vector<std::unique_ptr<Communicator>> comms_;
   // links_[i][j]: stream rank i uses to talk to rank j (j != i).
   std::vector<std::vector<std::unique_ptr<Link>>> links_;
+  std::atomic<std::uint64_t> connect_retries_{0};
 };
 
 class Communicator {
@@ -99,5 +122,11 @@ class Communicator {
 /// Runs `body(comm)` for every rank on its own thread and joins them.
 /// Exceptions from any rank are rethrown (first one wins).
 void run_ranks(Mesh& mesh, const std::function<void(Communicator&)>& body);
+
+/// Like run_ranks, but returns each rank's exception (null = success)
+/// instead of rethrowing — the recovery loop in socket_scheduled needs to
+/// see *all* failures, not just the first, to decide what to reschedule.
+std::vector<std::exception_ptr> run_ranks_collect(
+    Mesh& mesh, const std::function<void(Communicator&)>& body);
 
 }  // namespace redist

@@ -3,12 +3,18 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <exception>
 #include <map>
 #include <memory>
 #include <thread>
+#include <utility>
 
 #include "common/error.hpp"
 #include "common/stopwatch.hpp"
+#include "kpbs/solver.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "runtime/token_bucket.hpp"
 
 namespace redist {
@@ -28,12 +34,19 @@ inline char pattern_byte(NodeId i, NodeId j, Bytes index) {
                            0xFF);
 }
 
-std::uint64_t expected_checksum(NodeId i, NodeId j, Bytes bytes) {
+// Checksum of the pattern stream over [offset, offset + bytes) — recovery
+// attempts resume mid-stream, so verification must be range-addressable.
+std::uint64_t expected_checksum_range(NodeId i, NodeId j, Bytes offset,
+                                      Bytes bytes) {
   std::uint64_t sum = 0;
   for (Bytes b = 0; b < bytes; ++b) {
-    sum += static_cast<unsigned char>(pattern_byte(i, j, b));
+    sum += static_cast<unsigned char>(pattern_byte(i, j, offset + b));
   }
   return sum;
+}
+
+std::uint64_t expected_checksum(NodeId i, NodeId j, Bytes bytes) {
+  return expected_checksum_range(i, j, 0, bytes);
 }
 
 // Per-pair sequence of message sizes (both sides compute it identically).
@@ -143,22 +156,21 @@ void send_piece(Communicator& comm, NodeId sender_index, NodeId receiver,
             config.chunk_bytes);
 }
 
-SocketRunResult run(const SocketClusterConfig& config,
-                    const TrafficMatrix& traffic, const Schedule* schedule,
-                    double bytes_per_time_unit) {
-  const NodeId n1 = traffic.senders();
-  const NodeId n2 = traffic.receivers();
-  const std::map<PairKey, std::vector<Bytes>> plan =
-      piece_plan(traffic, schedule, bytes_per_time_unit);
+// Per-sender step list: step -> (receiver, offset, bytes). Offsets are
+// relative to the start of this plan's stream (the robust path adds the
+// ledger base when resuming). For brute force there is a single implicit
+// step with all pieces.
+struct Piece {
+  NodeId receiver;
+  Bytes offset;
+  Bytes bytes;
+};
 
-  // Per-sender step list: step -> (receiver, offset, bytes). For brute
-  // force there is a single implicit step with all pieces.
-  struct Piece {
-    NodeId receiver;
-    Bytes offset;
-    Bytes bytes;
-  };
-  std::size_t step_count = 1;
+std::vector<std::vector<std::vector<Piece>>> layout_sender_steps(
+    NodeId n1, const Schedule* schedule,
+    const std::map<PairKey, std::vector<Bytes>>& plan,
+    std::size_t& step_count) {
+  step_count = 1;
   std::vector<std::vector<std::vector<Piece>>> sender_steps(
       static_cast<std::size_t>(n1));
   if (schedule == nullptr) {
@@ -167,44 +179,56 @@ SocketRunResult run(const SocketClusterConfig& config,
       sender_steps[static_cast<std::size_t>(pair.first)][0].push_back(
           Piece{pair.second, 0, pieces[0]});
     }
-  } else {
-    std::map<PairKey, std::size_t> next_piece;
-    std::map<PairKey, Bytes> offset;
-    // Re-walk the schedule to lay pieces into steps (same clipping order
-    // as piece_plan).
-    std::map<PairKey, std::size_t> consumed;
-    step_count = schedule->step_count();
-    for (auto& steps : sender_steps) steps.resize(step_count + 1);
-    std::map<PairKey, std::vector<Bytes>> plan_copy = plan;
-    for (std::size_t s = 0; s < schedule->step_count(); ++s) {
-      for (const Communication& c : schedule->steps()[s].comms) {
-        const PairKey key{c.sender, c.receiver};
-        auto it = plan_copy.find(key);
-        if (it == plan_copy.end()) continue;
-        const std::size_t idx = consumed[key];
-        if (idx >= it->second.size()) continue;
-        const Bytes bytes = it->second[idx];
-        sender_steps[static_cast<std::size_t>(c.sender)][s].push_back(
-            Piece{c.receiver, offset[key], bytes});
-        offset[key] += bytes;
-        consumed[key] = idx + 1;
-      }
-    }
-    // Trailing flush pieces (rounding slack) go into the extra step.
-    bool tail_used = false;
-    for (const auto& [key, pieces] : plan_copy) {
-      const std::size_t done = consumed[key];
-      Bytes off = offset[key];
-      for (std::size_t p = done; p < pieces.size(); ++p) {
-        sender_steps[static_cast<std::size_t>(key.first)][step_count]
-            .push_back(Piece{key.second, off, pieces[p]});
-        off += pieces[p];
-        tail_used = true;
-      }
-    }
-    step_count += tail_used ? 1 : 0;
-    for (auto& steps : sender_steps) steps.resize(step_count);
+    return sender_steps;
   }
+  std::map<PairKey, Bytes> offset;
+  // Re-walk the schedule to lay pieces into steps (same clipping order
+  // as piece_plan).
+  std::map<PairKey, std::size_t> consumed;
+  step_count = schedule->step_count();
+  for (auto& steps : sender_steps) steps.resize(step_count + 1);
+  for (std::size_t s = 0; s < schedule->step_count(); ++s) {
+    for (const Communication& c : schedule->steps()[s].comms) {
+      const PairKey key{c.sender, c.receiver};
+      auto it = plan.find(key);
+      if (it == plan.end()) continue;
+      const std::size_t idx = consumed[key];
+      if (idx >= it->second.size()) continue;
+      const Bytes bytes = it->second[idx];
+      sender_steps[static_cast<std::size_t>(c.sender)][s].push_back(
+          Piece{c.receiver, offset[key], bytes});
+      offset[key] += bytes;
+      consumed[key] = idx + 1;
+    }
+  }
+  // Trailing flush pieces (rounding slack) go into the extra step.
+  bool tail_used = false;
+  for (const auto& [key, pieces] : plan) {
+    const std::size_t done = consumed[key];
+    Bytes off = offset[key];
+    for (std::size_t p = done; p < pieces.size(); ++p) {
+      sender_steps[static_cast<std::size_t>(key.first)][step_count]
+          .push_back(Piece{key.second, off, pieces[p]});
+      off += pieces[p];
+      tail_used = true;
+    }
+  }
+  step_count += tail_used ? 1 : 0;
+  for (auto& steps : sender_steps) steps.resize(step_count);
+  return sender_steps;
+}
+
+SocketRunResult run(const SocketClusterConfig& config,
+                    const TrafficMatrix& traffic, const Schedule* schedule,
+                    double bytes_per_time_unit) {
+  const NodeId n1 = traffic.senders();
+  const NodeId n2 = traffic.receivers();
+  const std::map<PairKey, std::vector<Bytes>> plan =
+      piece_plan(traffic, schedule, bytes_per_time_unit);
+
+  std::size_t step_count = 1;
+  std::vector<std::vector<std::vector<Piece>>> sender_steps =
+      layout_sender_steps(n1, schedule, plan, step_count);
 
   Mesh mesh(static_cast<int>(n1 + n2));
   Shapers shapers(config, n1, n2);
@@ -257,6 +281,138 @@ SocketRunResult run(const SocketClusterConfig& config,
   return result;
 }
 
+// ---------------------------------------------------------------------------
+// Robust path: attempt runner + residual re-solve loop.
+
+// Receiver-side drain with a per-pair delivery ledger. Each drain thread
+// owns exactly one ledger slot (its pair), updated only after a message is
+// fully received and pattern-verified, so a failed attempt leaves behind
+// the precise resume offset for its pair. A verification failure is
+// unrecoverable (retransmission cannot unconsume wrong bytes) and clears
+// `checksum_ok`.
+void run_robust_receiver(Communicator& comm, NodeId receiver_index,
+                         NodeId n1,
+                         const std::map<PairKey, std::vector<Bytes>>& plan,
+                         const SocketClusterConfig& config, Shapers& shapers,
+                         const std::map<PairKey, Bytes>& base,
+                         std::map<PairKey, Bytes>& ledger,
+                         std::atomic<bool>& checksum_ok) {
+  std::vector<std::thread> drains;
+  std::vector<std::exception_ptr> drain_errors;
+  std::vector<NodeId> drain_senders;
+  for (NodeId i = 0; i < n1; ++i) {
+    if (plan.find({i, receiver_index}) != plan.end()) {
+      drain_senders.push_back(i);
+    }
+  }
+  drain_errors.resize(drain_senders.size());
+  for (std::size_t d = 0; d < drain_senders.size(); ++d) {
+    const NodeId i = drain_senders[d];
+    const std::vector<Bytes>& pieces = plan.at({i, receiver_index});
+    drains.emplace_back([&, d, i, pieces]() {
+      try {
+        Bytes offset = base.at({i, receiver_index});
+        Bytes& slot = ledger.at({i, receiver_index});
+        for (const Bytes piece : pieces) {
+          const std::vector<char> payload = comm.recv(
+              static_cast<int>(i), kDataTag,
+              {shapers.in[static_cast<std::size_t>(receiver_index)].get()},
+              config.chunk_bytes);
+          std::uint64_t checksum = 0;
+          for (char ch : payload) {
+            checksum += static_cast<unsigned char>(ch);
+          }
+          if (static_cast<Bytes>(payload.size()) != piece ||
+              checksum != expected_checksum_range(i, receiver_index, offset,
+                                                  piece)) {
+            checksum_ok.store(false);
+            throw Error("pattern verification failed");
+          }
+          offset += piece;
+          slot = offset;
+        }
+      } catch (...) {
+        drain_errors[d] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : drains) t.join();
+  for (const auto& e : drain_errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+struct AttemptOutcome {
+  bool failed = false;          ///< any rank raised
+  std::size_t steps = 0;        ///< planned steps of this attempt
+  std::uint64_t connect_retries = 0;
+};
+
+// One barrier-stepped pass over `residual` under `schedule`, resuming each
+// pair's pattern stream at the ledger offset. A fresh mesh per attempt:
+// recovery re-establishes every link (exercising connect retry), and armed
+// idle deadlines turn a dead rank into TimeoutErrors on its peers instead
+// of a hang.
+AttemptOutcome run_attempt(const SocketClusterConfig& config,
+                           const TrafficMatrix& residual,
+                           const Schedule* schedule,
+                           double bytes_per_time_unit,
+                           const MeshOptions& mesh_options,
+                           std::map<PairKey, Bytes>& ledger,
+                           std::atomic<bool>& checksum_ok) {
+  const NodeId n1 = residual.senders();
+  const NodeId n2 = residual.receivers();
+  const std::map<PairKey, std::vector<Bytes>> plan =
+      piece_plan(residual, schedule, bytes_per_time_unit);
+
+  AttemptOutcome outcome;
+  std::vector<std::vector<std::vector<Piece>>> sender_steps =
+      layout_sender_steps(n1, schedule, plan, outcome.steps);
+
+  // Resume offsets: snapshot before the attempt so senders read stable
+  // values while receiver drains advance the live ledger.
+  const std::map<PairKey, Bytes> base = ledger;
+
+  Mesh mesh(static_cast<int>(n1 + n2), mesh_options);
+  Shapers shapers(config, n1, n2);
+
+  std::vector<int> sender_group;
+  for (NodeId i = 0; i < n1; ++i) sender_group.push_back(static_cast<int>(i));
+
+  const std::vector<std::exception_ptr> errors =
+      run_ranks_collect(mesh, [&](Communicator& comm) {
+        const int r = comm.rank();
+        comm.barrier();  // synchronized start
+        if (r < static_cast<int>(n1)) {
+          for (const auto& step :
+               sender_steps[static_cast<std::size_t>(r)]) {
+            for (const Piece& piece : step) {  // at most one piece (1-port)
+              send_piece(comm, static_cast<NodeId>(r), piece.receiver, n1,
+                         base.at({static_cast<NodeId>(r), piece.receiver}) +
+                             piece.offset,
+                         piece.bytes, config, shapers);
+            }
+            comm.barrier(sender_group);  // the paper's inter-step barrier
+          }
+        } else {
+          run_robust_receiver(comm, static_cast<NodeId>(r) - n1, n1, plan,
+                              config, shapers, base, ledger, checksum_ok);
+        }
+        comm.barrier();  // synchronized finish
+      });
+  for (const auto& e : errors) {
+    if (e) outcome.failed = true;
+  }
+  outcome.connect_retries = mesh.connect_retries();
+  return outcome;
+}
+
+Bytes ledger_total(const std::map<PairKey, Bytes>& ledger) {
+  Bytes total = 0;
+  for (const auto& [pair, bytes] : ledger) total += bytes;
+  return total;
+}
+
 }  // namespace
 
 SocketRunResult socket_bruteforce(const SocketClusterConfig& config,
@@ -270,6 +426,113 @@ SocketRunResult socket_scheduled(const SocketClusterConfig& config,
                                  double bytes_per_time_unit) {
   REDIST_CHECK(bytes_per_time_unit > 0);
   return run(config, traffic, &schedule, bytes_per_time_unit);
+}
+
+SocketRunResult socket_scheduled(const SocketClusterConfig& config,
+                                 const TrafficMatrix& traffic,
+                                 const Schedule& schedule,
+                                 double bytes_per_time_unit,
+                                 const RobustnessOptions& robustness) {
+  if (!robustness.enabled) {
+    return socket_scheduled(config, traffic, schedule, bytes_per_time_unit);
+  }
+  REDIST_CHECK(bytes_per_time_unit > 0);
+  REDIST_CHECK_MSG(robustness.io_timeout_ms > 0,
+                   "robust mode needs a positive io_timeout_ms");
+  REDIST_CHECK_MSG(robustness.max_reschedules >= 0,
+                   "negative reschedule budget");
+
+  obs::MetricsRegistry* const metrics = obs::metrics();
+  obs::TraceSpan run_span(obs::trace(), "socket.robust");
+  if (metrics != nullptr) metrics->counter("robust.run.count").add();
+
+  MeshOptions mesh_options;
+  mesh_options.io_timeout_ms = robustness.io_timeout_ms;
+  mesh_options.connect_retry = robustness.connect_retry;
+
+  // Delivery ledger: absolute delivered bytes per pair, carried across
+  // attempts. Entries exist for every pair with traffic so drain threads
+  // never insert (each writes only its own slot).
+  std::map<PairKey, Bytes> ledger;
+  for (NodeId i = 0; i < traffic.senders(); ++i) {
+    for (NodeId j = 0; j < traffic.receivers(); ++j) {
+      if (traffic.at(i, j) > 0) ledger[{i, j}] = 0;
+    }
+  }
+
+  std::atomic<bool> checksum_ok{true};
+  SocketRunResult result;
+  const Stopwatch watch;
+  Rng backoff_rng(robustness.attempt_backoff.seed);
+
+  TrafficMatrix residual = traffic;
+  Schedule recovery;
+  const Schedule* current = &schedule;
+
+  const int max_attempts = 1 + robustness.max_reschedules;
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    result.attempts = attempt;
+    AttemptOutcome outcome;
+    {
+      obs::TraceSpan attempt_span(obs::trace(), "socket.robust.attempt");
+      if (attempt_span) attempt_span.arg("attempt", attempt);
+      try {
+        outcome = run_attempt(config, residual, current, bytes_per_time_unit,
+                              mesh_options, ledger, checksum_ok);
+      } catch (const Error&) {
+        // Mesh wiring failed outright (connect retries exhausted, accept
+        // deadline): treat as a failed attempt with nothing delivered.
+        outcome.failed = true;
+      }
+      if (attempt_span) attempt_span.arg("failed", outcome.failed);
+    }
+    result.steps += outcome.steps;
+    result.link_retries += outcome.connect_retries;
+    if (!checksum_ok.load()) break;  // wrong bytes cannot be retransmitted
+    if (!outcome.failed || ledger_total(ledger) == traffic.total()) break;
+    if (attempt == max_attempts) break;
+
+    // Backoff, then rebuild the residual matrix from the ledger and
+    // re-solve it into the recovery schedule for the next attempt.
+    robust::sleep_ms(robust::backoff_delay_ms(robustness.attempt_backoff,
+                                              attempt, backoff_rng));
+    residual = TrafficMatrix(traffic.senders(), traffic.receivers());
+    BipartiteGraph demand(traffic.senders(), traffic.receivers());
+    for (const auto& [pair, delivered] : ledger) {
+      const Bytes rest = traffic.at(pair.first, pair.second) - delivered;
+      REDIST_CHECK_MSG(rest >= 0, "ledger over-delivered a pair");
+      if (rest == 0) continue;
+      residual.set(pair.first, pair.second, rest);
+      demand.add_edge(pair.first, pair.second,
+                      std::max<Weight>(1, static_cast<Weight>(std::ceil(
+                                              static_cast<double>(rest) /
+                                              bytes_per_time_unit))));
+    }
+    recovery = solve_kpbs(demand, robustness.resolve).schedule;
+    current = &recovery;
+    ++result.reschedules;
+    if (metrics != nullptr) metrics->counter("robust.run.reschedules").add();
+  }
+
+  result.seconds = watch.elapsed_seconds();
+  result.bytes_delivered = ledger_total(ledger);
+  result.verified =
+      checksum_ok.load() && result.bytes_delivered == traffic.total();
+  if (metrics != nullptr) {
+    metrics->counter("robust.run.attempts")
+        .add(static_cast<std::uint64_t>(result.attempts));
+    metrics->counter("robust.link.connect_retries")
+        .add(result.link_retries);
+    metrics->counter("robust.run.delivered_bytes")
+        .add(result.bytes_delivered);
+  }
+  if (run_span) {
+    run_span.arg("attempts", result.attempts);
+    run_span.arg("reschedules", result.reschedules);
+    run_span.arg("delivered", result.bytes_delivered);
+    run_span.arg("verified", result.verified);
+  }
+  return result;
 }
 
 }  // namespace redist

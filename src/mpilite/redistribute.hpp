@@ -12,11 +12,21 @@
 // Ranks 0..n1-1 are the sender cluster C1, ranks n1..n1+n2-1 the receiver
 // cluster C2. Receivers verify delivered byte counts and a pattern checksum
 // per sender before reporting success.
+// Partial-failure recovery (the robust overload of socket_scheduled): when
+// an attempt fails mid-flight — a reset link, a stalled peer tripping the
+// idle deadline — receivers keep a per-pair delivery ledger at
+// completed-message granularity. The runtime rebuilds the residual traffic
+// matrix from the ledger, re-solves it with the K-PBS solver, and splices
+// the recovery schedule into a fresh attempt (new mesh, senders resuming
+// the pattern stream at the receiver-reported offsets) until everything is
+// delivered or the reschedule budget runs out.
 #pragma once
 
 #include "graph/traffic_matrix.hpp"
+#include "kpbs/options.hpp"
 #include "kpbs/schedule.hpp"
 #include "mpilite/comm.hpp"
+#include "robust/retry.hpp"
 
 namespace redist {
 
@@ -28,11 +38,34 @@ struct SocketClusterConfig {
   Bytes burst_bytes = 32768; ///< bucket size
 };
 
+/// Robustness knobs for the recovering socket_scheduled overload. Disabled
+/// by default: the legacy path runs byte-identically to the seed code.
+struct RobustnessOptions {
+  bool enabled = false;
+  /// Idle deadline on every link socket and on accept during wiring; must
+  /// be positive when enabled (a blocked rank is how attempt failures
+  /// cascade into clean unwinds rather than hangs).
+  int io_timeout_ms = 2000;
+  /// Retry budget for each connect-plus-handshake while wiring a mesh.
+  robust::RetryPolicy connect_retry{5, 1, 250, 2.0, 0.25, 0x5EEDBACC};
+  /// Backoff between redistribution attempts (max_attempts is ignored
+  /// here; the attempt budget is 1 + max_reschedules).
+  robust::RetryPolicy attempt_backoff{4, 5, 500, 2.0, 0.25, 0xBAC0FF};
+  /// Residual re-solves after the first attempt (0 = retry-free).
+  int max_reschedules = 3;
+  /// Solver used to re-solve the residual matrix between attempts; set k
+  /// (and beta) to match the original solve.
+  SolverOptions resolve;
+};
+
 struct SocketRunResult {
   double seconds = 0;
   Bytes bytes_delivered = 0;
   std::size_t steps = 0;
   bool verified = false;
+  int attempts = 1;        ///< redistribution attempts run (robust path)
+  int reschedules = 0;     ///< residual re-solves spliced in
+  std::uint64_t link_retries = 0;  ///< connect retries across all meshes
 };
 
 /// All flows at once over the socket mesh.
@@ -45,5 +78,14 @@ SocketRunResult socket_scheduled(const SocketClusterConfig& config,
                                  const TrafficMatrix& traffic,
                                  const Schedule& schedule,
                                  double bytes_per_time_unit);
+
+/// Recovering variant: with robustness.enabled, failed attempts are
+/// followed by residual re-solve + splice (see file header); with it
+/// disabled this is exactly the legacy overload.
+SocketRunResult socket_scheduled(const SocketClusterConfig& config,
+                                 const TrafficMatrix& traffic,
+                                 const Schedule& schedule,
+                                 double bytes_per_time_unit,
+                                 const RobustnessOptions& robustness);
 
 }  // namespace redist

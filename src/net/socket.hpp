@@ -4,6 +4,16 @@
 // (src/mpilite) rebuilds that stack on real kernel TCP sockets over the
 // loopback device, so flow control, buffering and backpressure are the
 // genuine article rather than a simulation.
+//
+// Robustness seams (src/robust):
+//  * deadline-aware I/O — set_io_timeout_ms() arms a poll() before every
+//    send/recv/accept syscall, so a stalled peer raises TimeoutError
+//    instead of blocking the rank forever. The deadline is an idle
+//    timeout: a slow but progressing transfer never trips it.
+//  * fault injection — every connect/send/recv operation consults the
+//    process-wide robust::FaultInjector (nullptr = off, the default) and
+//    applies its plan: refused connections, mid-transfer resets, stalls,
+//    short writes. Compiled in always; costs one branch when disabled.
 #pragma once
 
 #include <cstddef>
@@ -44,15 +54,31 @@ class TcpStream {
 
   bool valid() const { return socket_.valid(); }
 
-  /// Blocking full-buffer send/recv; throw on error or peer close.
+  /// Full-buffer send/recv; throw on error or peer close. With a deadline
+  /// armed (set_io_timeout_ms), each syscall waits at most that long for
+  /// the socket to become ready before throwing TimeoutError.
   void send_all(const void* data, std::size_t size);
   void recv_all(void* data, std::size_t size);
 
   /// Disables Nagle's algorithm (small barrier tokens should not wait).
   void set_nodelay(bool on);
 
+  /// Arms an idle deadline on every subsequent send/recv syscall;
+  /// <= 0 restores the blocking-forever seed behavior (the default).
+  void set_io_timeout_ms(int timeout_ms) { io_timeout_ms_ = timeout_ms; }
+  int io_timeout_ms() const { return io_timeout_ms_; }
+
+  /// Shrinks the kernel send buffer (SO_SNDBUF); used by deadline tests to
+  /// make a non-draining peer observable with small payloads.
+  void set_send_buffer(int bytes);
+
  private:
+  /// poll()s for `events` under the armed deadline; throws TimeoutError on
+  /// expiry. No-op when no deadline is armed.
+  void wait_ready(short events, const char* what) const;
+
   Socket socket_;
+  int io_timeout_ms_ = 0;
 };
 
 /// Listening TCP socket bound to the loopback device.
@@ -63,12 +89,19 @@ class TcpListener {
 
   std::uint16_t port() const { return port_; }
 
-  /// Blocking accept.
+  /// Accepts one connection; waits at most the armed accept deadline
+  /// (TimeoutError on expiry), forever when none is armed.
   TcpStream accept();
+
+  /// Arms a deadline on accept(); <= 0 (default) blocks forever.
+  void set_accept_timeout_ms(int timeout_ms) {
+    accept_timeout_ms_ = timeout_ms;
+  }
 
  private:
   Socket socket_;
   std::uint16_t port_ = 0;
+  int accept_timeout_ms_ = 0;
 };
 
 }  // namespace redist

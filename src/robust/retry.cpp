@@ -1,0 +1,45 @@
+#include "robust/retry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+
+namespace redist::robust {
+
+double backoff_delay_ms(const RetryPolicy& policy, int retry_index, Rng& rng) {
+  REDIST_CHECK_MSG(retry_index >= 1, "retry index is 1-based");
+  double delay = policy.base_delay_ms;
+  for (int i = 1; i < retry_index; ++i) {
+    delay *= policy.multiplier;
+    if (delay >= policy.max_delay_ms) break;
+  }
+  delay = std::min(delay, policy.max_delay_ms);
+  if (policy.jitter > 0) {
+    delay *= rng.uniform_real(1.0 - policy.jitter, 1.0 + policy.jitter);
+  }
+  return std::max(delay, 0.0);
+}
+
+void sleep_ms(double ms) {
+  if (ms <= 0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+Retrier::Retrier(const RetryPolicy& policy, Sleeper sleeper)
+    : policy_(policy),
+      sleeper_(sleeper ? std::move(sleeper) : Sleeper(sleep_ms)),
+      rng_(policy.seed) {
+  REDIST_CHECK_MSG(policy.max_attempts >= 1, "retry budget must be >= 1");
+}
+
+void Retrier::on_failure(int attempt) {
+  ++retries_;
+  obs::MetricsRegistry* const metrics = obs::metrics();
+  if (metrics != nullptr) metrics->counter("robust.retry.count").add();
+  sleeper_(backoff_delay_ms(policy_, attempt, rng_));
+}
+
+}  // namespace redist::robust

@@ -1,0 +1,77 @@
+// RetryPolicy — capped exponential backoff with deterministic jitter.
+//
+// The socket runtime retries transient failures (a refused connection
+// during mesh wiring, a failed redistribution attempt before residual
+// rescheduling) under a budgeted policy: at most `max_attempts` tries, a
+// delay that doubles per retry up to `max_delay_ms`, and a +/- `jitter`
+// fraction drawn from the repo's seeded Rng so two retrying peers do not
+// thundering-herd in lockstep. The delay sequence is a pure function of
+// (policy, retry index, rng state), which is what lets tests assert the
+// exact backoff timing with an injected sleeper instead of wall-clock
+// measurements.
+#pragma once
+
+#include <functional>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace redist::robust {
+
+struct RetryPolicy {
+  int max_attempts = 5;       ///< total tries including the first (>= 1)
+  double base_delay_ms = 1;   ///< delay before the first retry
+  double max_delay_ms = 250;  ///< cap applied before jitter
+  double multiplier = 2.0;    ///< geometric growth per retry
+  double jitter = 0.25;       ///< +/- fraction of the capped delay
+  std::uint64_t seed = 0x5EEDBACC;  ///< jitter stream seed
+};
+
+/// Delay in milliseconds before retry `retry_index` (1-based: the delay
+/// between the first failure and the second attempt has index 1). Pure up
+/// to the rng draw: base * multiplier^(i-1), capped, then jittered into
+/// [delay * (1 - jitter), delay * (1 + jitter)].
+double backoff_delay_ms(const RetryPolicy& policy, int retry_index, Rng& rng);
+
+/// Sleep hook; the default sleeps on the steady clock. Tests inject a
+/// recorder to assert the delay sequence without waiting it out.
+using Sleeper = std::function<void(double ms)>;
+
+/// Blocking sleep for `ms` milliseconds (std::this_thread::sleep_for).
+void sleep_ms(double ms);
+
+/// Runs a callable under a RetryPolicy. Every attempt that throws
+/// redist::Error is counted; the final attempt's exception propagates.
+/// Retries are reported to the `robust.retry.count` metric when a registry
+/// is installed.
+class Retrier {
+ public:
+  explicit Retrier(const RetryPolicy& policy, Sleeper sleeper = {});
+
+  /// Invokes `body` up to policy.max_attempts times; returns its result.
+  template <typename F>
+  auto run(F&& body) -> decltype(body()) {
+    for (int attempt = 1;; ++attempt) {
+      try {
+        return body();
+      } catch (const Error&) {
+        if (attempt >= policy_.max_attempts) throw;
+        on_failure(attempt);
+      }
+    }
+  }
+
+  /// Retries performed so far (0 if every run() succeeded first try).
+  int retries() const { return retries_; }
+
+ private:
+  /// Records the retry and sleeps the jittered backoff delay.
+  void on_failure(int attempt);
+
+  RetryPolicy policy_;
+  Sleeper sleeper_;
+  Rng rng_;
+  int retries_ = 0;
+};
+
+}  // namespace redist::robust

@@ -93,9 +93,9 @@ TEST(Aggregation, ReducesEdgesAndScheduleCost) {
   EXPECT_LT(after.alive_edge_count(), before.alive_edge_count());
   const Weight beta = 2;
   const Weight cost_before =
-      solve_kpbs(before, 4, beta, Algorithm::kOGGP).cost(beta);
+      solve_kpbs(before, {4, beta, Algorithm::kOGGP}).schedule.cost(beta);
   const Weight cost_after =
-      solve_kpbs(after, 4, beta, Algorithm::kOGGP).cost(beta);
+      solve_kpbs(after, {4, beta, Algorithm::kOGGP}).schedule.cost(beta);
   EXPECT_LT(cost_after, cost_before);
 }
 

@@ -68,7 +68,7 @@ TEST(Analysis, WrgpSchedulesHaveZeroIntraStepWaste) {
     config.max_right = 8;
     config.max_edges = 24;
     const BipartiteGraph g = random_bipartite(rng, config);
-    const Schedule s = solve_kpbs(g, 3, 1, Algorithm::kOGGP);
+    const Schedule s = solve_kpbs(g, {3, 1, Algorithm::kOGGP}).schedule;
     const ScheduleAnalysis a = analyze_schedule(g, s, 3);
     ASSERT_NEAR(a.intra_step_waste, 0.0, 1e-12);
     ASSERT_LE(a.slot_utilization, 1.0 + 1e-12);

@@ -92,7 +92,7 @@ TEST_P(AsyncRelaxRandom, NeverWorseThanBarriersAndAlwaysFeasible) {
     const BipartiteGraph g = random_bipartite(rng, config);
     const int k = static_cast<int>(rng.uniform_int(1, 10));
     const Weight beta = rng.uniform_int(0, 3);
-    const Schedule s = solve_kpbs(g, k, beta, Algorithm::kOGGP);
+    const Schedule s = solve_kpbs(g, {k, beta, Algorithm::kOGGP}).schedule;
     const int k_eff = clamp_k(g, k);
     const AsyncSchedule a = relax_barriers(s, k_eff, beta);
     a.check_feasible(k_eff);

@@ -90,7 +90,7 @@ TEST(Baselines, PeelingBeatsNaiveOnSkewedMatchings) {
   g.add_edge(1, 1, 10);
   const Weight beta = 0;
   const Weight naive = naive_matching_schedule(g, 2).cost(beta);
-  const Weight oggp = solve_kpbs(g, 2, beta, Algorithm::kOGGP).cost(beta);
+  const Weight oggp = solve_kpbs(g, {2, beta, Algorithm::kOGGP}).schedule.cost(beta);
   EXPECT_LE(oggp, naive);
   EXPECT_EQ(oggp, 11);  // W(G) = 11 is optimal here
 }
@@ -158,7 +158,7 @@ TEST(Baselines, ApproximationAlgorithmsBeatBaselinesOnAverage) {
       naive_total +=
           static_cast<double>(naive_matching_schedule(g, k).cost(beta));
       oggp_total += static_cast<double>(
-          solve_kpbs(g, k, beta, Algorithm::kOGGP).cost(beta));
+          solve_kpbs(g, {k, beta, Algorithm::kOGGP}).schedule.cost(beta));
     }
     const double slack = (beta == 0) ? 1.0 : 1.02;
     EXPECT_LE(oggp_total, list_total * slack) << "beta=" << beta;

@@ -71,9 +71,10 @@ std::vector<KpbsRequest> sample_requests(std::size_t count) {
     config.max_edges = 40;
     KpbsRequest request;
     request.demand = random_bipartite(rng, config);
-    request.k = static_cast<int>(rng.uniform_int(1, 8));
-    request.beta = rng.uniform_int(0, 3);
-    request.algorithm = (i % 2 == 0) ? Algorithm::kOGGP : Algorithm::kGGP;
+    request.options.k = static_cast<int>(rng.uniform_int(1, 8));
+    request.options.beta = rng.uniform_int(0, 3);
+    request.options.algorithm =
+        (i % 2 == 0) ? Algorithm::kOGGP : Algorithm::kGGP;
     requests.push_back(std::move(request));
   }
   return requests;
@@ -100,19 +101,24 @@ TEST(KpbsBatch, MatchesSequentialSolveAtEveryThreadCount) {
   std::vector<Schedule> reference;
   reference.reserve(requests.size());
   for (const KpbsRequest& r : requests) {
-    reference.push_back(
-        solve_kpbs(r.demand, r.k, r.beta, r.algorithm, MatchingEngine::kCold));
+    SolverOptions cold = r.options;
+    cold.engine = MatchingEngine::kCold;
+    reference.push_back(solve_kpbs(r.demand, cold).schedule);
   }
   for (const int threads : {1, 2, 4}) {
     for (const MatchingEngine engine :
          {MatchingEngine::kCold, MatchingEngine::kWarm}) {
+      std::vector<KpbsRequest> engined = requests;
+      for (KpbsRequest& r : engined) r.options.engine = engine;
       BatchOptions options;
       options.threads = threads;
-      options.engine = engine;
-      const std::vector<Schedule> batch = solve_kpbs_batch(requests, options);
+      const std::vector<SolveResult> batch =
+          solve_kpbs_batch(engined, options);
       ASSERT_EQ(batch.size(), requests.size());
       for (std::size_t i = 0; i < batch.size(); ++i) {
-        expect_equal_schedules(reference[i], batch[i], i);
+        expect_equal_schedules(reference[i], batch[i].schedule, i);
+        EXPECT_GE(batch[i].evaluation_ratio, 1.0) << "instance " << i;
+        EXPECT_GE(batch[i].solve_ms, 0.0) << "instance " << i;
       }
     }
   }
@@ -125,13 +131,13 @@ TEST(KpbsBatch, EmptyBatch) {
 TEST(KpbsBatch, DefaultThreadCount) {
   const std::vector<KpbsRequest> requests = sample_requests(3);
   BatchOptions options;  // threads = 0 -> hardware concurrency, clamped
-  const std::vector<Schedule> batch = solve_kpbs_batch(requests, options);
+  const std::vector<SolveResult> batch = solve_kpbs_batch(requests, options);
   EXPECT_EQ(batch.size(), requests.size());
 }
 
 TEST(KpbsBatch, PropagatesFirstFailureAfterCompletingTheRest) {
   std::vector<KpbsRequest> requests = sample_requests(6);
-  requests[2].beta = -1;  // solve_kpbs rejects negative beta
+  requests[2].options.beta = -1;  // solve_kpbs rejects negative beta
   for (const int threads : {1, 3}) {
     BatchOptions options;
     options.threads = threads;

@@ -159,7 +159,7 @@ TEST(BlockCyclic2d, SchedulesAsLocalRedistribution) {
       block_cyclic_2d_traffic(60, 60, 8, from, to);
   const BipartiteGraph g = traffic.to_graph(256.0);
   const int k = std::min(from.procs(), to.procs());
-  const Schedule s = solve_kpbs(g, k, 1, Algorithm::kOGGP);
+  const Schedule s = solve_kpbs(g, {k, 1, Algorithm::kOGGP}).schedule;
   validate_schedule(g, s, k);
 }
 

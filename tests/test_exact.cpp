@@ -83,7 +83,7 @@ TEST_P(ExactSandwich, BoundsHold) {
     const Rational lb = kpbs_lower_bound(g, k, beta).value();
     ASSERT_LE(lb, Rational(opt)) << "lower bound exceeded optimum";
     for (const Algorithm algo : {Algorithm::kGGP, Algorithm::kOGGP}) {
-      const Weight cost = solve_kpbs(g, k, beta, algo).cost(beta);
+      const Weight cost = solve_kpbs(g, {k, beta, algo}).schedule.cost(beta);
       ASSERT_GE(cost, opt) << algorithm_name(algo) << " beat the optimum";
       ASSERT_LE(Rational(cost), Rational(2) * Rational(opt))
           << algorithm_name(algo) << " broke the 2-approximation";

@@ -47,7 +47,7 @@ TEST(Executor, ScheduleExecutionAccountsBarriers) {
   m.set(1, 1, 300);
   // One time unit worth 100 bytes; weights 5 and 3.
   const BipartiteGraph g = m.to_graph(100.0);
-  const Schedule s = solve_kpbs(g, 2, 1, Algorithm::kOGGP);
+  const Schedule s = solve_kpbs(g, {2, 1, Algorithm::kOGGP}).schedule;
   const ExecutionResult r = execute_schedule(p, m, s, 100.0);
   EXPECT_DOUBLE_EQ(r.bytes_delivered, 800.0);
   EXPECT_EQ(r.steps, s.step_count());
@@ -65,7 +65,7 @@ TEST(Executor, ScheduledNeverOversubscribesSoNoCongestionPenalty) {
   m.set(0, 0, 400);
   m.set(1, 1, 400);
   const BipartiteGraph g = m.to_graph(100.0);
-  const Schedule s = solve_kpbs(g, 1, 0, Algorithm::kOGGP);
+  const Schedule s = solve_kpbs(g, {1, 0, Algorithm::kOGGP}).schedule;
   FluidOptions congested;
   congested.congestion_alpha = 1.0;
   const ExecutionResult clean = execute_schedule(p, m, s, 100.0);
@@ -91,7 +91,7 @@ TEST(Executor, CongestionHurtsBruteforceMoreThanScheduled) {
   tcp.congestion_alpha = 0.4;
   const ExecutionResult brute = simulate_bruteforce(p, m, tcp);
   const BipartiteGraph g = m.to_graph(100.0);
-  const Schedule s = solve_kpbs(g, 2, 1, Algorithm::kOGGP);
+  const Schedule s = solve_kpbs(g, {2, 1, Algorithm::kOGGP}).schedule;
   const ExecutionResult sched = execute_schedule(p, m, s, 100.0, tcp);
   EXPECT_LT(sched.total_seconds, brute.total_seconds);
 }
@@ -103,7 +103,7 @@ TEST(Executor, HeterogeneousCardsStretchTheirSteps) {
   m.set(0, 0, 400);
   m.set(1, 1, 400);
   const BipartiteGraph g = m.to_graph(100.0);
-  const Schedule s = solve_kpbs(g, 2, 0, Algorithm::kOGGP);
+  const Schedule s = solve_kpbs(g, {2, 0, Algorithm::kOGGP}).schedule;
   const ExecutionResult r = execute_schedule(p, m, s, 100.0);
   // Flow to receiver 1 runs at 25 B/s: its step lasts 16 s, not 4.
   EXPECT_NEAR(r.transmission_seconds, 16.0, 1e-6);
@@ -132,7 +132,7 @@ TEST(Executor, BandedPatternEndToEnd) {
   p.beta_seconds = 0.1;
   const double bpu = 1e3;
   const BipartiteGraph g = m.to_graph(bpu);
-  const Schedule s = solve_kpbs(g, p.max_k(), 1, Algorithm::kOGGP);
+  const Schedule s = solve_kpbs(g, {p.max_k(), 1, Algorithm::kOGGP}).schedule;
   const ExecutionResult r = execute_schedule(p, m, s, bpu);
   EXPECT_DOUBLE_EQ(r.bytes_delivered, static_cast<double>(m.total()));
 }
@@ -161,7 +161,7 @@ TEST(Executor, FinalChunkTruncatedToMatrix) {
   TrafficMatrix m(2, 2);
   m.set(0, 0, 150);  // 2 units of 100 -> 200 scheduled, 150 real
   const BipartiteGraph g = m.to_graph(100.0);
-  const Schedule s = solve_kpbs(g, 1, 0, Algorithm::kGGP);
+  const Schedule s = solve_kpbs(g, {1, 0, Algorithm::kGGP}).schedule;
   const ExecutionResult r = execute_schedule(p, m, s, 100.0);
   EXPECT_DOUBLE_EQ(r.bytes_delivered, 150.0);
   EXPECT_NEAR(r.transmission_seconds, 1.5, 1e-6);

@@ -64,7 +64,7 @@ TEST_P(ParserFuzz, ScheduleParserNeverCrashes) {
   config.max_edges = 12;
   for (int trial = 0; trial < 200; ++trial) {
     const BipartiteGraph g = random_bipartite(rng, config);
-    const Schedule s = solve_kpbs(g, 2, 1, Algorithm::kGGP);
+    const Schedule s = solve_kpbs(g, {2, 1, Algorithm::kGGP}).schedule;
     const std::string mutated = mutate(rng, schedule_to_string(s));
     try {
       const Schedule parsed = schedule_from_string(mutated);
@@ -89,7 +89,7 @@ TEST_P(ParserFuzz, ScheduleRoundTripIsIdentity) {
     const BipartiteGraph g = random_bipartite(rng, config);
     const int k = static_cast<int>(rng.uniform_int(1, 5));
     const Weight beta = rng.uniform_int(0, 3);
-    const Schedule s = solve_kpbs(g, k, beta, Algorithm::kOGGP);
+    const Schedule s = solve_kpbs(g, {k, beta, Algorithm::kOGGP}).schedule;
 
     const std::string text = schedule_to_string(s);
     const Schedule parsed = schedule_from_string(text);
@@ -120,7 +120,7 @@ TEST_P(ParserFuzz, ScheduleDoubleRoundTripIsStable) {
   config.max_edges = 16;
   for (int trial = 0; trial < 50; ++trial) {
     const BipartiteGraph g = random_bipartite(rng, config);
-    const Schedule s = solve_kpbs(g, 3, 1, Algorithm::kGGP);
+    const Schedule s = solve_kpbs(g, {3, 1, Algorithm::kGGP}).schedule;
     const std::string once = schedule_to_string(schedule_from_string(
         schedule_to_string(s)));
     const std::string twice = schedule_to_string(schedule_from_string(once));

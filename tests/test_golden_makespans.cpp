@@ -59,12 +59,12 @@ TEST_P(GoldenMakespans, ExactStepCountsAndCosts) {
   const MatchingEngine engine = GetParam();
   for (const GoldenCase& c : kGolden) {
     const BipartiteGraph g = load_golden(c.file);
-    const Schedule ggp = solve_kpbs(g, c.k, c.beta, Algorithm::kGGP, engine);
+    const Schedule ggp = solve_kpbs(g, {c.k, c.beta, Algorithm::kGGP, engine}).schedule;
     EXPECT_EQ(ggp.step_count(), c.ggp_steps) << c.file << " (ggp)";
     EXPECT_EQ(ggp.cost(c.beta), c.ggp_cost) << c.file << " (ggp)";
     validate_schedule(g, ggp, clamp_k(g, c.k));
 
-    const Schedule oggp = solve_kpbs(g, c.k, c.beta, Algorithm::kOGGP, engine);
+    const Schedule oggp = solve_kpbs(g, {c.k, c.beta, Algorithm::kOGGP, engine}).schedule;
     EXPECT_EQ(oggp.step_count(), c.oggp_steps) << c.file << " (oggp)";
     EXPECT_EQ(oggp.cost(c.beta), c.oggp_cost) << c.file << " (oggp)";
     validate_schedule(g, oggp, clamp_k(g, c.k));

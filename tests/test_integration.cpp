@@ -38,7 +38,7 @@ TEST(Integration, MatrixToScheduleToSimulatedExecution) {
   const BipartiteGraph g = traffic.to_graph(bytes_per_unit);
 
   for (const Algorithm algo : {Algorithm::kGGP, Algorithm::kOGGP}) {
-    const Schedule s = solve_kpbs(g, k, 1, algo);
+    const Schedule s = solve_kpbs(g, {k, 1, algo}).schedule;
     validate_schedule(g, s, k);
     const ExecutionResult r = execute_schedule(p, traffic, s, bytes_per_unit);
     EXPECT_DOUBLE_EQ(r.bytes_delivered, static_cast<double>(traffic.total()));
@@ -68,7 +68,7 @@ TEST(Integration, ScheduledBeatsBruteforceUnderCongestion) {
   const double brute = simulate_bruteforce(p, traffic, tcp).total_seconds;
   const double bpu = p.comm_speed_bps() * 0.5;
   const BipartiteGraph g = traffic.to_graph(bpu);
-  const Schedule s = solve_kpbs(g, p.max_k(), 1, Algorithm::kOGGP);
+  const Schedule s = solve_kpbs(g, {p.max_k(), 1, Algorithm::kOGGP}).schedule;
   const double sched =
       execute_schedule(p, traffic, s, bpu, tcp).total_seconds;
   EXPECT_LT(sched, brute);
@@ -81,7 +81,7 @@ TEST(Integration, BlockCyclicLocalRedistribution) {
       10000, 8, BlockCyclicLayout{6, 4}, BlockCyclicLayout{4, 3});
   const BipartiteGraph g = traffic.to_graph(1000.0);
   const int k = 4;  // min(6, 4)
-  const Schedule s = solve_kpbs(g, k, 1, Algorithm::kOGGP);
+  const Schedule s = solve_kpbs(g, {k, 1, Algorithm::kOGGP}).schedule;
   validate_schedule(g, s, k);
   const LowerBound lb = kpbs_lower_bound(g, k, 1);
   EXPECT_LE(Rational(s.cost(1)), Rational(2) * lb.value());
@@ -101,7 +101,7 @@ TEST(Integration, LiveThreadedRedistributionEndToEnd) {
 
   const double bpu = 4000.0;
   const BipartiteGraph g = traffic.to_graph(bpu);
-  const Schedule s = solve_kpbs(g, 2, 1, Algorithm::kOGGP);
+  const Schedule s = solve_kpbs(g, {2, 1, Algorithm::kOGGP}).schedule;
   validate_schedule(g, s, 2);
 
   const RunResult brute = run_bruteforce(config, traffic);
@@ -121,7 +121,7 @@ TEST(Integration, ThreeSubstratesAgreeOnDelivery) {
       uniform_all_pairs_traffic(rng, 3, 3, 4000, 10000);
   const double bpu = 4000.0;
   const BipartiteGraph g = traffic.to_graph(bpu);
-  const Schedule s = solve_kpbs(g, 2, 1, Algorithm::kOGGP);
+  const Schedule s = solve_kpbs(g, {2, 1, Algorithm::kOGGP}).schedule;
   validate_schedule(g, s, 2);
 
   Platform p;
@@ -161,7 +161,7 @@ TEST(Integration, GanttAndAnalysisComposeWithSolver) {
   const TrafficMatrix traffic =
       uniform_all_pairs_traffic(rng, 4, 4, 10'000, 40'000);
   const BipartiteGraph g = traffic.to_graph(10'000.0);
-  const Schedule s = solve_kpbs(g, 3, 1, Algorithm::kOGGP);
+  const Schedule s = solve_kpbs(g, {3, 1, Algorithm::kOGGP}).schedule;
   const ScheduleAnalysis a = analyze_schedule(g, s, 3);
   EXPECT_EQ(a.total_amount, g.total_weight());
   const std::string svg = schedule_to_svg(s, g.left_count());
@@ -189,7 +189,7 @@ TEST(Integration, CostsAreConsistentAcrossReportingPaths) {
   p.beta_seconds = 2.0;
   const double bpu = 100.0;  // 1 unit == 1 second at comm speed
   const BipartiteGraph g = traffic.to_graph(bpu);
-  const Schedule s = solve_kpbs(g, 2, 2, Algorithm::kOGGP);
+  const Schedule s = solve_kpbs(g, {2, 2, Algorithm::kOGGP}).schedule;
   const ExecutionResult r = execute_schedule(p, traffic, s, bpu);
   EXPECT_NEAR(r.total_seconds, static_cast<double>(s.cost(2)), 1e-6);
 }

@@ -99,7 +99,7 @@ TEST(LowerBound, NeverExceedsAlgorithmCost) {
     const int k = static_cast<int>(rng.uniform_int(1, 8));
     const Weight beta = rng.uniform_int(0, 4);
     const LowerBound lb = kpbs_lower_bound(g, k, beta);
-    const Schedule s = solve_kpbs(g, k, beta, Algorithm::kOGGP);
+    const Schedule s = solve_kpbs(g, {k, beta, Algorithm::kOGGP}).schedule;
     EXPECT_LE(lb.value(), Rational(s.cost(beta)));
   }
 }

@@ -146,7 +146,7 @@ TEST(SocketRedistribute, ScheduledDeliversAndVerifies) {
       uniform_all_pairs_traffic(rng, 3, 3, 5000, 20000);
   const double bpu = 8000.0;
   const BipartiteGraph g = traffic.to_graph(bpu);
-  const Schedule s = solve_kpbs(g, 2, 1, Algorithm::kOGGP);
+  const Schedule s = solve_kpbs(g, {2, 1, Algorithm::kOGGP}).schedule;
   const SocketRunResult r = socket_scheduled(test_cluster(), traffic, s, bpu);
   EXPECT_TRUE(r.verified);
   EXPECT_EQ(r.bytes_delivered, traffic.total());
@@ -159,7 +159,7 @@ TEST(SocketRedistribute, SparseTrafficWithIdleNodes) {
   traffic.set(2, 1, 4000);  // nodes 1, 3 send nothing; 0, 2 receive nothing
   const double bpu = 4000.0;
   const BipartiteGraph g = traffic.to_graph(bpu);
-  const Schedule s = solve_kpbs(g, 2, 1, Algorithm::kGGP);
+  const Schedule s = solve_kpbs(g, {2, 1, Algorithm::kGGP}).schedule;
   const SocketRunResult r = socket_scheduled(test_cluster(), traffic, s, bpu);
   EXPECT_TRUE(r.verified);
   EXPECT_EQ(r.bytes_delivered, 13000);

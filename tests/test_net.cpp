@@ -1,11 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <future>
 #include <thread>
+#include <vector>
 
 #include "net/message.hpp"
 #include "net/socket.hpp"
 #include "common/stopwatch.hpp"
+#include "robust/fault_injector.hpp"
 #include "runtime/token_bucket.hpp"
 
 namespace redist {
@@ -128,6 +131,147 @@ TEST(Message, ShapedTransferIsRateLimited) {
   server.join();
   // 60 KB minus one burst at 200 KB/s: at least ~0.2 s.
   EXPECT_GE(watch.elapsed_seconds(), 0.15);
+}
+
+TEST(SocketDeadline, RecvTimesOutOnSilentPeer) {
+  TcpListener listener = TcpListener::bind_loopback();
+  std::thread server([&listener]() {
+    // Accept, then never send a byte: the classic stalled peer.
+    TcpStream peer = listener.accept();
+    char byte = 0;
+    try {
+      peer.recv_all(&byte, 1);  // unblocks when the client closes
+    } catch (const Error&) {
+    }
+  });
+  TcpStream client = TcpStream::connect_loopback(listener.port());
+  client.set_io_timeout_ms(100);
+  char buf[1];
+  EXPECT_THROW(client.recv_all(buf, 1), TimeoutError);
+  client = TcpStream();  // close so the server thread unblocks
+  server.join();
+}
+
+TEST(SocketDeadline, SendTimesOutOnNonDrainingPeer) {
+  TcpListener listener = TcpListener::bind_loopback();
+  std::promise<void> release;
+  std::shared_future<void> released(release.get_future());
+  std::thread server([&listener, released]() {
+    // Accept and hold the socket open without ever reading.
+    TcpStream peer = listener.accept();
+    released.wait();
+  });
+  TcpStream client = TcpStream::connect_loopback(listener.port());
+  client.set_send_buffer(4096);
+  client.set_io_timeout_ms(100);
+  // Far more than the send buffer plus the peer's receive buffer: once
+  // both fill, poll(POLLOUT) must expire instead of blocking forever.
+  const std::vector<char> payload(32u << 20, 'x');
+  EXPECT_THROW(client.send_all(payload.data(), payload.size()), TimeoutError);
+  release.set_value();
+  server.join();
+}
+
+TEST(SocketDeadline, AcceptTimesOutWithoutClients) {
+  TcpListener listener = TcpListener::bind_loopback();
+  listener.set_accept_timeout_ms(100);
+  EXPECT_THROW(listener.accept(), TimeoutError);
+}
+
+TEST(SocketDeadline, ZeroTimeoutKeepsBlockingSemantics) {
+  TcpStream stream;
+  stream.set_io_timeout_ms(0);
+  EXPECT_EQ(stream.io_timeout_ms(), 0);
+  stream.set_io_timeout_ms(-5);
+  EXPECT_EQ(stream.io_timeout_ms(), -5);  // <= 0 means no deadline
+}
+
+TEST(SocketFault, InjectedRefusalFailsConnectThenRecovers) {
+  TcpListener listener = TcpListener::bind_loopback();
+  robust::FaultInjector injector(9);
+  robust::FaultRule rule;
+  rule.kind = robust::FaultKind::kConnectRefuse;
+  rule.site = robust::FaultSite::kConnect;
+  rule.count = 1;
+  injector.add_rule(rule);
+  const robust::ScopedFaultInjection scope(&injector);
+  EXPECT_THROW(TcpStream::connect_loopback(listener.port()), Error);
+  // The rule is exhausted; the next dial goes through to the kernel.
+  std::thread server([&listener]() { TcpStream peer = listener.accept(); });
+  TcpStream client = TcpStream::connect_loopback(listener.port());
+  EXPECT_TRUE(client.valid());
+  server.join();
+  EXPECT_EQ(injector.injected_count(), 1u);
+}
+
+TEST(SocketFault, InjectedShortWritesDeliverEveryByte) {
+  TcpListener listener = TcpListener::bind_loopback();
+  robust::FaultInjector injector(10);
+  robust::FaultRule rule;
+  rule.kind = robust::FaultKind::kShortWrite;
+  rule.site = robust::FaultSite::kSend;
+  rule.count = 1000;
+  rule.chunk_cap = 3;
+  injector.add_rule(rule);
+  const robust::ScopedFaultInjection scope(&injector);
+  std::vector<char> sent(1000);
+  for (std::size_t i = 0; i < sent.size(); ++i) {
+    sent[i] = static_cast<char>(i * 31 + 7);
+  }
+  std::thread server([&listener, &sent]() {
+    TcpStream peer = listener.accept();
+    std::vector<char> got(sent.size());
+    peer.recv_all(got.data(), got.size());
+    EXPECT_EQ(got, sent);
+  });
+  TcpStream client = TcpStream::connect_loopback(listener.port());
+  client.send_all(sent.data(), sent.size());
+  server.join();
+  EXPECT_GT(injector.injected_count(), 0u);
+}
+
+TEST(SocketFault, InjectedResetThrowsAfterTheConfiguredBytes) {
+  TcpListener listener = TcpListener::bind_loopback();
+  robust::FaultInjector injector(11);
+  robust::FaultRule rule;
+  rule.kind = robust::FaultKind::kReset;
+  rule.site = robust::FaultSite::kSend;
+  rule.at_bytes = 100;
+  injector.add_rule(rule);
+  const robust::ScopedFaultInjection scope(&injector);
+  std::thread server([&listener]() {
+    TcpStream peer = listener.accept();
+    std::vector<char> got(1000);
+    // The sender's socket is shut down after ~100 bytes; the partial read
+    // must surface as an error, never as silently short data.
+    EXPECT_THROW(peer.recv_all(got.data(), got.size()), Error);
+  });
+  TcpStream client = TcpStream::connect_loopback(listener.port());
+  const std::vector<char> payload(1000, 'z');
+  EXPECT_THROW(client.send_all(payload.data(), payload.size()), Error);
+  server.join();
+}
+
+TEST(SocketFault, InjectedStallDelaysTheOperation) {
+  TcpListener listener = TcpListener::bind_loopback();
+  std::thread server([&listener]() {
+    TcpStream peer = listener.accept();
+    peer.send_all("ping", 4);
+  });
+  TcpStream client = TcpStream::connect_loopback(listener.port());
+  robust::FaultInjector injector(12);
+  robust::FaultRule rule;
+  rule.kind = robust::FaultKind::kStall;
+  rule.site = robust::FaultSite::kRecv;
+  rule.stall_ms = 300;
+  injector.add_rule(rule);
+  const robust::ScopedFaultInjection scope(&injector);
+  char buf[4];
+  Stopwatch watch;
+  client.recv_all(buf, 4);  // stalled, then completes normally
+  EXPECT_GE(watch.elapsed_ms(), 200.0);
+  EXPECT_EQ(std::memcmp(buf, "ping", 4), 0);
+  server.join();
 }
 
 }  // namespace

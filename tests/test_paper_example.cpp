@@ -35,7 +35,7 @@ TEST(PaperFigure2, HandCraftedSolutionIsFeasibleWithCost15) {
 TEST(PaperFigure2, SolversMatchOrBeatTheFigure) {
   const BipartiteGraph g = figure2_graph();
   for (const Algorithm algo : {Algorithm::kGGP, Algorithm::kOGGP}) {
-    const Schedule s = solve_kpbs(g, 3, 1, algo);
+    const Schedule s = solve_kpbs(g, {3, 1, algo}).schedule;
     validate_schedule(g, s, 3);
     EXPECT_LE(s.cost(1), 15) << algorithm_name(algo);
     // And of course they respect the lower bound.
@@ -47,7 +47,7 @@ TEST(PaperFigure2, PreemptionActuallyHappens) {
   // The 8-edge cannot fit in a single step of any cost <= 15 schedule with
   // these partners; verify the solvers do split at least one communication.
   const BipartiteGraph g = figure2_graph();
-  const Schedule s = solve_kpbs(g, 3, 1, Algorithm::kOGGP);
+  const Schedule s = solve_kpbs(g, {3, 1, Algorithm::kOGGP}).schedule;
   int fragments_00 = 0;
   for (const Step& step : s.steps()) {
     for (const Communication& c : step.comms) {

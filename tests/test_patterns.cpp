@@ -39,7 +39,7 @@ TEST(Patterns, HotspotStressesSingleReceiverBound) {
   Rng rng(3);
   const TrafficMatrix m = hotspot_traffic(rng, 8, 8, 0, 0.8, 1'000'000);
   const BipartiteGraph g = m.to_graph(100'000.0);
-  const Schedule s = solve_kpbs(g, 4, 1, Algorithm::kOGGP);
+  const Schedule s = solve_kpbs(g, {4, 1, Algorithm::kOGGP}).schedule;
   validate_schedule(g, s, 4);
   EXPECT_LE(Rational(s.cost(1)),
             Rational(2) * kpbs_lower_bound(g, 4, 1).value());
@@ -64,7 +64,7 @@ TEST(Patterns, PermutationSchedulesInOneStep) {
   Rng rng(5);
   const TrafficMatrix m = permutation_traffic(rng, 6, 50'000, 50'000);
   const BipartiteGraph g = m.to_graph(50'000.0);
-  const Schedule s = solve_kpbs(g, 6, 1, Algorithm::kOGGP);
+  const Schedule s = solve_kpbs(g, {6, 1, Algorithm::kOGGP}).schedule;
   validate_schedule(g, s, 6);
   EXPECT_EQ(s.step_count(), 1u);
 }
@@ -117,7 +117,7 @@ TEST(Patterns, ZipfSchedulesValidly) {
   const TrafficMatrix m = zipf_traffic(rng, 8, 8, 1'000'000, 1.0);
   const BipartiteGraph g = m.to_graph(10'000.0);
   for (const Algorithm algo : {Algorithm::kGGP, Algorithm::kOGGP}) {
-    const Schedule s = solve_kpbs(g, 3, 1, algo);
+    const Schedule s = solve_kpbs(g, {3, 1, algo}).schedule;
     validate_schedule(g, s, 3);
   }
 }

@@ -13,7 +13,7 @@ namespace redist {
 namespace {
 
 double ratio(const BipartiteGraph& g, int k, Weight beta, Algorithm algo) {
-  const Schedule s = solve_kpbs(g, k, beta, algo);
+  const Schedule s = solve_kpbs(g, {k, beta, algo}).schedule;
   validate_schedule(g, s, clamp_k(g, k));
   return static_cast<double>(s.cost(beta)) /
          kpbs_lower_bound(g, k, beta).value_double();
@@ -45,7 +45,7 @@ TEST(Regression, UnitStarWithHugeBeta) {
   for (NodeId j = 0; j < 10; ++j) g.add_edge(0, j, 1);
   for (const Algorithm algo :
        {Algorithm::kGGP, Algorithm::kOGGP, Algorithm::kGGPMaxWeight}) {
-    const Schedule s = solve_kpbs(g, 10, 1000, algo);
+    const Schedule s = solve_kpbs(g, {10, 1000, algo}).schedule;
     validate_schedule(g, s, 1);
     EXPECT_EQ(s.step_count(), 10u) << algorithm_name(algo);
     EXPECT_LT(ratio(g, 10, 1000, algo), 1.01) << algorithm_name(algo);

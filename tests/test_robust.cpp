@@ -1,0 +1,247 @@
+// Unit tests for the robustness primitives (src/robust): the capped
+// exponential backoff policy, the Retrier budget/sleeper seam, and the
+// deterministic fault injector's rule windows, plan merging and scoped
+// installation. Backoff timing is asserted through an injected recording
+// sleeper — the delay sequence is a pure function of (policy, rng state),
+// so no wall-clock measurement is involved.
+#include "robust/retry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "robust/fault_injector.hpp"
+
+namespace redist::robust {
+namespace {
+
+RetryPolicy jitterless(int max_attempts) {
+  RetryPolicy policy;
+  policy.max_attempts = max_attempts;
+  policy.base_delay_ms = 2;
+  policy.max_delay_ms = 10;
+  policy.multiplier = 2.0;
+  policy.jitter = 0;
+  return policy;
+}
+
+TEST(Robust, BackoffGrowsGeometricallyAndCaps) {
+  const RetryPolicy policy = jitterless(8);
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(backoff_delay_ms(policy, 1, rng), 2.0);
+  EXPECT_DOUBLE_EQ(backoff_delay_ms(policy, 2, rng), 4.0);
+  EXPECT_DOUBLE_EQ(backoff_delay_ms(policy, 3, rng), 8.0);
+  EXPECT_DOUBLE_EQ(backoff_delay_ms(policy, 4, rng), 10.0);  // capped
+  EXPECT_DOUBLE_EQ(backoff_delay_ms(policy, 9, rng), 10.0);  // stays capped
+}
+
+TEST(Robust, BackoffJitterBoundedAndSeedDeterministic) {
+  RetryPolicy policy = jitterless(8);
+  policy.jitter = 0.25;
+  Rng a(policy.seed);
+  Rng b(policy.seed);
+  for (int retry = 1; retry <= 16; ++retry) {
+    const double from_a = backoff_delay_ms(policy, retry, a);
+    const double from_b = backoff_delay_ms(policy, retry, b);
+    EXPECT_DOUBLE_EQ(from_a, from_b) << "retry " << retry;
+    policy.jitter = 0;
+    Rng unused(0);
+    const double nominal = backoff_delay_ms(policy, retry, unused);
+    policy.jitter = 0.25;
+    EXPECT_GE(from_a, nominal * 0.75) << "retry " << retry;
+    EXPECT_LE(from_a, nominal * 1.25) << "retry " << retry;
+  }
+}
+
+TEST(Robust, RetrierRecoversAndSleepsTheExactBackoffSequence) {
+  const RetryPolicy policy = jitterless(5);
+  std::vector<double> slept;
+  Retrier retrier(policy, [&slept](double ms) { slept.push_back(ms); });
+  int calls = 0;
+  const int value = retrier.run([&calls]() {
+    if (++calls < 3) throw Error("transient");
+    return 42;
+  });
+  EXPECT_EQ(value, 42);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(retrier.retries(), 2);
+  // With jitter 0 the recorded sleeps are exactly the policy's sequence.
+  Rng rng(policy.seed);
+  ASSERT_EQ(slept.size(), 2u);
+  EXPECT_DOUBLE_EQ(slept[0], backoff_delay_ms(policy, 1, rng));
+  EXPECT_DOUBLE_EQ(slept[1], backoff_delay_ms(policy, 2, rng));
+}
+
+TEST(Robust, RetrierExhaustsBudgetAndRethrows) {
+  const RetryPolicy policy = jitterless(3);
+  std::vector<double> slept;
+  Retrier retrier(policy, [&slept](double ms) { slept.push_back(ms); });
+  int calls = 0;
+  EXPECT_THROW(retrier.run([&calls]() -> int {
+    ++calls;
+    throw Error("permanent");
+  }),
+               Error);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(retrier.retries(), 2);
+  EXPECT_EQ(slept.size(), 2u);
+}
+
+TEST(Robust, RetrierDoesNotCatchForeignExceptions) {
+  const RetryPolicy policy = jitterless(5);
+  Retrier retrier(policy, [](double) {});
+  int calls = 0;
+  EXPECT_THROW(retrier.run([&calls]() -> int {
+    ++calls;
+    throw std::logic_error("bug, not a transient");
+  }),
+               std::logic_error);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(retrier.retries(), 0);
+}
+
+TEST(Robust, RetrierRejectsEmptyBudget) {
+  RetryPolicy policy = jitterless(0);
+  EXPECT_THROW(Retrier{policy}, Error);
+}
+
+TEST(Robust, RetrierReportsRetriesToMetrics) {
+  obs::MetricsRegistry registry;
+  const obs::ScopedTelemetry scope(&registry, nullptr);
+  Retrier retrier(jitterless(5), [](double) {});
+  int calls = 0;
+  retrier.run([&calls]() {
+    if (++calls < 4) throw Error("transient");
+    return 0;
+  });
+  EXPECT_EQ(registry.counter("robust.retry.count").value(), 3u);
+}
+
+TEST(Robust, TimeoutErrorIsCatchableAsError) {
+  EXPECT_THROW(throw TimeoutError("deadline"), Error);
+  EXPECT_THROW(throw TimeoutError("deadline"), TimeoutError);
+}
+
+TEST(FaultInjector, RuleWindowFiresBeginToCount) {
+  FaultInjector injector(7);
+  FaultRule rule;
+  rule.kind = FaultKind::kStall;
+  rule.site = FaultSite::kSend;
+  rule.begin = 2;
+  rule.count = 2;
+  rule.stall_ms = 5;
+  injector.add_rule(rule);
+  std::vector<bool> fired;
+  for (int op = 0; op < 6; ++op) {
+    fired.push_back(injector.plan_op(FaultSite::kSend).any());
+  }
+  const std::vector<bool> expected{false, false, true, true, false, false};
+  EXPECT_EQ(fired, expected);
+  EXPECT_EQ(injector.op_count(FaultSite::kSend), 6u);
+  EXPECT_EQ(injector.injected_count(), 2u);
+}
+
+TEST(FaultInjector, SitesCountIndependently) {
+  FaultInjector injector;
+  FaultRule rule;
+  rule.kind = FaultKind::kReset;
+  rule.site = FaultSite::kRecv;
+  rule.begin = 1;
+  injector.add_rule(rule);
+  // Send ops do not advance the recv window.
+  EXPECT_FALSE(injector.plan_op(FaultSite::kSend).any());
+  EXPECT_FALSE(injector.plan_op(FaultSite::kSend).any());
+  EXPECT_FALSE(injector.plan_op(FaultSite::kRecv).any());  // recv op 0
+  EXPECT_TRUE(injector.plan_op(FaultSite::kRecv).reset);   // recv op 1
+  EXPECT_EQ(injector.op_count(FaultSite::kSend), 2u);
+  EXPECT_EQ(injector.op_count(FaultSite::kRecv), 2u);
+}
+
+TEST(FaultInjector, PlansMergeAcrossRules) {
+  FaultInjector injector;
+  FaultRule reset;
+  reset.kind = FaultKind::kReset;
+  reset.site = FaultSite::kSend;
+  reset.at_bytes = 100;
+  injector.add_rule(reset);
+  FaultRule narrow;
+  narrow.kind = FaultKind::kShortWrite;
+  narrow.site = FaultSite::kSend;
+  narrow.chunk_cap = 8;
+  injector.add_rule(narrow);
+  FaultRule narrower;
+  narrower.kind = FaultKind::kShortWrite;
+  narrower.site = FaultSite::kSend;
+  narrower.chunk_cap = 3;
+  injector.add_rule(narrower);
+  const FaultPlan plan = injector.plan_op(FaultSite::kSend);
+  EXPECT_TRUE(plan.reset);
+  EXPECT_EQ(plan.reset_after, 100);
+  EXPECT_EQ(plan.chunk_cap, 3);  // tightest cap wins
+  EXPECT_TRUE(plan.any());
+}
+
+TEST(FaultInjector, RejectsMalformedRules) {
+  FaultInjector injector;
+  FaultRule bad_probability;
+  bad_probability.probability = 1.5;
+  EXPECT_THROW(injector.add_rule(bad_probability), Error);
+  FaultRule refusal_off_site;
+  refusal_off_site.kind = FaultKind::kConnectRefuse;
+  refusal_off_site.site = FaultSite::kSend;
+  EXPECT_THROW(injector.add_rule(refusal_off_site), Error);
+  FaultRule capless;
+  capless.kind = FaultKind::kShortWrite;
+  capless.chunk_cap = 0;
+  EXPECT_THROW(injector.add_rule(capless), Error);
+}
+
+TEST(FaultInjector, ProbabilisticRulesAreSeedDeterministic) {
+  const auto pattern = [](std::uint64_t seed) {
+    FaultInjector injector(seed);
+    FaultRule rule;
+    rule.kind = FaultKind::kStall;
+    rule.site = FaultSite::kSend;
+    rule.count = 1000;
+    rule.probability = 0.5;
+    rule.stall_ms = 1;
+    injector.add_rule(rule);
+    std::vector<bool> fired;
+    for (int op = 0; op < 64; ++op) {
+      fired.push_back(injector.plan_op(FaultSite::kSend).any());
+    }
+    return fired;
+  };
+  EXPECT_EQ(pattern(11), pattern(11));
+  EXPECT_NE(pattern(11), pattern(12));  // astronomically unlikely to match
+}
+
+TEST(FaultInjector, ScopedInstallationNestsAndRestores) {
+  EXPECT_EQ(injector(), nullptr);
+  FaultInjector outer;
+  FaultInjector inner;
+  {
+    const ScopedFaultInjection outer_scope(&outer);
+    EXPECT_EQ(injector(), &outer);
+    {
+      const ScopedFaultInjection inner_scope(&inner);
+      EXPECT_EQ(injector(), &inner);
+    }
+    EXPECT_EQ(injector(), &outer);
+  }
+  EXPECT_EQ(injector(), nullptr);
+}
+
+TEST(FaultInjector, NamesAreStable) {
+  EXPECT_STREQ(fault_kind_name(FaultKind::kConnectRefuse), "connect-refuse");
+  EXPECT_STREQ(fault_kind_name(FaultKind::kReset), "reset");
+  EXPECT_STREQ(fault_kind_name(FaultKind::kStall), "stall");
+  EXPECT_STREQ(fault_kind_name(FaultKind::kShortWrite), "short-write");
+}
+
+}  // namespace
+}  // namespace redist::robust

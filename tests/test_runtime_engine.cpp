@@ -44,7 +44,7 @@ TEST(RuntimeEngine, ScheduledDeliversExactlyTheMatrix) {
   const TrafficMatrix m = uniform_all_pairs_traffic(rng, 3, 3, 5000, 15000);
   const double bytes_per_unit = 5000.0;
   const BipartiteGraph g = m.to_graph(bytes_per_unit);
-  const Schedule s = solve_kpbs(g, 2, 1, Algorithm::kOGGP);
+  const Schedule s = solve_kpbs(g, {2, 1, Algorithm::kOGGP}).schedule;
   const RunResult r = run_scheduled(fast_cluster(), m, s, bytes_per_unit);
   EXPECT_TRUE(r.verified);
   EXPECT_EQ(r.bytes_delivered, m.total());
@@ -59,7 +59,7 @@ TEST(RuntimeEngine, ScheduledRespectsRateCeilings) {
   ClusterConfig config = fast_cluster();
   config.card_out_bps = 1e6;  // 1 MB/s: 60 ms nominal
   const BipartiteGraph g = m.to_graph(10000.0);
-  const Schedule s = solve_kpbs(g, 1, 0, Algorithm::kGGP);
+  const Schedule s = solve_kpbs(g, {1, 0, Algorithm::kGGP}).schedule;
   const RunResult r = run_scheduled(config, m, s, 10000.0);
   EXPECT_TRUE(r.verified);
   EXPECT_GE(r.seconds, 0.03);

@@ -23,7 +23,7 @@ TEST(Scale, LargeRandomInstanceSolvesFast) {
   config.max_weight = 100;
   const BipartiteGraph g = random_bipartite(rng, config);
   Stopwatch watch;
-  const Schedule s = solve_kpbs(g, 16, 1, Algorithm::kGGP);
+  const Schedule s = solve_kpbs(g, {16, 1, Algorithm::kGGP}).schedule;
   const double elapsed = watch.elapsed_seconds();
   validate_schedule(g, s, clamp_k(g, 16));
   EXPECT_LE(Rational(s.cost(1)),
@@ -41,7 +41,7 @@ TEST(Scale, OggpOnDenseMidSizeInstance) {
   config.max_edges = 1200;
   const BipartiteGraph g = random_bipartite(rng, config);
   Stopwatch watch;
-  const Schedule s = solve_kpbs(g, 10, 1, Algorithm::kOGGP);
+  const Schedule s = solve_kpbs(g, {10, 1, Algorithm::kOGGP}).schedule;
   validate_schedule(g, s, clamp_k(g, 10));
   EXPECT_LT(watch.elapsed_seconds(), 30.0);
   EXPECT_LE(Rational(s.cost(1)),
@@ -52,7 +52,7 @@ TEST(Scale, HotspotAtScaleKeepsBound) {
   Rng rng(9003);
   const TrafficMatrix m = hotspot_traffic(rng, 64, 64, 7, 0.6, 1'000'000);
   const BipartiteGraph g = m.to_graph(25'000.0);
-  const Schedule s = solve_kpbs(g, 8, 1, Algorithm::kOGGP);
+  const Schedule s = solve_kpbs(g, {8, 1, Algorithm::kOGGP}).schedule;
   validate_schedule(g, s, 8);
   EXPECT_LE(Rational(s.cost(1)),
             Rational(2) * kpbs_lower_bound(g, 8, 1).value());
@@ -64,7 +64,7 @@ TEST(Scale, ManyTinyMessagesStressStepAccounting) {
   for (NodeId i = 0; i < 40; ++i) {
     for (NodeId j = 0; j < 40; ++j) g.add_edge(i, j, 1);
   }
-  const Schedule s = solve_kpbs(g, 40, 5, Algorithm::kOGGP);
+  const Schedule s = solve_kpbs(g, {40, 5, Algorithm::kOGGP}).schedule;
   validate_schedule(g, s, 40);
   // Delta = 40 steps suffice and are necessary for unit weights at k=40.
   EXPECT_EQ(s.step_count(), 40u);

@@ -46,7 +46,7 @@ TEST(ScheduleIo, SolverOutputSurvivesRoundTrip) {
   config.max_edges = 20;
   for (int trial = 0; trial < 10; ++trial) {
     const BipartiteGraph g = random_bipartite(rng, config);
-    const Schedule s = solve_kpbs(g, 3, 1, Algorithm::kOGGP);
+    const Schedule s = solve_kpbs(g, {3, 1, Algorithm::kOGGP}).schedule;
     const Schedule r = schedule_from_string(schedule_to_string(s));
     // The round-tripped schedule must still validate against the demand.
     validate_schedule(g, r, 3);

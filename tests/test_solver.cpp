@@ -17,7 +17,7 @@ TEST(Solver, AlgorithmNames) {
 
 TEST(Solver, EmptyDemandGivesEmptySchedule) {
   BipartiteGraph g(3, 3);
-  const Schedule s = solve_kpbs(g, 2, 1, Algorithm::kGGP);
+  const Schedule s = solve_kpbs(g, {2, 1, Algorithm::kGGP}).schedule;
   EXPECT_EQ(s.step_count(), 0u);
   EXPECT_EQ(s.cost(1), 0);
 }
@@ -26,7 +26,7 @@ TEST(Solver, SingleEdgeSingleStep) {
   BipartiteGraph g(1, 1);
   g.add_edge(0, 0, 42);
   for (const Algorithm algo : {Algorithm::kGGP, Algorithm::kOGGP}) {
-    const Schedule s = solve_kpbs(g, 1, 1, algo);
+    const Schedule s = solve_kpbs(g, {1, 1, algo}).schedule;
     validate_schedule(g, s, 1);
     EXPECT_EQ(s.step_count(), 1u);
     EXPECT_EQ(s.total_transmission(), 42);
@@ -38,7 +38,7 @@ TEST(Solver, DisjointPairsRunInParallelWhenKAllows) {
   g.add_edge(0, 0, 10);
   g.add_edge(1, 1, 10);
   g.add_edge(2, 2, 10);
-  const Schedule s = solve_kpbs(g, 3, 1, Algorithm::kOGGP);
+  const Schedule s = solve_kpbs(g, {3, 1, Algorithm::kOGGP}).schedule;
   validate_schedule(g, s, 3);
   EXPECT_EQ(s.step_count(), 1u);
   EXPECT_EQ(s.steps()[0].size(), 3u);
@@ -48,7 +48,7 @@ TEST(Solver, KOneSerializesEverything) {
   BipartiteGraph g(2, 2);
   g.add_edge(0, 0, 4);
   g.add_edge(1, 1, 6);
-  const Schedule s = solve_kpbs(g, 1, 0, Algorithm::kGGP);
+  const Schedule s = solve_kpbs(g, {1, 0, Algorithm::kGGP}).schedule;
   validate_schedule(g, s, 1);
   // With k = 1 every step carries one communication; total transmission is
   // the full P(G).
@@ -59,7 +59,7 @@ TEST(Solver, KOneSerializesEverything) {
 TEST(Solver, KIsClampedToMinSide) {
   BipartiteGraph g(2, 5);
   for (NodeId j = 0; j < 5; ++j) g.add_edge(0, j, 2);
-  const Schedule s = solve_kpbs(g, 100, 1, Algorithm::kGGP);
+  const Schedule s = solve_kpbs(g, {100, 1, Algorithm::kGGP}).schedule;
   validate_schedule(g, s, 2);  // 1-port caps parallelism at min side anyway
 }
 
@@ -68,7 +68,7 @@ TEST(Solver, BetaZeroAccepted) {
   g.add_edge(0, 0, 3);
   g.add_edge(0, 1, 2);
   g.add_edge(1, 1, 3);
-  const Schedule s = solve_kpbs(g, 2, 0, Algorithm::kOGGP);
+  const Schedule s = solve_kpbs(g, {2, 0, Algorithm::kOGGP}).schedule;
   validate_schedule(g, s, 2);
   EXPECT_EQ(s.cost(0), s.total_transmission());
 }
@@ -76,7 +76,7 @@ TEST(Solver, BetaZeroAccepted) {
 TEST(Solver, NegativeBetaRejected) {
   BipartiteGraph g(1, 1);
   g.add_edge(0, 0, 1);
-  EXPECT_THROW(solve_kpbs(g, 1, -1, Algorithm::kGGP), Error);
+  EXPECT_THROW(solve_kpbs(g, {1, -1, Algorithm::kGGP}).schedule, Error);
 }
 
 TEST(Solver, LargeBetaAvoidsPreemptingShortMessages) {
@@ -87,7 +87,7 @@ TEST(Solver, LargeBetaAvoidsPreemptingShortMessages) {
   g.add_edge(0, 1, 7);
   g.add_edge(1, 1, 2);
   g.add_edge(2, 2, 9);
-  const Schedule s = solve_kpbs(g, 3, 10, Algorithm::kOGGP);
+  const Schedule s = solve_kpbs(g, {3, 10, Algorithm::kOGGP}).schedule;
   validate_schedule(g, s, 3);
   // Count fragments per pair: none may exceed 1.
   std::map<std::pair<NodeId, NodeId>, int> fragments;
@@ -104,7 +104,7 @@ TEST(Solver, RealizedAmountsNeverExceedDemand) {
   // schedule must still transfer exactly 7.
   BipartiteGraph g(1, 1);
   g.add_edge(0, 0, 7);
-  const Schedule s = solve_kpbs(g, 1, 3, Algorithm::kGGP);
+  const Schedule s = solve_kpbs(g, {1, 3, Algorithm::kGGP}).schedule;
   validate_schedule(g, s, 1);
   EXPECT_EQ(s.total_amount(), 7);
 }
@@ -114,7 +114,7 @@ TEST(Solver, EvaluationRatioAtLeastOne) {
   g.add_edge(0, 0, 5);
   g.add_edge(0, 1, 3);
   g.add_edge(1, 0, 2);
-  const Schedule s = solve_kpbs(g, 2, 1, Algorithm::kOGGP);
+  const Schedule s = solve_kpbs(g, {2, 1, Algorithm::kOGGP}).schedule;
   EXPECT_GE(evaluation_ratio(g, s, 2, 1), 1.0);
 }
 
@@ -124,7 +124,7 @@ TEST(Solver, PerfectInstanceReachesRatioOne) {
   g.add_edge(0, 0, 5);
   g.add_edge(1, 1, 5);
   g.add_edge(2, 2, 5);
-  const Schedule s = solve_kpbs(g, 3, 1, Algorithm::kOGGP);
+  const Schedule s = solve_kpbs(g, {3, 1, Algorithm::kOGGP}).schedule;
   EXPECT_DOUBLE_EQ(evaluation_ratio(g, s, 3, 1), 1.0);
 }
 
@@ -135,8 +135,8 @@ TEST(Solver, OggpNeverWorseStepsOnLayeredInstance) {
   const NodeId perm2[] = {1, 2, 3, 0};
   for (NodeId i = 0; i < 4; ++i) g.add_edge(i, perm1[i], 10);
   for (NodeId i = 0; i < 4; ++i) g.add_edge(i, perm2[i], 3);
-  const Schedule ggp = solve_kpbs(g, 4, 1, Algorithm::kGGP);
-  const Schedule oggp = solve_kpbs(g, 4, 1, Algorithm::kOGGP);
+  const Schedule ggp = solve_kpbs(g, {4, 1, Algorithm::kGGP}).schedule;
+  const Schedule oggp = solve_kpbs(g, {4, 1, Algorithm::kOGGP}).schedule;
   validate_schedule(g, ggp, 4);
   validate_schedule(g, oggp, 4);
   EXPECT_EQ(oggp.step_count(), 2u);
@@ -147,7 +147,7 @@ TEST(Solver, ParallelEdgesInDemandAreScheduled) {
   BipartiteGraph g(1, 1);
   g.add_edge(0, 0, 2);
   g.add_edge(0, 0, 3);
-  const Schedule s = solve_kpbs(g, 1, 1, Algorithm::kGGP);
+  const Schedule s = solve_kpbs(g, {1, 1, Algorithm::kGGP}).schedule;
   validate_schedule(g, s, 1);
   EXPECT_EQ(s.total_amount(), 5);
 }

@@ -37,7 +37,7 @@ TEST_P(SolverProperties, SchedulesAreFeasibleAndWithinTwiceTheLowerBound) {
     const LowerBound lb = kpbs_lower_bound(g, k, param.beta);
 
     for (const Algorithm algo : {Algorithm::kGGP, Algorithm::kOGGP, Algorithm::kGGPMaxWeight}) {
-      const Schedule s = solve_kpbs(g, k, param.beta, algo);
+      const Schedule s = solve_kpbs(g, {k, param.beta, algo}).schedule;
       ASSERT_NO_THROW(validate_schedule(g, s, clamp_k(g, k)))
           << algorithm_name(algo) << " seed=" << param.seed
           << " trial=" << trial << " k=" << k;
@@ -72,7 +72,7 @@ TEST_P(SolverKSweep, WidthNeverExceedsK) {
     config.max_edges = 30;
     const BipartiteGraph g = random_bipartite(rng, config);
     for (const Algorithm algo : {Algorithm::kGGP, Algorithm::kOGGP, Algorithm::kGGPMaxWeight}) {
-      const Schedule s = solve_kpbs(g, k, 1, algo);
+      const Schedule s = solve_kpbs(g, {k, 1, algo}).schedule;
       ASSERT_LE(s.max_step_width(),
                 static_cast<std::size_t>(clamp_k(g, k)));
       ASSERT_EQ(s.total_amount(), g.total_weight());
@@ -97,9 +97,9 @@ TEST(SolverProperties, OggpStepsTendSmaller) {
     const BipartiteGraph g = random_bipartite(rng, config);
     const int k = static_cast<int>(rng.uniform_int(1, 10));
     ggp_steps += static_cast<double>(
-        solve_kpbs(g, k, 1, Algorithm::kGGP).step_count());
+        solve_kpbs(g, {k, 1, Algorithm::kGGP}).schedule.step_count());
     oggp_steps += static_cast<double>(
-        solve_kpbs(g, k, 1, Algorithm::kOGGP).step_count());
+        solve_kpbs(g, {k, 1, Algorithm::kOGGP}).schedule.step_count());
   }
   EXPECT_LE(oggp_steps, ggp_steps * 1.02);
 }
@@ -136,7 +136,7 @@ TEST(SolverProperties, StepCountWithinPeelingBound) {
     for (const Algorithm algo : {Algorithm::kGGP, Algorithm::kOGGP}) {
       for (const MatchingEngine engine :
            {MatchingEngine::kCold, MatchingEngine::kWarm}) {
-        const Schedule s = solve_kpbs(g, k, beta, algo, engine);
+        const Schedule s = solve_kpbs(g, {k, beta, algo, engine}).schedule;
         ASSERT_LE(s.step_count(), bound)
             << algorithm_name(algo) << "/" << engine_name(engine)
             << " trial=" << trial << " k=" << k << " beta=" << beta;
@@ -155,8 +155,8 @@ TEST(SolverProperties, DeterministicForFixedInput) {
   Rng rng(444);
   RandomGraphConfig config;
   const BipartiteGraph g = random_bipartite(rng, config);
-  const Schedule a = solve_kpbs(g, 5, 1, Algorithm::kOGGP);
-  const Schedule b = solve_kpbs(g, 5, 1, Algorithm::kOGGP);
+  const Schedule a = solve_kpbs(g, {5, 1, Algorithm::kOGGP}).schedule;
+  const Schedule b = solve_kpbs(g, {5, 1, Algorithm::kOGGP}).schedule;
   ASSERT_EQ(a.step_count(), b.step_count());
   ASSERT_EQ(a.cost(1), b.cost(1));
   for (std::size_t i = 0; i < a.step_count(); ++i) {

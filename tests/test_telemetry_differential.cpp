@@ -53,13 +53,13 @@ TEST(TelemetryDifferential, MetricsAndTracingDoNotChangeSchedules) {
          {MatchingEngine::kCold, MatchingEngine::kWarm}) {
       for (std::uint64_t seed = 1; seed <= 4; ++seed) {
         const BipartiteGraph g = instance(seed);
-        const Schedule plain = solve_kpbs(g, 5, 2, algo, engine);
+        const Schedule plain = solve_kpbs(g, {5, 2, algo, engine}).schedule;
         Schedule instrumented;
         {
           obs::MetricsRegistry registry;
           obs::TraceSession session;
           obs::ScopedTelemetry scoped(&registry, &session);
-          instrumented = solve_kpbs(g, 5, 2, algo, engine);
+          instrumented = solve_kpbs(g, {5, 2, algo, engine}).schedule;
         }
         expect_identical(plain, instrumented,
                          algorithm_name(algo) + "/" + engine_name(engine) +
@@ -75,7 +75,7 @@ TEST(TelemetryDifferential, WarmOggpRecordsExpectedInstruments) {
   obs::TraceSession session;
   {
     obs::ScopedTelemetry scoped(&registry, &session);
-    solve_kpbs(g, 5, 1, Algorithm::kOGGP, MatchingEngine::kWarm);
+    solve_kpbs(g, {5, 1, Algorithm::kOGGP, MatchingEngine::kWarm}).schedule;
   }
   EXPECT_EQ(registry.counter("kpbs.solve.count").value(), 1u);
   EXPECT_EQ(registry.counter("kpbs.solve.engine_warm").value(), 1u);
@@ -107,7 +107,7 @@ TEST(TelemetryDifferential, ColdOggpRecordsProbesWithoutWarmInstruments) {
   obs::MetricsRegistry registry;
   {
     obs::ScopedTelemetry scoped(&registry, nullptr);
-    solve_kpbs(g, 5, 1, Algorithm::kOGGP, MatchingEngine::kCold);
+    solve_kpbs(g, {5, 1, Algorithm::kOGGP, MatchingEngine::kCold}).schedule;
   }
   EXPECT_EQ(registry.counter("kpbs.solve.engine_cold").value(), 1u);
   EXPECT_GT(registry.counter("bottleneck.probes").value(), 0u);
@@ -122,35 +122,31 @@ TEST(TelemetryDifferential, BatchWithTelemetryMatchesSequentialPlain) {
   for (std::uint64_t seed = 11; seed <= 14; ++seed) {
     KpbsRequest request;
     request.demand = instance(seed);
-    request.k = 4;
-    request.beta = 1;
-    request.algorithm = Algorithm::kOGGP;
+    request.options = SolverOptions{4, 1, Algorithm::kOGGP,
+                                    MatchingEngine::kWarm};
     requests.push_back(std::move(request));
   }
   std::vector<Schedule> plain;
   plain.reserve(requests.size());
   for (const KpbsRequest& r : requests) {
-    plain.push_back(
-        solve_kpbs(r.demand, r.k, r.beta, r.algorithm, MatchingEngine::kWarm));
+    plain.push_back(solve_kpbs(r.demand, r.options).schedule);
   }
 
   obs::MetricsRegistry registry;
   obs::TraceSession session;
-  std::vector<Schedule> instrumented;
-  std::vector<double> instance_ms;
+  std::vector<SolveResult> instrumented;
   {
     obs::ScopedTelemetry scoped(&registry, &session);
     BatchOptions options;
     options.threads = 3;
-    instrumented = solve_kpbs_batch(requests, options, &instance_ms);
+    instrumented = solve_kpbs_batch(requests, options);
   }
   ASSERT_EQ(instrumented.size(), requests.size());
   for (std::size_t i = 0; i < requests.size(); ++i) {
-    expect_identical(plain[i], instrumented[i],
+    expect_identical(plain[i], instrumented[i].schedule,
                      "batch instance " + std::to_string(i));
+    EXPECT_GE(instrumented[i].solve_ms, 0.0);
   }
-  ASSERT_EQ(instance_ms.size(), requests.size());
-  for (const double ms : instance_ms) EXPECT_GE(ms, 0.0);
   EXPECT_EQ(registry.counter("kpbs.batch.instances").value(),
             requests.size());
   EXPECT_EQ(registry.counter("kpbs.solve.count").value(), requests.size());

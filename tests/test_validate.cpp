@@ -175,7 +175,7 @@ TEST(ScheduleValidator, AcceptsSolverSchedulesWithBound) {
       for (const Weight beta : {Weight{0}, Weight{1}, Weight{10}}) {
         for (const Algorithm algo : {Algorithm::kGGP, Algorithm::kOGGP,
                                      Algorithm::kGGPMaxWeight}) {
-          const Schedule s = solve_kpbs(g, k, beta, algo);
+          const Schedule s = solve_kpbs(g, {k, beta, algo}).schedule;
           const ValidationReport report =
               make_validator(clamp_k(g, k), beta, /*bound=*/true)
                   .validate(g, s);
@@ -221,7 +221,7 @@ TEST(ScheduleValidator, AcceptsRandomInstances) {
     const BipartiteGraph g = random_bipartite(rng, config);
     const int k = static_cast<int>(rng.uniform_int(1, 6));
     const Weight beta = rng.uniform_int(0, 5);
-    const Schedule s = solve_kpbs(g, k, beta, Algorithm::kOGGP);
+    const Schedule s = solve_kpbs(g, {k, beta, Algorithm::kOGGP}).schedule;
     const ValidationReport report =
         make_validator(clamp_k(g, k), beta, /*bound=*/true).validate(g, s);
     EXPECT_TRUE(report.ok()) << report.to_string();
@@ -233,7 +233,7 @@ TEST(ScheduleValidator, ChecksReportedMakespan) {
   g.add_edge(0, 0, 3);
   g.add_edge(1, 1, 5);
   const Weight beta = 2;
-  const Schedule s = solve_kpbs(g, 2, beta, Algorithm::kOGGP);
+  const Schedule s = solve_kpbs(g, {2, beta, Algorithm::kOGGP}).schedule;
 
   ScheduleValidatorOptions options;
   options.k = 2;

@@ -41,7 +41,7 @@ Instance make_instance(Rng& rng) {
   BipartiteGraph g = random_bipartite(rng, config);
   const int k = clamp_k(g, static_cast<int>(rng.uniform_int(2, 5)));
   const Weight beta = rng.uniform_int(0, 4);
-  Schedule s = solve_kpbs(g, k, beta, Algorithm::kOGGP);
+  Schedule s = solve_kpbs(g, {k, beta, Algorithm::kOGGP}).schedule;
   return Instance{std::move(g), std::move(s), k, beta};
 }
 

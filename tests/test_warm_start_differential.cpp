@@ -67,9 +67,9 @@ TEST_P(WarmStartDifferential, WarmSchedulesMatchColdStepForStep) {
                                   std::to_string(trial) + " k=" +
                                   std::to_string(k);
       const Schedule cold =
-          solve_kpbs(g, k, param.beta, algo, MatchingEngine::kCold);
+          solve_kpbs(g, {k, param.beta, algo, MatchingEngine::kCold}).schedule;
       const Schedule warm =
-          solve_kpbs(g, k, param.beta, algo, MatchingEngine::kWarm);
+          solve_kpbs(g, {k, param.beta, algo, MatchingEngine::kWarm}).schedule;
       expect_identical_schedules(cold, warm, context);
 
       ScheduleValidatorOptions options;
@@ -103,8 +103,8 @@ TEST(WarmStartDifferential, LargerInstances) {
     config.max_weight = 500;
     const BipartiteGraph g = random_bipartite(rng, config);
     for (const Algorithm algo : {Algorithm::kGGP, Algorithm::kOGGP}) {
-      const Schedule cold = solve_kpbs(g, 6, 1, algo, MatchingEngine::kCold);
-      const Schedule warm = solve_kpbs(g, 6, 1, algo, MatchingEngine::kWarm);
+      const Schedule cold = solve_kpbs(g, {6, 1, algo, MatchingEngine::kCold}).schedule;
+      const Schedule warm = solve_kpbs(g, {6, 1, algo, MatchingEngine::kWarm}).schedule;
       expect_identical_schedules(
           cold, warm, algorithm_name(algo) + " trial=" + std::to_string(trial));
     }
@@ -169,9 +169,9 @@ TEST(WarmStartDifferential, MaxWeightAblationFallsBackToCold) {
   config.max_edges = 24;
   const BipartiteGraph g = random_bipartite(rng, config);
   const Schedule cold =
-      solve_kpbs(g, 3, 1, Algorithm::kGGPMaxWeight, MatchingEngine::kCold);
+      solve_kpbs(g, {3, 1, Algorithm::kGGPMaxWeight, MatchingEngine::kCold}).schedule;
   const Schedule warm =
-      solve_kpbs(g, 3, 1, Algorithm::kGGPMaxWeight, MatchingEngine::kWarm);
+      solve_kpbs(g, {3, 1, Algorithm::kGGPMaxWeight, MatchingEngine::kWarm}).schedule;
   expect_identical_schedules(cold, warm, "ggp-mw");
 }
 

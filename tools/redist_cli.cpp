@@ -52,18 +52,11 @@ namespace {
 
 using namespace redist;
 
-Algorithm parse_algo(const std::string& name) {
-  if (name == "ggp") return Algorithm::kGGP;
-  if (name == "oggp") return Algorithm::kOGGP;
-  if (name == "ggp-mw") return Algorithm::kGGPMaxWeight;
-  throw Error("unknown algorithm '" + name + "' (ggp | oggp | ggp-mw)");
-}
-
-MatchingEngine parse_engine(const std::string& name) {
-  if (name == "warm") return MatchingEngine::kWarm;
-  if (name == "cold") return MatchingEngine::kCold;
-  throw Error("unknown engine '" + name + "' (warm | cold)");
-}
+// All solver subcommands share the --k/--beta/--algo/--engine surface via
+// solver_options_from_flags (kpbs/options.hpp); the CLI's historical
+// defaults differ from the library's only in k.
+constexpr SolverOptions kCliDefaults{4, 1, Algorithm::kOGGP,
+                                     MatchingEngine::kWarm};
 
 std::vector<std::string> split_list(const std::string& value) {
   std::vector<std::string> parts;
@@ -153,26 +146,22 @@ int cmd_generate(Flags& flags) {
 int cmd_solve(Flags& flags) {
   const std::string in = flags.get_string("in", "");
   if (in.empty()) throw Error("solve requires --in=FILE");
-  const int k = static_cast<int>(flags.get_int("k", 4));
-  const Weight beta = flags.get_int("beta", 1);
-  const Algorithm algo = parse_algo(flags.get_string("algo", "oggp"));
-  const MatchingEngine engine =
-      parse_engine(flags.get_string("engine", "warm"));
+  const SolverOptions options = solver_options_from_flags(flags, kCliDefaults);
   const std::string out = flags.get_string("out", "");
   const bool quiet = flags.get_bool("quiet", false);
   CliTelemetry telemetry(flags);
   flags.check_unused();
 
   const BipartiteGraph g = load_graph(in);
-  const Schedule s = solve_kpbs(g, k, beta, algo, engine);
-  validate_schedule(g, s, clamp_k(g, k));
-  const LowerBound lb = kpbs_lower_bound(g, k, beta);
+  const SolveResult result = solve_kpbs(g, options);
+  const Schedule& s = result.schedule;
+  validate_schedule(g, s, clamp_k(g, options.k));
 
   if (!quiet) std::cout << s.to_string();
-  std::cout << algorithm_name(algo) << ": " << s.step_count()
-            << " steps, cost " << s.cost(beta) << ", lower bound "
-            << lb.value().to_double() << ", ratio "
-            << Table::fmt(evaluation_ratio(g, s, k, beta), 4) << '\n';
+  std::cout << algorithm_name(options.algorithm) << ": " << s.step_count()
+            << " steps, cost " << s.cost(options.beta) << ", lower bound "
+            << result.lower_bound.value().to_double() << ", ratio "
+            << Table::fmt(result.evaluation_ratio, 4) << '\n';
   if (!out.empty()) {
     std::ofstream os(out);
     if (!os) throw Error("cannot write: " + out);
@@ -186,11 +175,7 @@ int cmd_solve(Flags& flags) {
 int cmd_batch(Flags& flags) {
   const std::string in = flags.get_string("in", "");
   if (in.empty()) throw Error("batch requires --in=FILE[,FILE...]");
-  const int k = static_cast<int>(flags.get_int("k", 4));
-  const Weight beta = flags.get_int("beta", 1);
-  const Algorithm algo = parse_algo(flags.get_string("algo", "oggp"));
-  const MatchingEngine engine =
-      parse_engine(flags.get_string("engine", "warm"));
+  const SolverOptions solver = solver_options_from_flags(flags, kCliDefaults);
   const int threads = static_cast<int>(flags.get_int("threads", 0));
   const int repeat = static_cast<int>(flags.get_int("repeat", 1));
   CliTelemetry telemetry(flags);
@@ -205,38 +190,36 @@ int cmd_batch(Flags& flags) {
     for (const std::string& path : paths) {
       KpbsRequest request;
       request.demand = load_graph(path);
-      request.k = k;
-      request.beta = beta;
-      request.algorithm = algo;
+      request.options = solver;
       requests.push_back(std::move(request));
     }
   }
 
   BatchOptions options;
   options.threads = threads;
-  options.engine = engine;
   Stopwatch timer;
-  std::vector<double> instance_ms;
-  const std::vector<Schedule> schedules =
-      solve_kpbs_batch(requests, options, &instance_ms);
+  const std::vector<SolveResult> results =
+      solve_kpbs_batch(requests, options);
   const double seconds = timer.elapsed_seconds();
 
   // Per-instance summary (first repeat only: later repeats are identical
   // schedules re-solved for throughput measurement).
-  Table summary({"instance", "steps", "cost", "solve_ms"});
+  Table summary({"instance", "steps", "cost", "ratio", "solve_ms"});
   for (std::size_t i = 0; i < paths.size(); ++i) {
     summary.add_row({paths[i],
                      Table::fmt(static_cast<std::int64_t>(
-                         schedules[i].step_count())),
+                         results[i].schedule.step_count())),
                      Table::fmt(static_cast<std::int64_t>(
-                         schedules[i].cost(beta))),
-                     Table::fmt(instance_ms[i], 3)});
+                         results[i].schedule.cost(solver.beta))),
+                     Table::fmt(results[i].evaluation_ratio, 4),
+                     Table::fmt(results[i].solve_ms, 3)});
   }
   summary.print(std::cout);
-  std::cout << algorithm_name(algo) << "/" << engine_name(engine) << ": "
-            << schedules.size() << " instances in "
+  std::cout << algorithm_name(solver.algorithm) << "/"
+            << engine_name(solver.engine) << ": "
+            << results.size() << " instances in "
             << Table::fmt(seconds * 1e3, 2) << " ms ("
-            << Table::fmt(static_cast<double>(schedules.size()) /
+            << Table::fmt(static_cast<double>(results.size()) /
                               std::max(seconds, 1e-9),
                           1)
             << " instances/s, threads="
@@ -269,7 +252,7 @@ int cmd_simulate(Flags& flags) {
   if (in.empty()) throw Error("simulate requires --in=FILE");
   const int k = static_cast<int>(flags.get_int("k", 4));
   const Weight beta = flags.get_int("beta", 1);
-  const Algorithm algo = parse_algo(flags.get_string("algo", "oggp"));
+  const Algorithm algo = parse_algorithm(flags.get_string("algo", "oggp"));
   const double card = flags.get_double("t", 12'500'000.0 / k);
   const double backbone = flags.get_double("backbone", 12'500'000.0);
   flags.check_unused();
@@ -298,7 +281,7 @@ int cmd_simulate(Flags& flags) {
   tcp.jitter_stddev = 0.03;
 
   const ExecutionResult brute = simulate_bruteforce(p, traffic, tcp);
-  const Schedule s = solve_kpbs(g, k, beta, algo);
+  const Schedule s = solve_kpbs(g, {k, beta, algo}).schedule;
   const ExecutionResult run =
       execute_schedule(p, traffic, s, bytes_per_unit, tcp);
   std::cout << "brute force: " << Table::fmt(brute.total_seconds, 2)
@@ -314,10 +297,10 @@ int cmd_analyze(Flags& flags) {
   if (in.empty()) throw Error("analyze requires --in=FILE");
   const int k = static_cast<int>(flags.get_int("k", 4));
   const Weight beta = flags.get_int("beta", 1);
-  const Algorithm algo = parse_algo(flags.get_string("algo", "oggp"));
+  const Algorithm algo = parse_algorithm(flags.get_string("algo", "oggp"));
   flags.check_unused();
   const BipartiteGraph g = load_graph(in);
-  const Schedule s = solve_kpbs(g, k, beta, algo);
+  const Schedule s = solve_kpbs(g, {k, beta, algo}).schedule;
   std::cout << algorithm_name(algo) << ": "
             << analyze_schedule(g, s, k).to_string() << '\n';
   const int k_eff = clamp_k(g, k);
@@ -374,11 +357,11 @@ int cmd_gantt(Flags& flags) {
   }
   const int k = static_cast<int>(flags.get_int("k", 4));
   const Weight beta = flags.get_int("beta", 1);
-  const Algorithm algo = parse_algo(flags.get_string("algo", "oggp"));
+  const Algorithm algo = parse_algorithm(flags.get_string("algo", "oggp"));
   const bool as_async = flags.get_bool("async", false);
   flags.check_unused();
   const BipartiteGraph g = load_graph(in);
-  const Schedule s = solve_kpbs(g, k, beta, algo);
+  const Schedule s = solve_kpbs(g, {k, beta, algo}).schedule;
   GanttOptions options;
   options.beta = beta;
   options.title = algorithm_name(algo) + (as_async ? " (relaxed)" : "") +
