@@ -6,11 +6,16 @@
 #
 # Stages:
 #   lint           build + run tools/redist_lint over src/ tools/ bench/
+#   analyze        build + run tools/redist_analyze over every TU in the
+#                  build's compile_commands.json, against the contract
+#                  baseline (determinism/purity reachability, layering
+#                  DAG, contract drift, deprecated APIs)
 #   thread-safety  clang -fsyntax-only -Werror=thread-safety over the
 #                  annotated dirs (src/runtime, src/obs, src/mpilite,
 #                  src/robust)
 #   tidy           run-clang-tidy over src/ tools/ bench/ tests/
 #   cppcheck       cppcheck smoke (warning,performance,portability)
+#   scan-build     clang static analyzer smoke over src/kpbs + src/matching
 #   format         tools/check_format.sh (check-only clang-format)
 #
 # With no arguments the script is a best-effort local pre-push hook: a
@@ -20,7 +25,7 @@ set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${BUILD_DIR:-${ROOT}/build}"
-ALL_STAGES=(lint thread-safety tidy cppcheck format)
+ALL_STAGES=(lint analyze thread-safety tidy cppcheck scan-build format)
 STRICT=1
 FAILED=0
 
@@ -53,6 +58,18 @@ stage_lint() {
   note "ok: redist_lint clean"
 }
 
+stage_analyze() {
+  command -v cmake >/dev/null || { missing_tool cmake; return; }
+  ensure_build
+  cmake --build "${BUILD_DIR}" --target redist_analyze -j >/dev/null
+  "${BUILD_DIR}/tools/redist_analyze" \
+    --root="${ROOT}" \
+    --compile-commands="${BUILD_DIR}/compile_commands.json" \
+    --baseline="${ROOT}/tools/analyze/contracts_baseline.txt" \
+    --dot="${BUILD_DIR}/include_graph.dot"
+  note "ok: redist_analyze clean (module graph: ${BUILD_DIR}/include_graph.dot)"
+}
+
 stage_thread_safety() {
   command -v clang++ >/dev/null || { missing_tool clang++; return; }
   local f
@@ -81,6 +98,18 @@ stage_cppcheck() {
   note "ok: cppcheck clean"
 }
 
+stage_scan_build() {
+  command -v scan-build >/dev/null || { missing_tool scan-build; return; }
+  # A throwaway build dir: scan-build wraps the compiler, so reusing the
+  # primary cache would poison its compiler detection.
+  local scan_dir="${BUILD_DIR}-scan"
+  scan-build --status-bugs cmake -S "${ROOT}" -B "${scan_dir}" \
+    -DCMAKE_BUILD_TYPE=Debug >/dev/null
+  scan-build --status-bugs cmake --build "${scan_dir}" -j \
+    --target redist_kpbs redist_matching
+  note "ok: scan-build clean over src/kpbs + src/matching"
+}
+
 stage_format() {
   command -v clang-format >/dev/null || { missing_tool clang-format; return; }
   "${ROOT}/tools/check_format.sh"
@@ -90,9 +119,11 @@ stage_format() {
 for stage in "$@"; do
   case "${stage}" in
     lint) stage_lint ;;
+    analyze) stage_analyze ;;
     thread-safety) stage_thread_safety ;;
     tidy) stage_tidy ;;
     cppcheck) stage_cppcheck ;;
+    scan-build) stage_scan_build ;;
     format) stage_format ;;
     *)
       note "unknown stage '${stage}' (stages: ${ALL_STAGES[*]})"

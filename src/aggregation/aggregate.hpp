@@ -19,8 +19,11 @@
 
 #include <vector>
 
+#include "common/contract_annotations.hpp"
 #include "common/types.hpp"
 #include "graph/traffic_matrix.hpp"
+
+REDIST_LAYER("aggregation");
 
 namespace redist {
 

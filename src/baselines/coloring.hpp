@@ -9,8 +9,11 @@
 // and OGGP improve on.
 #pragma once
 
+#include "common/contract_annotations.hpp"
 #include "graph/bipartite_graph.hpp"
 #include "kpbs/schedule.hpp"
+
+REDIST_LAYER("baselines");
 
 namespace redist {
 

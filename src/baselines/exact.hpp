@@ -13,8 +13,11 @@
 // are memoized.
 #pragma once
 
+#include "common/contract_annotations.hpp"
 #include "common/types.hpp"
 #include "graph/bipartite_graph.hpp"
+
+REDIST_LAYER("baselines");
 
 namespace redist {
 

@@ -8,9 +8,12 @@
 // simple, fast and a natural ablation point for the value of preemption.
 #pragma once
 
+#include "common/contract_annotations.hpp"
 #include "common/types.hpp"
 #include "graph/bipartite_graph.hpp"
 #include "kpbs/schedule.hpp"
+
+REDIST_LAYER("baselines");
 
 namespace redist {
 

@@ -13,8 +13,11 @@
 // is exhausted.
 #pragma once
 
+#include "common/contract_annotations.hpp"
 #include "graph/bipartite_graph.hpp"
 #include "kpbs/schedule.hpp"
+
+REDIST_LAYER("baselines");
 
 namespace redist {
 

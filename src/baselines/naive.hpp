@@ -5,8 +5,11 @@
 // uniform-weight peeling matters.
 #pragma once
 
+#include "common/contract_annotations.hpp"
 #include "graph/bipartite_graph.hpp"
 #include "kpbs/schedule.hpp"
+
+REDIST_LAYER("baselines");
 
 namespace redist {
 

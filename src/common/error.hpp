@@ -9,6 +9,10 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/contract_annotations.hpp"
+
+REDIST_LAYER("common");
+
 namespace redist {
 
 /// Exception type thrown by the redistribution library.

@@ -3,11 +3,15 @@
 
 #include <cstdint>
 
+#include "common/contract_annotations.hpp"
 #include "common/error.hpp"
+
+REDIST_LAYER("common");
 
 namespace redist {
 
 /// ceil(a / b) for a >= 0, b > 0.
+REDIST_PURE
 constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
   return a / b + (a % b != 0 ? 1 : 0);
 }

@@ -11,6 +11,10 @@
 #include <iosfwd>
 #include <string>
 
+#include "common/contract_annotations.hpp"
+
+REDIST_LAYER("common");
+
 namespace redist {
 
 /// An exact rational p/q with q > 0, always stored in lowest terms.

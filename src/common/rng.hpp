@@ -10,7 +10,10 @@
 #include <cstdint>
 #include <limits>
 
+#include "common/contract_annotations.hpp"
 #include "common/error.hpp"
+
+REDIST_LAYER("common");
 
 namespace redist {
 

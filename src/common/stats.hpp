@@ -11,6 +11,10 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/contract_annotations.hpp"
+
+REDIST_LAYER("common");
+
 namespace redist {
 
 /// Online mean/variance/min/max accumulator (Welford's algorithm).

@@ -11,6 +11,10 @@
 #include <chrono>
 #include <cstdint>
 
+#include "common/contract_annotations.hpp"
+
+REDIST_LAYER("common");
+
 namespace redist {
 
 class Stopwatch {

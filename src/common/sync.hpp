@@ -29,7 +29,10 @@
 #include <condition_variable>
 #include <mutex>
 
+#include "common/contract_annotations.hpp"
 #include "common/thread_annotations.hpp"
+
+REDIST_LAYER("common");
 
 namespace redist {
 

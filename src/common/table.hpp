@@ -9,6 +9,10 @@
 #include <string>
 #include <vector>
 
+#include "common/contract_annotations.hpp"
+
+REDIST_LAYER("common");
+
 namespace redist {
 
 class Table {

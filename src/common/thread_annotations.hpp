@@ -21,6 +21,10 @@
 // initialization in a constructor never needs (or checks) a lock.
 #pragma once
 
+#include "common/contract_annotations.hpp"
+
+REDIST_LAYER("common");
+
 #if defined(__clang__) && defined(__has_attribute)
 #define REDIST_THREAD_ANNOTATION_IMPL(x) __attribute__((x))
 #else

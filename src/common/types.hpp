@@ -3,6 +3,10 @@
 
 #include <cstdint>
 
+#include "common/contract_annotations.hpp"
+
+REDIST_LAYER("common");
+
 namespace redist {
 
 /// Index of a cluster node (left side = sender cluster C1, right side =

@@ -19,10 +19,13 @@
 
 #include <vector>
 
+#include "common/contract_annotations.hpp"
 #include "graph/traffic_matrix.hpp"
 #include "kpbs/solver.hpp"
 #include "netsim/fluid.hpp"
 #include "netsim/platform.hpp"
+
+REDIST_LAYER("dynamic");
 
 namespace redist {
 

@@ -19,11 +19,14 @@
 
 #include <vector>
 
+#include "common/contract_annotations.hpp"
 #include "dynamic/adaptive.hpp"
 #include "graph/traffic_matrix.hpp"
 #include "kpbs/solver.hpp"
 #include "netsim/fluid.hpp"
 #include "netsim/platform.hpp"
+
+REDIST_LAYER("dynamic");
 
 namespace redist {
 

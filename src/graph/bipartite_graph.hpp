@@ -9,8 +9,11 @@
 
 #include <vector>
 
+#include "common/contract_annotations.hpp"
 #include "common/error.hpp"
 #include "common/types.hpp"
+
+REDIST_LAYER("graph");
 
 namespace redist {
 

@@ -9,7 +9,10 @@
 #include <iosfwd>
 #include <string>
 
+#include "common/contract_annotations.hpp"
 #include "graph/bipartite_graph.hpp"
+
+REDIST_LAYER("graph");
 
 namespace redist {
 

@@ -8,8 +8,11 @@
 
 #include <vector>
 
+#include "common/contract_annotations.hpp"
 #include "common/types.hpp"
 #include "graph/bipartite_graph.hpp"
+
+REDIST_LAYER("graph");
 
 namespace redist {
 

@@ -8,9 +8,12 @@
 #include <string>
 #include <vector>
 
+#include "common/contract_annotations.hpp"
 #include "common/types.hpp"
 #include "graph/bipartite_graph.hpp"
 #include "kpbs/schedule.hpp"
+
+REDIST_LAYER("kpbs");
 
 namespace redist {
 

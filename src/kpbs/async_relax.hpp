@@ -16,8 +16,11 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/contract_annotations.hpp"
 #include "common/types.hpp"
 #include "kpbs/schedule.hpp"
+
+REDIST_LAYER("kpbs");
 
 namespace redist {
 

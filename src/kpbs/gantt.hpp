@@ -6,8 +6,11 @@
 
 #include <string>
 
+#include "common/contract_annotations.hpp"
 #include "kpbs/async_relax.hpp"
 #include "kpbs/schedule.hpp"
+
+REDIST_LAYER("kpbs");
 
 namespace redist {
 

@@ -13,9 +13,12 @@
 // 1, which floating-point division would blur.
 #pragma once
 
+#include "common/contract_annotations.hpp"
 #include "common/rational.hpp"
 #include "common/types.hpp"
 #include "graph/bipartite_graph.hpp"
+
+REDIST_LAYER("kpbs");
 
 namespace redist {
 
@@ -33,6 +36,7 @@ struct LowerBound {
 
 /// Computes the bound; `k` is clamped to [1, min(n1, n2)] exactly as the
 /// solvers clamp it. An empty graph yields a zero bound.
+REDIST_PURE
 LowerBound kpbs_lower_bound(const BipartiteGraph& g, int k, Weight beta);
 
 }  // namespace redist

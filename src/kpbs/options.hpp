@@ -3,17 +3,20 @@
 // Every way of invoking the K-PBS solvers — single solve, batch, the CLI,
 // benchmarks — shares one options struct and one result struct, so a new
 // knob lands everywhere at once instead of accreting another positional
-// parameter (the fate of the original
-// solve_kpbs(demand, k, beta, algorithm, engine) signature, now a
-// deprecated wrapper).
+// parameter (the fate of the original positional signature, which rode out
+// its deprecation window and has been removed; tools/redist_analyze bans
+// its reintroduction).
 #pragma once
 
 #include <string>
 
+#include "common/contract_annotations.hpp"
 #include "common/flags.hpp"
 #include "common/types.hpp"
 #include "kpbs/lower_bound.hpp"
 #include "kpbs/schedule.hpp"
+
+REDIST_LAYER("kpbs");
 
 namespace redist {
 

@@ -19,7 +19,10 @@
 
 #include <vector>
 
+#include "common/contract_annotations.hpp"
 #include "graph/bipartite_graph.hpp"
+
+REDIST_LAYER("kpbs");
 
 namespace redist {
 
@@ -44,9 +47,11 @@ struct Regularized {
 
 /// Clamps k to the feasible range [1, min(n1, n2)] (paper constraints
 /// (c) and (d): at most min(n1, n2) disjoint communications exist).
+REDIST_PURE
 int clamp_k(const BipartiteGraph& g, int k);
 
 /// Builds the regularization. Requires a non-empty graph. `k` is clamped.
+REDIST_DETERMINISTIC
 Regularized regularize(const BipartiteGraph& g, int k);
 
 }  // namespace redist

@@ -12,8 +12,11 @@
 #include <string>
 #include <vector>
 
+#include "common/contract_annotations.hpp"
 #include "common/types.hpp"
 #include "graph/bipartite_graph.hpp"
+
+REDIST_LAYER("kpbs");
 
 namespace redist {
 
@@ -41,9 +44,11 @@ class Schedule {
   std::size_t step_count() const { return steps_.size(); }
 
   /// Sum of step durations (no setup costs).
+  REDIST_PURE
   Weight total_transmission() const;
 
   /// The paper's objective: sum_i (beta + duration_i).
+  REDIST_PURE
   Weight cost(Weight beta) const;
 
   /// Total amount transferred over all steps and communications.

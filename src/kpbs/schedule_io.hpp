@@ -10,7 +10,10 @@
 #include <iosfwd>
 #include <string>
 
+#include "common/contract_annotations.hpp"
 #include "kpbs/schedule.hpp"
+
+REDIST_LAYER("kpbs");
 
 namespace redist {
 

@@ -156,11 +156,6 @@ SolveResult solve_kpbs(const BipartiteGraph& demand,
   return result;
 }
 
-Schedule solve_kpbs(const BipartiteGraph& demand, int k, Weight beta,
-                    Algorithm algorithm, MatchingEngine engine) {
-  return solve_schedule(demand, k, beta, algorithm, engine);
-}
-
 double evaluation_ratio(const BipartiteGraph& demand, const Schedule& s,
                         int k, Weight beta) {
   const LowerBound lb = kpbs_lower_bound(demand, k, beta);

@@ -13,9 +13,12 @@
 //     measured cost. Steps containing no real communication are dropped.
 #pragma once
 
+#include "common/contract_annotations.hpp"
 #include "graph/bipartite_graph.hpp"
 #include "kpbs/options.hpp"
 #include "kpbs/schedule.hpp"
+
+REDIST_LAYER("kpbs");
 
 namespace redist {
 
@@ -24,20 +27,18 @@ namespace redist {
 /// path (Hungarian-based) and always runs cold. The returned schedule
 /// satisfies validate_schedule(), and the result carries the lower bound,
 /// evaluation ratio and solve latency alongside it.
+REDIST_DETERMINISTIC
 SolveResult solve_kpbs(const BipartiteGraph& demand,
                        const SolverOptions& options);
 
-/// Pre-SolverOptions entry point, kept one deprecation window for external
-/// callers. Identical schedule to the new API (engine defaults to kCold for
-/// signature compatibility; cold and warm are bit-identical anyway).
-[[deprecated(
-    "use solve_kpbs(demand, SolverOptions{...}) and take .schedule")]]
-Schedule solve_kpbs(const BipartiteGraph& demand, int k, Weight beta,
-                    Algorithm algorithm,
-                    MatchingEngine engine = MatchingEngine::kCold);
+// The pre-SolverOptions positional overload
+// (solve_kpbs(demand, k, beta, algorithm, engine)) is gone: its
+// deprecation window closed and tools/redist_analyze (deprecated-api)
+// rejects any reintroduction — declarations and calls alike.
 
 /// Cost of the schedule divided by the K-PBS lower bound — the paper's
 /// "evaluation ratio" (>= 1; closer to 1 is better).
+REDIST_DETERMINISTIC
 double evaluation_ratio(const BipartiteGraph& demand, const Schedule& s,
                         int k, Weight beta);
 

@@ -18,8 +18,11 @@
 #include <functional>
 #include <vector>
 
+#include "common/contract_annotations.hpp"
 #include "graph/bipartite_graph.hpp"
 #include "matching/matching.hpp"
+
+REDIST_LAYER("kpbs");
 
 namespace redist {
 
@@ -45,12 +48,15 @@ using PeelObserver =
     std::function<void(const BipartiteGraph&, const Matching&, Weight)>;
 
 /// Built-in strategies.
+REDIST_DETERMINISTIC
 Matching arbitrary_perfect_matching(const BipartiteGraph& g);
+REDIST_DETERMINISTIC
 Matching bottleneck_perfect_matching(const BipartiteGraph& g);
 
 /// Peels `g` (mutated in place down to empty). Throws if `g` is not
 /// weight-regular with equal sides, or if a strategy ever fails to return a
 /// perfect matching (which would indicate a broken strategy, not bad input).
+REDIST_DETERMINISTIC
 std::vector<PeelStep> wrgp_peel(BipartiteGraph& g,
                                 const PerfectMatchingStrategy& strategy,
                                 const PeelObserver& observer = {});
@@ -65,10 +71,12 @@ enum class WarmStrategy {
 /// wrgp_peel with the corresponding built-in strategy, but reusing matching
 /// and weight state across steps via `ctx`. `ctx` must be fresh (or have
 /// last been used on this same peeling sequence).
+REDIST_DETERMINISTIC
 std::vector<PeelStep> wrgp_peel_warm(BipartiteGraph& g, WarmStrategy strategy,
                                      PeelingContext& ctx);
 
 /// Convenience overload owning a fresh context.
+REDIST_DETERMINISTIC
 std::vector<PeelStep> wrgp_peel_warm(BipartiteGraph& g,
                                      WarmStrategy strategy);
 

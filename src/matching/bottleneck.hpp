@@ -21,18 +21,23 @@
 
 #include <vector>
 
+#include "common/contract_annotations.hpp"
 #include "graph/bipartite_graph.hpp"
 #include "matching/matching.hpp"
+
+REDIST_LAYER("matching");
 
 namespace redist {
 
 /// Maximum matching (of the alive edges) maximizing the minimal edge weight,
 /// via threshold binary search. The result has maximum cardinality among all
 /// matchings of alive edges.
+REDIST_DETERMINISTIC
 Matching bottleneck_maximal_threshold(const BipartiteGraph& g);
 
 /// Perfect matching maximizing the minimal edge weight. Requires a perfect
 /// matching to exist (throws otherwise). Left/right sizes must be equal.
+REDIST_DETERMINISTIC
 Matching bottleneck_perfect_threshold(const BipartiteGraph& g);
 
 /// Buffer-reusing variant of bottleneck_perfect_threshold: `ws_buf` and
@@ -43,6 +48,7 @@ Matching bottleneck_perfect_threshold(const BipartiteGraph& g,
                                       std::vector<char>& mask_buf);
 
 /// The paper's Figure 6 algorithm, literal version.
+REDIST_DETERMINISTIC
 Matching bottleneck_maximal_incremental(const BipartiteGraph& g);
 
 /// Distinct alive-edge weights, ascending, written into `out` (cleared

@@ -13,9 +13,12 @@
 
 #include <vector>
 
+#include "common/contract_annotations.hpp"
 #include "graph/bipartite_graph.hpp"
 #include "matching/matching.hpp"
 #include "obs/metrics.hpp"
+
+REDIST_LAYER("matching");
 
 namespace redist {
 
@@ -48,12 +51,14 @@ class HopcroftKarp {
 
   /// Computes a maximum matching from a greedy seed. Deterministic: a given
   /// (graph, mask) pair always yields the same matching.
+  REDIST_DETERMINISTIC
   Matching solve();
 
   /// Computes a maximum matching warm-started from `seed`: seed edges that
   /// are usable (alive, mask-permitted, endpoints free) are pre-matched and
   /// only the remaining deficit is augmented. The matching *size* always
   /// equals solve()'s; the edge set may differ.
+  REDIST_DETERMINISTIC
   Matching solve_seeded(const Matching& seed);
 
   /// Matched edge of a left/right node after solve(), or kNoEdge.
@@ -86,9 +91,11 @@ class HopcroftKarp {
 };
 
 /// One-shot helper: maximum matching of alive edges (optionally masked).
+REDIST_DETERMINISTIC
 Matching max_matching(const BipartiteGraph& g, std::vector<char> mask = {});
 
 /// One-shot helper: size of the maximum matching.
+REDIST_DETERMINISTIC
 std::size_t max_matching_size(const BipartiteGraph& g,
                               std::vector<char> mask = {});
 

@@ -8,14 +8,18 @@
 // and OGGP's max-min (bottleneck) matching.
 #pragma once
 
+#include "common/contract_annotations.hpp"
 #include "graph/bipartite_graph.hpp"
 #include "matching/matching.hpp"
+
+REDIST_LAYER("matching");
 
 namespace redist {
 
 /// Perfect matching of the alive edges maximizing the summed edge weight.
 /// Requires equal side sizes and an existing perfect matching (throws
 /// otherwise). With parallel edges, the heaviest edge per pair is used.
+REDIST_DETERMINISTIC
 Matching max_weight_perfect_matching(const BipartiteGraph& g);
 
 }  // namespace redist

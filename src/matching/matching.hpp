@@ -8,7 +8,10 @@
 
 #include <vector>
 
+#include "common/contract_annotations.hpp"
 #include "graph/bipartite_graph.hpp"
+
+REDIST_LAYER("matching");
 
 namespace redist {
 
@@ -20,19 +23,24 @@ struct Matching {
 };
 
 /// True iff `m` is a valid matching of alive edges of `g`.
+REDIST_PURE
 bool is_matching(const BipartiteGraph& g, const Matching& m);
 
 /// True iff `m` is a valid matching saturating all vertices of both sides.
+REDIST_PURE
 bool is_perfect_matching(const BipartiteGraph& g, const Matching& m);
 
 /// Smallest edge weight in the matching; 0 for an empty matching.
+REDIST_PURE
 Weight min_weight(const BipartiteGraph& g, const Matching& m);
 
 /// Largest edge weight in the matching (the step duration W(M)); 0 if empty.
+REDIST_PURE
 Weight max_weight(const BipartiteGraph& g, const Matching& m);
 
 /// Greedy maximal matching over alive edges honoring an optional mask
 /// (mask[e] == 0 excludes edge e). Used to seed Hopcroft–Karp.
+REDIST_DETERMINISTIC
 Matching greedy_matching(const BipartiteGraph& g,
                          const std::vector<char>& mask = {});
 

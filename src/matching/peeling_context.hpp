@@ -27,9 +27,12 @@
 
 #include <map>
 
+#include "common/contract_annotations.hpp"
 #include "graph/bipartite_graph.hpp"
 #include "matching/hopcroft_karp.hpp"
 #include "matching/matching.hpp"
+
+REDIST_LAYER("matching");
 
 namespace redist {
 
@@ -39,16 +42,19 @@ class PeelingContext {
 
   /// Same matching as max_matching(g) (the GGP strategy), with the solver
   /// buffers reused across steps instead of reallocated.
+  REDIST_DETERMINISTIC
   Matching arbitrary_perfect(const BipartiteGraph& g);
 
   /// Same matching as bottleneck_perfect_threshold(g) (the OGGP strategy),
   /// warm-started from the previous step. Throws if no perfect matching
   /// exists; requires equal side sizes.
+  REDIST_DETERMINISTIC
   Matching bottleneck_perfect(const BipartiteGraph& g);
 
   /// Records that `amount` is about to be peeled off every edge of `m`.
   /// Must be called *before* the weights are decreased, once per step, with
   /// the matching this context returned for the step.
+  REDIST_DETERMINISTIC
   void before_peel(const BipartiteGraph& g, const Matching& m, Weight amount);
 
  private:

@@ -18,8 +18,11 @@
 
 #include <vector>
 
+#include "common/contract_annotations.hpp"
 #include "common/types.hpp"
 #include "mpilite/comm.hpp"
+
+REDIST_LAYER("mpilite");
 
 namespace redist {
 

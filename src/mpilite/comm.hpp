@@ -21,10 +21,13 @@
 #include <memory>
 #include <vector>
 
+#include "common/contract_annotations.hpp"
 #include "common/sync.hpp"
 #include "net/message.hpp"
 #include "net/socket.hpp"
 #include "robust/retry.hpp"
+
+REDIST_LAYER("mpilite");
 
 namespace redist {
 

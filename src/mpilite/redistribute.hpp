@@ -22,11 +22,14 @@
 // delivered or the reschedule budget runs out.
 #pragma once
 
+#include "common/contract_annotations.hpp"
 #include "graph/traffic_matrix.hpp"
 #include "kpbs/options.hpp"
 #include "kpbs/schedule.hpp"
 #include "mpilite/comm.hpp"
 #include "robust/retry.hpp"
+
+REDIST_LAYER("mpilite");
 
 namespace redist {
 

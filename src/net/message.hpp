@@ -9,9 +9,12 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/contract_annotations.hpp"
 #include "common/types.hpp"
 #include "net/socket.hpp"
 #include "runtime/token_bucket.hpp"
+
+REDIST_LAYER("net");
 
 namespace redist {
 

@@ -19,7 +19,10 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "common/contract_annotations.hpp"
 #include "common/error.hpp"
+
+REDIST_LAYER("net");
 
 namespace redist {
 

@@ -9,10 +9,13 @@
 //   plus beta_seconds.
 #pragma once
 
+#include "common/contract_annotations.hpp"
 #include "graph/traffic_matrix.hpp"
 #include "kpbs/schedule.hpp"
 #include "netsim/fluid.hpp"
 #include "netsim/platform.hpp"
+
+REDIST_LAYER("netsim");
 
 namespace redist {
 

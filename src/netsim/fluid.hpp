@@ -31,8 +31,11 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/contract_annotations.hpp"
 #include "common/types.hpp"
 #include "netsim/platform.hpp"
+
+REDIST_LAYER("netsim");
 
 namespace redist {
 

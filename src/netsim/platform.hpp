@@ -4,8 +4,11 @@
 #include <algorithm>
 #include <vector>
 
+#include "common/contract_annotations.hpp"
 #include "common/error.hpp"
 #include "common/types.hpp"
+
+REDIST_LAYER("netsim");
 
 namespace redist {
 

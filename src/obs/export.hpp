@@ -12,8 +12,11 @@
 
 #include <iosfwd>
 
+#include "common/contract_annotations.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+
+REDIST_LAYER("obs");
 
 namespace redist::obs {
 

@@ -27,8 +27,11 @@
 #include <utility>
 #include <vector>
 
+#include "common/contract_annotations.hpp"
 #include "common/stats.hpp"
 #include "common/sync.hpp"
+
+REDIST_LAYER("obs");
 
 namespace redist::obs {
 

@@ -20,6 +20,10 @@
 
 #include <atomic>
 
+#include "common/contract_annotations.hpp"
+
+REDIST_LAYER("obs");
+
 namespace redist::obs {
 
 class MetricsRegistry;

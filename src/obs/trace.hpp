@@ -27,7 +27,10 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/contract_annotations.hpp"
 #include "common/sync.hpp"
+
+REDIST_LAYER("obs");
 
 namespace redist::obs {
 

@@ -33,7 +33,6 @@
 
 #include "kpbs/analysis.hpp"
 #include "kpbs/async_relax.hpp"
-#include "kpbs/batch.hpp"
 #include "kpbs/lower_bound.hpp"
 #include "kpbs/regularize.hpp"
 #include "kpbs/schedule.hpp"
@@ -61,6 +60,7 @@
 #include "netsim/fluid.hpp"
 #include "netsim/platform.hpp"
 
+#include "runtime/batch.hpp"
 #include "runtime/engine.hpp"
 #include "runtime/thread_pool.hpp"
 #include "runtime/token_bucket.hpp"

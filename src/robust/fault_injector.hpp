@@ -26,9 +26,12 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/contract_annotations.hpp"
 #include "common/rng.hpp"
 #include "common/sync.hpp"
 #include "common/types.hpp"
+
+REDIST_LAYER("robust");
 
 namespace redist::robust {
 

@@ -13,8 +13,11 @@
 
 #include <functional>
 
+#include "common/contract_annotations.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
+
+REDIST_LAYER("robust");
 
 namespace redist::robust {
 

@@ -1,4 +1,4 @@
-#include "kpbs/batch.hpp"
+#include "runtime/batch.hpp"
 
 #include <algorithm>
 #include <exception>
@@ -11,17 +11,28 @@
 
 namespace redist {
 
+namespace {
+// Worker-count selection reads the host's core count, which varies by
+// machine — but the pool size only decides how the (order-preserving,
+// per-instance isolated) fan-out is parallelized, never what any instance
+// computes, so solve_kpbs_batch keeps its determinism contract.
+REDIST_ALLOW_NONDET("pool sizing parallelizes the fan-out; results are "
+                    "positionally identical for any thread count")
+int resolve_thread_count(int requested, std::size_t instances) {
+  int threads = requested;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  return std::max(1, std::min<int>(threads, static_cast<int>(instances)));
+}
+}  // namespace
+
 std::vector<SolveResult> solve_kpbs_batch(
     const std::vector<KpbsRequest>& requests, const BatchOptions& options) {
   std::vector<SolveResult> results(requests.size());
   if (requests.empty()) return results;
 
-  int threads = options.threads;
-  if (threads <= 0) {
-    threads = static_cast<int>(std::thread::hardware_concurrency());
-  }
-  threads = std::max(1, std::min<int>(threads,
-                                      static_cast<int>(requests.size())));
+  const int threads = resolve_thread_count(options.threads, requests.size());
 
   obs::MetricsRegistry* const metrics = obs::metrics();
   obs::TraceSpan batch_span(obs::trace(), "kpbs.batch");

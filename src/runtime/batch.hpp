@@ -5,12 +5,20 @@
 // worker pool fans them out across cores. Determinism is preserved —
 // results are positionally identical to a sequential solve_kpbs loop, and
 // the warm engine's bit-identical guarantee applies per instance.
+//
+// Lives in src/runtime (not src/kpbs): fan-out over the ThreadPool is a
+// runtime concern, and keeping it here keeps the include-graph layering DAG
+// acyclic — kpbs never reaches up into runtime (tools/redist_analyze
+// enforces this).
 #pragma once
 
 #include <vector>
 
+#include "common/contract_annotations.hpp"
 #include "graph/bipartite_graph.hpp"
 #include "kpbs/solver.hpp"
+
+REDIST_LAYER("runtime");
 
 namespace redist {
 
@@ -32,6 +40,7 @@ struct BatchOptions {
 /// solve time (timed on the worker that ran it, shared Stopwatch timebase).
 /// If any instance throws, the remaining instances still run to completion
 /// and the first failing index's exception is rethrown afterwards.
+REDIST_DETERMINISTIC
 std::vector<SolveResult> solve_kpbs_batch(
     const std::vector<KpbsRequest>& requests, const BatchOptions& options = {});
 

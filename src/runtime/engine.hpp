@@ -19,8 +19,11 @@
 
 #include <vector>
 
+#include "common/contract_annotations.hpp"
 #include "graph/traffic_matrix.hpp"
 #include "kpbs/schedule.hpp"
+
+REDIST_LAYER("runtime");
 
 namespace redist {
 

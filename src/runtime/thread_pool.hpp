@@ -22,10 +22,13 @@
 #include <thread>
 #include <vector>
 
+#include "common/contract_annotations.hpp"
 #include "common/stopwatch.hpp"
 #include "common/sync.hpp"
 #include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
+
+REDIST_LAYER("runtime");
 
 namespace redist {
 

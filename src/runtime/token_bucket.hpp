@@ -13,8 +13,11 @@
 
 #include <chrono>
 
+#include "common/contract_annotations.hpp"
 #include "common/sync.hpp"
 #include "common/types.hpp"
+
+REDIST_LAYER("runtime");
 
 namespace redist {
 

@@ -13,9 +13,12 @@
 // input graph, and no synthetic dummy-to-dummy edges.
 #pragma once
 
+#include "common/contract_annotations.hpp"
 #include "graph/bipartite_graph.hpp"
 #include "kpbs/regularize.hpp"
 #include "validate/validation_report.hpp"
+
+REDIST_LAYER("validate");
 
 namespace redist {
 

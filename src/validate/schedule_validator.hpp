@@ -16,9 +16,12 @@
 // All violated invariants are collected, not just the first.
 #pragma once
 
+#include "common/contract_annotations.hpp"
 #include "graph/bipartite_graph.hpp"
 #include "kpbs/schedule.hpp"
 #include "validate/validation_report.hpp"
+
+REDIST_LAYER("validate");
 
 namespace redist {
 

@@ -10,6 +10,10 @@
 #include <string>
 #include <vector>
 
+#include "common/contract_annotations.hpp"
+
+REDIST_LAYER("validate");
+
 namespace redist {
 
 /// The checkable invariants of the paper, plus the structural graph

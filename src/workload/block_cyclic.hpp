@@ -9,8 +9,11 @@
 // size in bytes.
 #pragma once
 
+#include "common/contract_annotations.hpp"
 #include "common/types.hpp"
 #include "graph/traffic_matrix.hpp"
+
+REDIST_LAYER("workload");
 
 namespace redist {
 

@@ -11,8 +11,11 @@
 //                  preemption (a few giant messages among many small ones).
 #pragma once
 
+#include "common/contract_annotations.hpp"
 #include "common/rng.hpp"
 #include "graph/traffic_matrix.hpp"
+
+REDIST_LAYER("workload");
 
 namespace redist {
 

@@ -4,8 +4,11 @@
 // (1..20 for Figure 7/9, 1..10000 for Figure 8).
 #pragma once
 
+#include "common/contract_annotations.hpp"
 #include "common/rng.hpp"
 #include "graph/bipartite_graph.hpp"
+
+REDIST_LAYER("workload");
 
 namespace redist {
 

@@ -3,8 +3,11 @@
 // ("uniformly generated between 10 and n MB").
 #pragma once
 
+#include "common/contract_annotations.hpp"
 #include "common/rng.hpp"
 #include "graph/traffic_matrix.hpp"
+
+REDIST_LAYER("workload");
 
 namespace redist {
 

@@ -1,0 +1,10 @@
+// Include-cycle fixture, half one: a -> b. Never compiled — analyzed only.
+#pragma once
+
+#include "graph/b.hpp"
+
+REDIST_LAYER("graph");
+
+namespace redist {
+struct FixtureA {};
+}  // namespace redist

@@ -1,0 +1,11 @@
+// Include-cycle fixture, half two: b -> a closes the loop (same module, so
+// only the cycle rule fires, not layering).
+#pragma once
+
+#include "graph/a.hpp"
+
+REDIST_LAYER("graph");
+
+namespace redist {
+struct FixtureB {};
+}  // namespace redist

@@ -1,0 +1,21 @@
+// Deprecated-api fixture: the removed positional solve_kpbs overload must
+// not creep back in, whether as a call or a redeclaration. Never compiled.
+namespace redist {
+
+// MUST FIRE: redeclaring the removed positional overload.
+Schedule solve_kpbs(const BipartiteGraph& g, int k, Weight beta);
+
+void fixture_calls(BipartiteGraph& g, SolverOptions opts) {
+  // MUST FIRE: positional call shape (three top-level arguments).
+  auto s1 = solve_kpbs(g, 4, 2);
+  // NEAR MISS: two arguments with a braced options literal — the commas
+  // sit inside the braces, not at the top level.
+  auto s2 = solve_kpbs(g, {4, 2, Algorithm::kOggp});
+  // NEAR MISS: the supported two-argument form.
+  auto s3 = solve_kpbs(g, opts);
+  (void)s1;
+  (void)s2;
+  (void)s3;
+}
+
+}  // namespace redist

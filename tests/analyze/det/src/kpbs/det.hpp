@@ -1,0 +1,25 @@
+// Determinism-rule fixture: contracts whose reachable bodies must (and
+// must not) trip the nondeterminism sinks. Never compiled — analyzed only.
+#pragma once
+
+#include "common/contract_annotations.hpp"
+
+REDIST_LAYER("kpbs");
+
+namespace redist {
+
+REDIST_DETERMINISTIC
+int deterministic_entry(int n);
+
+REDIST_DETERMINISTIC
+int deterministic_guarded(int n);
+
+REDIST_DETERMINISTIC
+int iteration_order();
+
+REDIST_DETERMINISTIC
+void order_weights();
+
+int unannotated_helper();
+
+}  // namespace redist

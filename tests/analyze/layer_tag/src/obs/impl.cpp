@@ -1,0 +1,6 @@
+// NEAR MISS: implementation files carry no tag; only headers are checked.
+#include "obs/tagged.hpp"
+
+namespace redist {
+int fixture_impl() { return 1; }
+}  // namespace redist

@@ -1,0 +1,8 @@
+// MUST FIRE: the tag disagrees with the directory the header lives in.
+#pragma once
+
+REDIST_LAYER("graph");
+
+namespace redist {
+struct FixtureMistagged {};
+}  // namespace redist

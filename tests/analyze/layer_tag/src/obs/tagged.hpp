@@ -1,0 +1,8 @@
+// NEAR MISS: correctly tagged header, nothing to report.
+#pragma once
+
+REDIST_LAYER("obs");
+
+namespace redist {
+struct FixtureTagged {};
+}  // namespace redist

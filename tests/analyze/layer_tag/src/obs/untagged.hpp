@@ -1,0 +1,6 @@
+// MUST FIRE: header under src/obs/ with no REDIST_LAYER tag at all.
+#pragma once
+
+namespace redist {
+struct FixtureUntagged {};
+}  // namespace redist

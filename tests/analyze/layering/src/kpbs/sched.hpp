@@ -1,0 +1,10 @@
+// Layering-rule fixture: the include target. Never compiled — analyzed only.
+#pragma once
+
+#include "common/contract_annotations.hpp"
+
+REDIST_LAYER("kpbs");
+
+namespace redist {
+struct FixtureSchedule {};
+}  // namespace redist

@@ -1,0 +1,15 @@
+// NEAR MISS: the same upward edge behind a preprocessor conditional is the
+// sanctioned validation seam, exempt from layering (still cycle-checked).
+#pragma once
+
+#include "common/contract_annotations.hpp"
+
+#ifdef REDIST_VALIDATE
+#include "kpbs/sched.hpp"
+#endif
+
+REDIST_LAYER("matching");
+
+namespace redist {
+struct FixtureGuarded {};
+}  // namespace redist

@@ -1,0 +1,12 @@
+// MUST FIRE: matching (rank 2) reaching up into kpbs (rank 3)
+// unconditionally inverts the module DAG.
+#pragma once
+
+#include "common/contract_annotations.hpp"
+#include "kpbs/sched.hpp"
+
+REDIST_LAYER("matching");
+
+namespace redist {
+struct FixtureUpward {};
+}  // namespace redist

@@ -1,0 +1,24 @@
+// Lock-transition fixture: manual mutex transitions in src/net are banned
+// (exceptions between lock and unlock leak the mutex). Never compiled.
+#include <mutex>
+
+namespace redist {
+
+void fixture_poke(std::mutex& m) {
+  // MUST FIRE (twice): manual transition pair.
+  m.lock();
+  m.unlock();
+}
+
+void fixture_raii(std::mutex& m) {
+  // NEAR MISS: constructing a RAII scope is the sanctioned pattern — the
+  // identifier is not a member call.
+  MutexLock lock(m);
+}
+
+void fixture_suppressed(std::mutex& m) {
+  // redist-analyze: allow(lock-transition) fixture exercises suppression
+  m.try_lock();
+}
+
+}  // namespace redist

@@ -1,0 +1,12 @@
+// NEAR MISS: the lock-transition rule scopes to src/net and src/robust;
+// runtime's checked transitions are out of its jurisdiction.
+#include <mutex>
+
+namespace redist {
+
+void fixture_runtime_poke(std::mutex& m) {
+  m.lock();
+  m.unlock();
+}
+
+}  // namespace redist

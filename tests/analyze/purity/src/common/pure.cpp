@@ -1,0 +1,19 @@
+#include "common/pure.hpp"
+
+#include <cstdio>
+
+namespace redist {
+
+int pure_value(int n) {
+  // MUST FIRE: a pure function may not write to stdout.
+  std::printf("computing %d\n", n);
+  return n * 2;
+}
+
+int det_logger(int n) {
+  // NEAR MISS: determinism does not ban I/O, only nondeterminism.
+  std::printf("solving %d\n", n);
+  return n;
+}
+
+}  // namespace redist

@@ -1,0 +1,17 @@
+// Purity-rule fixture: REDIST_PURE adds I/O sinks that plain
+// REDIST_DETERMINISTIC tolerates. Never compiled — analyzed only.
+#pragma once
+
+#include "common/contract_annotations.hpp"
+
+REDIST_LAYER("common");
+
+namespace redist {
+
+REDIST_PURE
+int pure_value(int n);
+
+REDIST_DETERMINISTIC
+int det_logger(int n);
+
+}  // namespace redist

@@ -10,7 +10,7 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
-#include "kpbs/batch.hpp"
+#include "runtime/batch.hpp"
 #include "runtime/thread_pool.hpp"
 #include "workload/random_graphs.hpp"
 

@@ -188,6 +188,58 @@ TEST(LintTokenizer, StringsCommentsAndPreprocessorAreInvisible) {
   EXPECT_TRUE(lint_source("src/kpbs/x.cpp", src, Options{}).empty());
 }
 
+// Regression: a line comment with a trailing backslash splices the next
+// source line into the comment; trigger tokens there are comment text.
+TEST(LintTokenizer, CommentLineContinuationStaysComment) {
+  const char* src =
+      "// continues onto the next line \\\n"
+      "   rand() mt19937 system_clock\n"
+      "int f() { return 0; }\n";
+  Options options;
+  options.scope_by_path = false;
+  EXPECT_TRUE(lint_source("x.cpp", src, options).empty());
+}
+
+// Regression: a block comment opened on a preprocessor line swallows its
+// continuation lines instead of leaking them into the token stream.
+TEST(LintTokenizer, BlockCommentOpenedOnPreprocessorLine) {
+  const char* src =
+      "#define BANNER /* spans lines\n"
+      "  rand() mt19937 gettimeofday\n"
+      "*/ 1\n"
+      "int g() { return BANNER; }\n";
+  Options options;
+  options.scope_by_path = false;
+  EXPECT_TRUE(lint_source("x.cpp", src, options).empty());
+}
+
+// ...while a quoted "/*" on a preprocessor line must NOT open a comment:
+// the code after it is still analyzed (the rand() below has to fire).
+TEST(LintTokenizer, QuotedCommentOpenerOnPreprocessorLineIsInert) {
+  const char* src =
+      "#define P \"/*\"\n"
+      "int h() { return rand(); }\n";
+  Options options;
+  options.scope_by_path = false;
+  const auto findings = lint_source("x.cpp", src, options);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "no-nondeterminism");
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+// The full trap corpus (strings + comments stuffed with trigger tokens)
+// must stay clean under every rule.
+TEST(LintTokenizer, TrapFixtureStaysCleanUnderAllRules) {
+  Options options;
+  options.scope_by_path = false;
+  const auto findings =
+      lint_fixture("pass_tokenizer_traps.cpp", options);
+  for (const Finding& f : findings) {
+    ADD_FAILURE() << f.file << ":" << f.line << " [" << f.rule << "] "
+                  << f.message;
+  }
+}
+
 TEST(LintCli, MissingFileThrows) {
   EXPECT_THROW(lint_file("/nonexistent/nope.cpp", "nope.cpp", Options{}),
                std::runtime_error);

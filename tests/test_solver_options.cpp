@@ -77,7 +77,11 @@ TEST(SolverOptions, EmptyDemandHasUnitRatio) {
   EXPECT_DOUBLE_EQ(result.evaluation_ratio, 1.0);
 }
 
-TEST(SolverOptions, DeprecatedOverloadMatchesNewApi) {
+// The positional overload is gone (deprecation window closed). This pins
+// what replaced the old equivalence check: the engine field of
+// SolverOptions is the only remaining axis the positional API ever
+// defaulted differently, and cold/warm stay bit-identical through it.
+TEST(SolverOptions, RemovedPositionalOverloadSemanticsLiveInOptions) {
   Rng rng(2026);
   RandomGraphConfig config;
   config.max_left = 6;
@@ -88,14 +92,11 @@ TEST(SolverOptions, DeprecatedOverloadMatchesNewApi) {
     const BipartiteGraph g = random_bipartite(rng, config);
     const int k = static_cast<int>(rng.uniform_int(1, 6));
     for (const Algorithm algo : {Algorithm::kGGP, Algorithm::kOGGP}) {
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-      const Schedule old_api = solve_kpbs(g, k, 1, algo);
-#pragma GCC diagnostic pop
-      // The wrapper keeps the historical cold-engine default.
-      const Schedule new_api =
+      const Schedule cold =
           solve_kpbs(g, {k, 1, algo, MatchingEngine::kCold}).schedule;
-      expect_identical_schedules(old_api, new_api);
+      const Schedule warm =
+          solve_kpbs(g, {k, 1, algo, MatchingEngine::kWarm}).schedule;
+      expect_identical_schedules(cold, warm);
     }
   }
 }

@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
-#include "kpbs/batch.hpp"
+#include "runtime/batch.hpp"
 #include "kpbs/solver.hpp"
 #include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"

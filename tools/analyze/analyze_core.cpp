@@ -1,0 +1,1178 @@
+#include "analyze_core.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <tuple>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace redist::analyze {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexing
+// ---------------------------------------------------------------------------
+
+struct Token {
+  std::string text;
+  int line = 0;
+  char kind = 'p';  // 'i'dent, 'n'umber, 's'tring, 'c'har, 'p'unct
+};
+
+struct IncludeEdge {
+  std::string target;  // literal text between the quotes
+  int line = 0;
+  bool conditional = false;  // inside #if/#ifdef/#ifndef at depth > 0
+};
+
+struct AllowDirective {
+  int line = 0;
+  std::string rule;
+};
+
+struct Lexed {
+  std::vector<Token> tokens;
+  std::vector<IncludeEdge> includes;
+  std::vector<AllowDirective> allows;
+};
+
+bool is_ident_start(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+bool is_ident_char(char c) { return is_ident_start(c) || (c >= '0' && c <= '9'); }
+
+// `// redist-analyze: allow(rule-id) reason` — same grammar as redist_lint's
+// suppressions, with our own tool name so the two passes never mask each
+// other's findings.
+void harvest_allows(const std::string& comment, int line,
+                    std::vector<AllowDirective>& out) {
+  std::size_t at = 0;
+  while ((at = comment.find("redist-analyze:", at)) != std::string::npos) {
+    std::size_t open = comment.find("allow(", at);
+    if (open == std::string::npos) break;
+    std::size_t close = comment.find(')', open);
+    if (close == std::string::npos) break;
+    out.push_back({line, comment.substr(open + 6, close - open - 6)});
+    at = close;
+  }
+}
+
+// Consumes a string literal starting at src[i] == '"'. Returns one past the
+// closing quote and appends the (unquoted) contents to *text.
+std::size_t consume_string(const std::string& src, std::size_t i, int& line,
+                           std::string* text) {
+  const std::size_t n = src.size();
+  ++i;  // opening quote
+  while (i < n) {
+    char c = src[i];
+    if (c == '\\' && i + 1 < n) {
+      if (text) text->append(src, i, 2);
+      i += 2;
+      continue;
+    }
+    if (c == '"') return i + 1;
+    if (c == '\n') ++line;
+    if (text) text->push_back(c);
+    ++i;
+  }
+  return i;
+}
+
+// Raw string literal: i points at the '"' after R. R"delim(...)delim".
+std::size_t consume_raw_string(const std::string& src, std::size_t i,
+                               int& line) {
+  const std::size_t n = src.size();
+  ++i;  // opening quote
+  std::string delim;
+  while (i < n && src[i] != '(') delim.push_back(src[i++]);
+  const std::string closer = ")" + delim + "\"";
+  std::size_t end = src.find(closer, i);
+  if (end == std::string::npos) return n;
+  for (std::size_t k = i; k < end; ++k)
+    if (src[k] == '\n') ++line;
+  return end + closer.size();
+}
+
+Lexed lex(const std::string& src) {
+  Lexed out;
+  const std::size_t n = src.size();
+  std::size_t i = 0;
+  int line = 1;
+  int cond_depth = 0;      // #if/#ifdef/#ifndef nesting
+  bool at_line_start = true;
+
+  while (i < n) {
+    const char c = src[i];
+
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+
+    // Line comment — a trailing backslash splices the next line into the
+    // comment (translation phase 2 runs before comment removal).
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      std::size_t stop = i + 2;
+      const int start_line = line;
+      while (stop < n && src[stop] != '\n') ++stop;
+      while (stop < n && stop > 0 && src[stop - 1] == '\\') {
+        ++line;
+        ++stop;
+        while (stop < n && src[stop] != '\n') ++stop;
+      }
+      harvest_allows(src.substr(i, stop - i), start_line, out.allows);
+      i = stop;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      const int start_line = line;
+      std::size_t stop = i + 2;
+      while (stop + 1 < n && !(src[stop] == '*' && src[stop + 1] == '/')) {
+        if (src[stop] == '\n') ++line;
+        ++stop;
+      }
+      stop = (stop + 1 < n) ? stop + 2 : n;
+      harvest_allows(src.substr(i, stop - i), start_line, out.allows);
+      i = stop;
+      continue;
+    }
+
+    // Preprocessor directive. Tracks conditional nesting and captures
+    // quoted includes; everything else on the line is skipped with full
+    // comment/string/continuation awareness.
+    if (c == '#' && at_line_start) {
+      const int directive_line = line;
+      std::size_t j = i + 1;
+      while (j < n && (src[j] == ' ' || src[j] == '\t')) ++j;
+      std::string name;
+      while (j < n && is_ident_char(src[j])) name.push_back(src[j++]);
+
+      if (name == "if" || name == "ifdef" || name == "ifndef") {
+        ++cond_depth;
+      } else if (name == "endif") {
+        if (cond_depth > 0) --cond_depth;
+      } else if (name == "include") {
+        while (j < n && (src[j] == ' ' || src[j] == '\t')) ++j;
+        if (j < n && src[j] == '"') {
+          std::string target;
+          j = consume_string(src, j, line, &target);
+          out.includes.push_back({target, directive_line, cond_depth > 0});
+        }
+      }
+
+      // Skip the remainder of the (possibly continued) directive line.
+      while (j < n && src[j] != '\n') {
+        if (src[j] == '\\' && j + 1 < n && src[j + 1] == '\n') {
+          ++line;
+          j += 2;
+          continue;
+        }
+        if (src[j] == '"') {
+          j = consume_string(src, j, line, nullptr);
+          continue;
+        }
+        if (src[j] == '\'') {
+          ++j;
+          while (j < n && src[j] != '\'' && src[j] != '\n') {
+            if (src[j] == '\\') ++j;
+            ++j;
+          }
+          if (j < n && src[j] == '\'') ++j;
+          continue;
+        }
+        if (src[j] == '/' && j + 1 < n && src[j + 1] == '/') {
+          while (j < n && src[j] != '\n') ++j;
+          break;
+        }
+        if (src[j] == '/' && j + 1 < n && src[j + 1] == '*') {
+          const int open_line = line;
+          std::size_t stop = j + 2;
+          while (stop + 1 < n && !(src[stop] == '*' && src[stop + 1] == '/')) {
+            if (src[stop] == '\n') ++line;
+            ++stop;
+          }
+          harvest_allows(src.substr(j, stop + 2 - j), open_line, out.allows);
+          j = (stop + 1 < n) ? stop + 2 : n;
+          continue;
+        }
+        ++j;
+      }
+      i = j;
+      at_line_start = false;
+      continue;
+    }
+
+    at_line_start = false;
+
+    // Raw string literal (R"..."), possibly behind an encoding prefix.
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      out.tokens.push_back({"", line, 's'});
+      i = consume_raw_string(src, i + 1, line);
+      continue;
+    }
+    if (c == '"') {
+      std::string text;
+      const int start_line = line;
+      i = consume_string(src, i, line, &text);
+      out.tokens.push_back({text, start_line, 's'});
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      while (i < n && src[i] != '\'' && src[i] != '\n') {
+        if (src[i] == '\\') ++i;
+        ++i;
+      }
+      if (i < n && src[i] == '\'') ++i;
+      out.tokens.push_back({"", line, 'c'});
+      continue;
+    }
+
+    if (is_ident_start(c)) {
+      std::size_t j = i;
+      while (j < n && is_ident_char(src[j])) ++j;
+      out.tokens.push_back({src.substr(i, j - i), line, 'i'});
+      i = j;
+      continue;
+    }
+    if (c >= '0' && c <= '9') {
+      std::size_t j = i;
+      while (j < n && (is_ident_char(src[j]) || src[j] == '.' ||
+                       src[j] == '\'')) {
+        ++j;
+      }
+      out.tokens.push_back({src.substr(i, j - i), line, 'n'});
+      i = j;
+      continue;
+    }
+    out.tokens.push_back({std::string(1, c), line, 'p'});
+    ++i;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Paths and modules
+// ---------------------------------------------------------------------------
+
+std::string dirname_of(const std::string& path) {
+  std::size_t slash = path.rfind('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash);
+}
+
+std::string normalize(const std::string& path) {
+  std::vector<std::string> parts;
+  std::stringstream ss(path);
+  std::string part;
+  while (std::getline(ss, part, '/')) {
+    if (part.empty() || part == ".") continue;
+    if (part == ".." && !parts.empty() && parts.back() != "..") {
+      parts.pop_back();
+      continue;
+    }
+    parts.push_back(part);
+  }
+  std::string out;
+  for (const auto& p : parts) {
+    if (!out.empty()) out += '/';
+    out += p;
+  }
+  return out;
+}
+
+/// Candidate repo-relative paths a quoted include may refer to, in the
+/// order the build's -I flags would try them.
+std::vector<std::string> include_candidates(const std::string& includer,
+                                            const std::string& target) {
+  std::vector<std::string> c;
+  const std::string dir = dirname_of(includer);
+  if (!dir.empty()) c.push_back(normalize(dir + "/" + target));
+  c.push_back(normalize("src/" + target));
+  c.push_back(normalize(target));
+  c.push_back(normalize("tools/" + target));
+  return c;
+}
+
+/// Module of a repo-relative path: the directory under src/ ("common",
+/// "kpbs", ...), "src-root" for src/redist.hpp itself, or the top-level
+/// tree name ("tools", "tests", "bench", "examples") otherwise.
+std::string module_of(const std::string& path) {
+  if (path.rfind("src/", 0) == 0) {
+    const std::size_t slash = path.find('/', 4);
+    if (slash == std::string::npos) return "src-root";
+    return path.substr(4, slash - 4);
+  }
+  const std::size_t slash = path.find('/');
+  return slash == std::string::npos ? path : path.substr(0, slash);
+}
+
+/// The layering DAG as ranks: an unconditional include may only point at a
+/// strictly lower rank (or stay inside its own module). Matches the
+/// architecture described in DESIGN.md.
+int rank_of(const std::string& module) {
+  static const std::unordered_map<std::string, int> kRanks = {
+      {"common", 0},
+      {"graph", 1},       {"obs", 1},
+      {"matching", 2},    {"workload", 2}, {"aggregation", 2}, {"robust", 2},
+      {"kpbs", 3},
+      {"runtime", 4},     {"validate", 4}, {"netsim", 4},      {"baselines", 4},
+      {"dynamic", 5},     {"net", 5},
+      {"mpilite", 6},
+      {"src-root", 90},   // the umbrella header sees every module
+  };
+  auto it = kRanks.find(module);
+  return it == kRanks.end() ? 100 : it->second;  // tools/tests/bench/examples
+}
+
+bool is_header(const std::string& path) {
+  return path.size() > 4 && path.compare(path.size() - 4, 4, ".hpp") == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Function and contract index
+// ---------------------------------------------------------------------------
+
+struct Contract {
+  std::string kind;  // "deterministic" | "pure" | "allow_nondet"
+  std::string function;
+  std::string file;
+  int line = 0;
+};
+
+struct FunctionDef {
+  std::string name;
+  std::string file;
+  int line = 0;
+  std::size_t body_begin = 0;  // token index just after '{'
+  std::size_t body_end = 0;    // token index of matching '}'
+};
+
+const std::unordered_set<std::string>& stmt_keywords() {
+  static const std::unordered_set<std::string> k = {
+      "if",     "for",     "while",   "switch",   "catch",  "return",
+      "sizeof", "alignof", "alignas", "decltype", "new",    "delete",
+      "throw",  "static_assert",      "noexcept", "defined", "do",
+      "else",   "case",    "assert",  "operator"};
+  return k;
+}
+
+std::size_t match_paren(const std::vector<Token>& t, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < t.size(); ++i) {
+    if (t[i].kind != 'p') continue;
+    if (t[i].text == "(") ++depth;
+    if (t[i].text == ")" && --depth == 0) return i;
+  }
+  return t.size();
+}
+
+std::size_t match_brace(const std::vector<Token>& t, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < t.size(); ++i) {
+    if (t[i].kind != 'p') continue;
+    if (t[i].text == "{") ++depth;
+    if (t[i].text == "}" && --depth == 0) return i;
+  }
+  return t.size();
+}
+
+bool tok_is(const std::vector<Token>& t, std::size_t i, const char* text) {
+  return i < t.size() && t[i].text == text;
+}
+
+/// Finds function *definitions* (name, parens, body) in one file. A
+/// token-level heuristic: `ident (...)` followed — possibly through
+/// cv-qualifiers, noexcept clauses, trailing return types and member-init
+/// lists — by `{`. Lambdas don't match (no name before the paren);
+/// control-flow keywords are excluded.
+void index_functions(const std::string& path, const std::vector<Token>& toks,
+                     std::vector<FunctionDef>& out) {
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != 'i' || !tok_is(toks, i + 1, "(")) continue;
+    const std::string& name = toks[i].text;
+    if (stmt_keywords().count(name)) continue;
+    if (name.rfind("REDIST_", 0) == 0) continue;  // annotation macros
+    if (i > 0 && toks[i - 1].kind == 'p' &&
+        (toks[i - 1].text == "." || toks[i - 1].text == ">")) {
+      continue;  // member access, never a definition
+    }
+    const std::size_t close = match_paren(toks, i + 1);
+    if (close >= toks.size()) continue;
+
+    // Walk from ')' to a body '{', permitting the decorations that may sit
+    // between a declarator and its body. Anything else means this was a
+    // call or a declaration.
+    std::size_t k = close + 1;
+    bool has_body = false;
+    while (k < toks.size()) {
+      const Token& t = toks[k];
+      if (t.kind == 'p' && t.text == "{") {
+        has_body = true;
+        break;
+      }
+      if (t.kind == 'p' && t.text == "(") {
+        k = match_paren(toks, k) + 1;  // noexcept(...), member-init a_(x)
+        continue;
+      }
+      const bool decoration =
+          (t.kind == 'i') ||
+          (t.kind == 'p' && (t.text == "-" || t.text == ">" ||
+                             t.text == ":" || t.text == "," ||
+                             t.text == "<" || t.text == "&" ||
+                             t.text == "*" || t.text == "[" ||
+                             t.text == "]"));
+      if (!decoration) break;
+      ++k;
+    }
+    if (!has_body) continue;
+    const std::size_t body_end = match_brace(toks, k);
+    out.push_back({name, path, toks[i].line, k + 1, body_end});
+    i = k;  // keep scanning inside the body (skips nothing nested)
+  }
+}
+
+/// Binds REDIST_DETERMINISTIC / REDIST_PURE / REDIST_ALLOW_NONDET tokens to
+/// the function name of the declaration they precede (the identifier right
+/// before the first argument-list paren).
+void index_contracts(const std::string& path, const std::vector<Token>& toks,
+                     std::vector<Contract>& out) {
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != 'i') continue;
+    std::string kind;
+    std::size_t scan = i + 1;
+    if (toks[i].text == "REDIST_DETERMINISTIC") {
+      kind = "deterministic";
+    } else if (toks[i].text == "REDIST_PURE") {
+      kind = "pure";
+    } else if (toks[i].text == "REDIST_ALLOW_NONDET") {
+      kind = "allow_nondet";
+      if (tok_is(toks, scan, "(")) scan = match_paren(toks, scan) + 1;
+    } else {
+      continue;
+    }
+    std::string function;
+    for (std::size_t j = scan; j + 1 < toks.size(); ++j) {
+      if (toks[j].kind == 'p' && toks[j].text == "(") {
+        if (toks[j - 1].kind == 'i') function = toks[j - 1].text;
+        break;
+      }
+      if (toks[j].kind == 'p' && (toks[j].text == ";" || toks[j].text == "{"))
+        break;
+    }
+    if (!function.empty()) out.push_back({kind, function, path, toks[i].line});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Determinism / purity sinks
+// ---------------------------------------------------------------------------
+
+const std::unordered_set<std::string>& rng_idents() {
+  static const std::unordered_set<std::string> k = {
+      "rand",          "srand",        "rand_r",
+      "drand48",       "lrand48",      "mrand48",
+      "random_device", "mt19937",      "mt19937_64",
+      "minstd_rand",   "minstd_rand0", "default_random_engine",
+      "random_shuffle"};
+  return k;
+}
+
+const std::unordered_set<std::string>& wallclock_idents() {
+  static const std::unordered_set<std::string> k = {
+      "system_clock", "steady_clock",  "high_resolution_clock",
+      "gettimeofday", "clock_gettime", "timespec_get",
+      "localtime",    "gmtime",        "ctime"};
+  return k;
+}
+
+const std::unordered_set<std::string>& thread_identity_idents() {
+  static const std::unordered_set<std::string> k = {"get_id",
+                                                    "hardware_concurrency"};
+  return k;
+}
+
+const std::unordered_set<std::string>& io_idents() {
+  static const std::unordered_set<std::string> k = {
+      "cout",   "cerr",    "clog",    "printf", "fprintf", "sprintf",
+      "puts",   "fputs",   "putchar", "fopen",  "fwrite",  "fread",
+      "fclose", "ofstream", "ifstream", "fstream", "getenv", "setenv",
+      "putenv", "system",  "exit",    "abort"};
+  return k;
+}
+
+struct Sink {
+  std::string ident;
+  int line = 0;
+  std::string detail;
+};
+
+/// Scans one function body for nondeterminism (and, when `pure`, I/O)
+/// sinks: banned identifiers, range-for over locally declared unordered
+/// containers, and std::sort with a float-parameter comparator (unstable
+/// order on ties).
+std::vector<Sink> body_sinks(const std::vector<Token>& toks,
+                             std::size_t begin, std::size_t end, bool pure) {
+  std::vector<Sink> sinks;
+  std::unordered_set<std::string> unordered_vars;
+
+  for (std::size_t i = begin; i < end && i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != 'i') continue;
+    const bool member =
+        i > begin && toks[i - 1].kind == 'p' &&
+        (toks[i - 1].text == "." || toks[i - 1].text == ">");
+
+    if (rng_idents().count(t.text)) {
+      sinks.push_back({t.text, t.line, "RNG"});
+      continue;
+    }
+    if (wallclock_idents().count(t.text)) {
+      sinks.push_back({t.text, t.line, "wall clock"});
+      continue;
+    }
+    if ((t.text == "time" || t.text == "clock") && tok_is(toks, i + 1, "(") &&
+        !member) {
+      sinks.push_back({t.text, t.line, "wall clock"});
+      continue;
+    }
+    if (thread_identity_idents().count(t.text) && tok_is(toks, i + 1, "(")) {
+      sinks.push_back({t.text, t.line, "thread identity"});
+      continue;
+    }
+    if (pure && io_idents().count(t.text) && !member) {
+      sinks.push_back({t.text, t.line, "I/O or environment"});
+      continue;
+    }
+
+    // Track `std::unordered_map<...> name` / `unordered_set<...> name`
+    // declarations, then flag range-for iteration over them: bucket order
+    // is implementation-defined, so anything derived from the visit order
+    // is nondeterministic.
+    if (t.text == "unordered_map" || t.text == "unordered_set") {
+      std::size_t j = i + 1;
+      if (tok_is(toks, j, "<")) {
+        int depth = 0;
+        for (; j < end && j < toks.size(); ++j) {
+          if (toks[j].kind != 'p') continue;
+          if (toks[j].text == "<") ++depth;
+          if (toks[j].text == ">" && --depth <= 0) break;
+          if (toks[j].text == ";") break;
+        }
+        ++j;
+      }
+      while (j < end && j < toks.size() &&
+             (tok_is(toks, j, "&") || tok_is(toks, j, "*") ||
+              (toks[j].kind == 'i' && toks[j].text == "const"))) {
+        ++j;
+      }
+      if (j < end && j < toks.size() && toks[j].kind == 'i')
+        unordered_vars.insert(toks[j].text);
+      continue;
+    }
+    if (t.text == "for" && tok_is(toks, i + 1, "(")) {
+      const std::size_t close = match_paren(toks, i + 1);
+      for (std::size_t j = i + 2; j < close; ++j) {
+        if (toks[j].kind != 'p' || toks[j].text != ":") continue;
+        if (tok_is(toks, j - 1, ":") || tok_is(toks, j + 1, ":")) continue;
+        if (j + 1 < close && toks[j + 1].kind == 'i' &&
+            unordered_vars.count(toks[j + 1].text)) {
+          sinks.push_back({toks[j + 1].text, toks[j].line,
+                           "unordered-container iteration"});
+        }
+      }
+      continue;
+    }
+
+    // std::sort with a float-comparing lambda: ties land in unspecified
+    // order. stable_sort (or integer keys) is the deterministic spelling.
+    if (t.text == "sort" && tok_is(toks, i + 1, "(") && !member) {
+      const std::size_t close = match_paren(toks, i + 1);
+      for (std::size_t j = i + 2; j < close; ++j) {
+        if (!tok_is(toks, j, "[")) continue;
+        std::size_t k = j;
+        while (k < close && !tok_is(toks, k, "]")) ++k;
+        if (!tok_is(toks, k + 1, "(")) continue;
+        const std::size_t params_close = match_paren(toks, k + 1);
+        for (std::size_t p = k + 2; p < params_close; ++p) {
+          if (toks[p].kind == 'i' &&
+              (toks[p].text == "float" || toks[p].text == "double")) {
+            sinks.push_back({"sort", toks[j].line,
+                             "float comparator in unstable sort"});
+            j = params_close;
+            break;
+          }
+        }
+      }
+      continue;
+    }
+  }
+  return sinks;
+}
+
+/// Callee names: every non-keyword identifier directly followed by '('.
+std::unordered_set<std::string> body_callees(const std::vector<Token>& toks,
+                                             std::size_t begin,
+                                             std::size_t end) {
+  std::unordered_set<std::string> out;
+  for (std::size_t i = begin; i < end && i + 1 < toks.size(); ++i) {
+    if (toks[i].kind == 'i' && tok_is(toks, i + 1, "(") &&
+        !stmt_keywords().count(toks[i].text) &&
+        toks[i].text.rfind("REDIST_", 0) != 0) {
+      out.insert(toks[i].text);
+    }
+  }
+  return out;
+}
+
+/// Implementation files whose whole purpose is to wrap nondeterministic
+/// primitives behind deterministic interfaces; their bodies are the one
+/// sanctioned place for RNG/clock identifiers.
+bool exempt_from_sinks(const std::string& path) {
+  return path == "src/common/rng.hpp" || path == "src/common/rng.cpp" ||
+         path == "src/common/stopwatch.hpp";
+}
+
+// ---------------------------------------------------------------------------
+// The analysis driver
+// ---------------------------------------------------------------------------
+
+struct ResolvedInclude {
+  std::size_t target;  // index into sources
+  int line;
+  bool conditional;
+};
+
+struct Analysis {
+  const std::vector<SourceFile>& sources;
+  const Options& options;
+  std::vector<Lexed> lexed;
+  std::unordered_map<std::string, std::size_t> by_path;
+  std::vector<std::vector<ResolvedInclude>> edges;  // per source
+  std::vector<FunctionDef> functions;
+  std::vector<Contract> contracts;
+  std::vector<Finding> findings;
+
+  explicit Analysis(const std::vector<SourceFile>& s, const Options& o)
+      : sources(s), options(o) {}
+
+  bool enabled(const std::string& rule) const {
+    if (options.rules.empty()) return true;
+    return std::find(options.rules.begin(), options.rules.end(), rule) !=
+           options.rules.end();
+  }
+
+  const std::vector<Token>& tokens_of(const std::string& file) const {
+    return lexed[by_path.at(file)].tokens;
+  }
+
+  void add(const std::string& file, int line, const std::string& rule,
+           const std::string& message) {
+    findings.push_back({file, line, rule, message});
+  }
+};
+
+void build_index(Analysis& a) {
+  auto& by_path = a.by_path;
+  for (std::size_t i = 0; i < a.sources.size(); ++i)
+    by_path[a.sources[i].path] = i;
+
+  a.lexed.reserve(a.sources.size());
+  for (const auto& s : a.sources) a.lexed.push_back(lex(s.content));
+
+  a.edges.resize(a.sources.size());
+  for (std::size_t i = 0; i < a.sources.size(); ++i) {
+    for (const auto& inc : a.lexed[i].includes) {
+      for (const auto& cand : include_candidates(a.sources[i].path,
+                                                 inc.target)) {
+        auto it = by_path.find(cand);
+        if (it != by_path.end()) {
+          a.edges[i].push_back({it->second, inc.line, inc.conditional});
+          break;
+        }
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < a.sources.size(); ++i) {
+    const std::string& path = a.sources[i].path;
+    index_contracts(path, a.lexed[i].tokens, a.contracts);
+    // Bodies are only indexed under src/ and tools/: test and bench code is
+    // free to use clocks/IO, and its helper names must not shadow library
+    // functions in the call graph.
+    if (path.rfind("src/", 0) == 0 || path.rfind("tools/", 0) == 0)
+      index_functions(path, a.lexed[i].tokens, a.functions);
+  }
+}
+
+void check_layering(Analysis& a) {
+  for (std::size_t i = 0; i < a.sources.size(); ++i) {
+    const std::string from_mod = module_of(a.sources[i].path);
+    const int from_rank = rank_of(from_mod);
+    if (from_rank >= 100) continue;  // tools/tests/bench see everything
+    for (const auto& e : a.edges[i]) {
+      if (e.conditional) continue;  // e.g. the REDIST_VALIDATE seam
+      const std::string to_mod = module_of(a.sources[e.target].path);
+      if (to_mod == from_mod) continue;
+      if (rank_of(to_mod) < from_rank) continue;
+      a.add(a.sources[i].path, e.line, "layering",
+            "include of \"" + a.sources[e.target].path + "\" points up the "
+            "module DAG: '" + from_mod + "' (rank " +
+            std::to_string(from_rank) + ") must not depend on '" + to_mod +
+            "' (rank " + std::to_string(rank_of(to_mod)) +
+            "); see docs/STATIC_ANALYSIS.md for the layer order");
+    }
+  }
+}
+
+void check_include_cycles(Analysis& a) {
+  // Iterative DFS, colors: 0 unvisited, 1 on stack, 2 done.
+  std::vector<int> color(a.sources.size(), 0);
+  std::vector<std::size_t> parent(a.sources.size(), SIZE_MAX);
+  for (std::size_t root = 0; root < a.sources.size(); ++root) {
+    if (color[root] != 0) continue;
+    std::vector<std::pair<std::size_t, std::size_t>> stack{{root, 0}};
+    color[root] = 1;
+    while (!stack.empty()) {
+      auto& [node, next] = stack.back();
+      if (next >= a.edges[node].size()) {
+        color[node] = 2;
+        stack.pop_back();
+        continue;
+      }
+      const ResolvedInclude& e = a.edges[node][next++];
+      if (color[e.target] == 1) {
+        std::string cycle = a.sources[e.target].path;
+        for (std::size_t k = stack.size(); k-- > 0;) {
+          cycle += " -> " + a.sources[stack[k].first].path;
+          if (stack[k].first == e.target) break;
+        }
+        a.add(a.sources[node].path, e.line, "include-cycle",
+              "include cycle: " + cycle);
+      } else if (color[e.target] == 0) {
+        color[e.target] = 1;
+        stack.push_back({e.target, 0});
+      }
+    }
+  }
+}
+
+void check_layer_tags(Analysis& a) {
+  for (std::size_t i = 0; i < a.sources.size(); ++i) {
+    const std::string& path = a.sources[i].path;
+    if (!is_header(path) || path.rfind("src/", 0) != 0) continue;
+    const std::string mod = module_of(path);
+    if (mod == "src-root") continue;  // the umbrella spans every layer
+    bool tagged = false;
+    const auto& toks = a.lexed[i].tokens;
+    for (std::size_t t = 0; t + 2 < toks.size(); ++t) {
+      if (toks[t].kind != 'i' || toks[t].text != "REDIST_LAYER") continue;
+      if (!tok_is(toks, t + 1, "(") || toks[t + 2].kind != 's') continue;
+      tagged = true;
+      if (toks[t + 2].text != mod) {
+        a.add(path, toks[t].line, "layer-tag",
+              "REDIST_LAYER(\"" + toks[t + 2].text + "\") disagrees with "
+              "this header's directory; expected REDIST_LAYER(\"" + mod +
+              "\")");
+      }
+      break;
+    }
+    if (!tagged) {
+      a.add(path, 1, "layer-tag",
+            "header under src/" + mod + "/ is missing its REDIST_LAYER(\"" +
+            mod + "\"); tag (declare it once, after the includes)");
+    }
+  }
+}
+
+void check_deprecated_api(Analysis& a) {
+  for (std::size_t i = 0; i < a.sources.size(); ++i) {
+    const auto& toks = a.lexed[i].tokens;
+    for (std::size_t t = 0; t + 1 < toks.size(); ++t) {
+      if (toks[t].kind != 'i' || toks[t].text != "solve_kpbs") continue;
+      if (!tok_is(toks, t + 1, "(")) continue;
+      const std::size_t close = match_paren(toks, t + 1);
+      int commas = 0, brace = 0, paren = 0;
+      for (std::size_t j = t + 2; j < close; ++j) {
+        if (toks[j].kind != 'p') continue;
+        if (toks[j].text == "{" || toks[j].text == "[") ++brace;
+        if (toks[j].text == "}" || toks[j].text == "]") --brace;
+        if (toks[j].text == "(") ++paren;
+        if (toks[j].text == ")") --paren;
+        if (toks[j].text == "," && brace == 0 && paren == 0) ++commas;
+      }
+      if (commas > 1) {
+        a.add(a.sources[i].path, toks[t].line, "deprecated-api",
+              "positional solve_kpbs(graph, k, beta, ...) was removed in "
+              "favor of solve_kpbs(graph, SolverOptions{...}); the old "
+              "overload must not be reintroduced");
+      }
+    }
+  }
+}
+
+void check_lock_transitions(Analysis& a) {
+  static const std::unordered_set<std::string> kTransitions = {
+      "lock", "unlock", "try_lock"};
+  for (std::size_t i = 0; i < a.sources.size(); ++i) {
+    const std::string& path = a.sources[i].path;
+    if (path.rfind("src/net/", 0) != 0 && path.rfind("src/robust/", 0) != 0)
+      continue;
+    const auto& toks = a.lexed[i].tokens;
+    for (std::size_t t = 1; t + 1 < toks.size(); ++t) {
+      if (toks[t].kind != 'i' || !kTransitions.count(toks[t].text)) continue;
+      if (!tok_is(toks, t + 1, "(")) continue;
+      const bool via_dot = tok_is(toks, t - 1, ".");
+      const bool via_arrow =
+          t >= 2 && tok_is(toks, t - 1, ">") && tok_is(toks, t - 2, "-");
+      if (!via_dot && !via_arrow) continue;
+      a.add(path, toks[t].line, "lock-transition",
+            "manual ." + toks[t].text + "() in " + module_of(path) +
+            " code: exceptions between transitions leak the mutex; hold "
+            "locks through a MutexLock scope instead");
+    }
+  }
+}
+
+void check_reachability(Analysis& a, const std::string& rule) {
+  const bool pure = (rule == "purity");
+  const std::string want = pure ? "pure" : "deterministic";
+  const std::string macro = pure ? "REDIST_PURE" : "REDIST_DETERMINISTIC";
+
+  std::unordered_set<std::string> exempt;
+  for (const auto& c : a.contracts)
+    if (c.kind == "allow_nondet") exempt.insert(c.function);
+
+  std::unordered_map<std::string, std::vector<const FunctionDef*>> defs;
+  for (const auto& f : a.functions) defs[f.name].push_back(&f);
+
+  for (const auto& c : a.contracts) {
+    if (c.kind != want) continue;
+    std::unordered_set<std::string> visited;
+    std::deque<std::pair<std::string, std::string>> queue;  // name, via
+    queue.push_back({c.function, ""});
+    visited.insert(c.function);
+    while (!queue.empty()) {
+      auto [name, via] = queue.front();
+      queue.pop_front();
+      if (exempt.count(name)) continue;  // REDIST_ALLOW_NONDET boundary
+      auto it = defs.find(name);
+      if (it == defs.end()) continue;
+      for (const FunctionDef* f : it->second) {
+        if (exempt_from_sinks(f->file)) continue;
+        const auto& toks = a.tokens_of(f->file);
+        for (const Sink& s :
+             body_sinks(toks, f->body_begin, f->body_end, pure)) {
+          const std::string path =
+              via.empty() ? "'" + name + "'"
+                          : "'" + name + "' (reached via " + via + ")";
+          a.add(f->file, s.line, rule,
+                s.detail + " '" + s.ident + "' in " + path +
+                ", which is reachable from " + macro + " '" + c.function +
+                "' (" + c.file + ":" + std::to_string(c.line) +
+                "); thread the seam through an injected dependency or mark "
+                "the helper REDIST_ALLOW_NONDET with a reason");
+        }
+        const std::string next_via =
+            via.empty() ? "'" + name + "'" : via + " -> '" + name + "'";
+        for (const auto& callee :
+             body_callees(toks, f->body_begin, f->body_end)) {
+          if (visited.insert(callee).second && defs.count(callee))
+            queue.push_back({callee, next_via});
+        }
+      }
+    }
+  }
+}
+
+/// The sorted one-line-per-contract inventory `--write-baseline` persists.
+std::string contract_inventory(const Analysis& a) {
+  std::set<std::string> lines;
+  for (const auto& c : a.contracts) lines.insert(c.kind + " " + c.function);
+  std::string out;
+  for (const auto& l : lines) out += l + "\n";
+  return out;
+}
+
+std::set<std::string> line_set(const std::string& text) {
+  std::set<std::string> out;
+  std::stringstream ss(text);
+  std::string line;
+  while (std::getline(ss, line)) {
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' '))
+      line.pop_back();
+    if (!line.empty() && line[0] != '#') out.insert(line);
+  }
+  return out;
+}
+
+void check_contract_drift(Analysis& a, const std::string& inventory) {
+  if (a.options.baseline.empty()) {
+    if (a.options.require_baseline) {
+      a.add(a.options.baseline_path, 1, "contract-drift",
+            "no contract baseline found; run redist_analyze "
+            "--write-baseline to record the current annotation set");
+    }
+    return;
+  }
+  const auto current = line_set(inventory);
+  const auto baseline = line_set(a.options.baseline);
+
+  // Anchor additions at the declaration that introduced them.
+  std::map<std::string, const Contract*> first_decl;
+  for (const auto& c : a.contracts)
+    first_decl.emplace(c.kind + " " + c.function, &c);
+
+  for (const auto& entry : baseline) {
+    if (!current.count(entry)) {
+      a.add(a.options.baseline_path, 1, "contract-drift",
+            "contract '" + entry + "' is recorded in the baseline but no "
+            "longer declared in the sources; removing an API guarantee "
+            "needs the baseline regenerated (--write-baseline) and a "
+            "reviewer's eyes on this diff");
+    }
+  }
+  for (const auto& entry : current) {
+    if (!baseline.count(entry)) {
+      auto it = first_decl.find(entry);
+      const std::string file = it != first_decl.end() ? it->second->file
+                                                      : a.options.baseline_path;
+      const int line = it != first_decl.end() ? it->second->line : 1;
+      a.add(file, line, "contract-drift",
+            "contract '" + entry + "' is declared but not recorded in " +
+            a.options.baseline_path + "; run redist_analyze "
+            "--write-baseline after reviewing the new guarantee");
+    }
+  }
+}
+
+/// Module-level include graph in DOT; conditional-only edges are dashed.
+std::string build_dot(const Analysis& a) {
+  // (from, to) -> all-edges-conditional?
+  std::map<std::pair<std::string, std::string>, bool> mod_edges;
+  for (std::size_t i = 0; i < a.sources.size(); ++i) {
+    const std::string from = module_of(a.sources[i].path);
+    if (rank_of(from) >= 100) continue;
+    for (const auto& e : a.edges[i]) {
+      const std::string to = module_of(a.sources[e.target].path);
+      if (to == from || rank_of(to) >= 100) continue;
+      auto [it, fresh] = mod_edges.emplace(std::make_pair(from, to),
+                                           e.conditional);
+      if (!fresh) it->second = it->second && e.conditional;
+    }
+  }
+  std::string dot =
+      "// Module-level include graph, emitted by redist_analyze --dot.\n"
+      "// Solid edges are unconditional; dashed edges only exist under\n"
+      "// preprocessor conditionals (the REDIST_VALIDATE seam).\n"
+      "digraph redist_modules {\n  rankdir=BT;\n  node [shape=box];\n";
+  for (const auto& [edge, conditional] : mod_edges) {
+    dot += "  \"" + edge.first + "\" -> \"" + edge.second + "\"";
+    if (conditional) dot += " [style=dashed]";
+    dot += ";\n";
+  }
+  dot += "}\n";
+  return dot;
+}
+
+void apply_suppressions(Analysis& a) {
+  std::set<std::tuple<std::string, int, std::string>> allowed;
+  for (std::size_t i = 0; i < a.sources.size(); ++i) {
+    for (const auto& d : a.lexed[i].allows) {
+      allowed.emplace(a.sources[i].path, d.line, d.rule);
+      allowed.emplace(a.sources[i].path, d.line + 1, d.rule);
+    }
+  }
+  a.findings.erase(
+      std::remove_if(a.findings.begin(), a.findings.end(),
+                     [&](const Finding& f) {
+                       return allowed.count({f.file, f.line, f.rule}) != 0;
+                     }),
+      a.findings.end());
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+const std::vector<std::string>& rule_ids() {
+  static const std::vector<std::string> ids = {
+      "determinism",    "purity",         "layering",
+      "include-cycle",  "layer-tag",      "contract-drift",
+      "deprecated-api", "lock-transition"};
+  return ids;
+}
+
+std::string rule_description(const std::string& id) {
+  static const std::map<std::string, std::string> descriptions = {
+      {"determinism",
+       "nothing reachable from a REDIST_DETERMINISTIC function may touch "
+       "RNG, wall clocks, thread identity, unordered-container iteration "
+       "order, or float comparators in unstable sorts"},
+      {"purity",
+       "REDIST_PURE extends the determinism sink set with I/O and "
+       "environment access"},
+      {"layering",
+       "unconditional includes must point down the module DAG (common -> "
+       "graph/obs -> matching -> kpbs -> runtime/validate/netsim -> "
+       "net/dynamic -> mpilite)"},
+      {"include-cycle", "the file-level include graph must be acyclic"},
+      {"layer-tag",
+       "every header under src/<module>/ declares REDIST_LAYER(\"<module>\")"},
+      {"contract-drift",
+       "the live annotation set must match tools/analyze/"
+       "contracts_baseline.txt; regenerate with --write-baseline"},
+      {"deprecated-api",
+       "the removed positional solve_kpbs(graph, k, beta, ...) overload "
+       "must not come back; use solve_kpbs(graph, SolverOptions{...})"},
+      {"lock-transition",
+       "no manual .lock()/.unlock()/.try_lock() in src/net or src/robust; "
+       "use MutexLock RAII scopes"}};
+  auto it = descriptions.find(id);
+  return it == descriptions.end() ? std::string() : it->second;
+}
+
+AnalysisResult run_analysis(const std::vector<SourceFile>& sources,
+                            const Options& options) {
+  for (const auto& rule : options.rules) {
+    if (std::find(rule_ids().begin(), rule_ids().end(), rule) ==
+        rule_ids().end()) {
+      throw std::runtime_error("unknown rule: " + rule);
+    }
+  }
+
+  Analysis a(sources, options);
+  build_index(a);
+
+  if (a.enabled("layering")) check_layering(a);
+  if (a.enabled("include-cycle")) check_include_cycles(a);
+  if (a.enabled("layer-tag")) check_layer_tags(a);
+  if (a.enabled("deprecated-api")) check_deprecated_api(a);
+  if (a.enabled("lock-transition")) check_lock_transitions(a);
+  if (a.enabled("determinism")) check_reachability(a, "determinism");
+  if (a.enabled("purity")) check_reachability(a, "purity");
+
+  AnalysisResult result;
+  result.contracts = contract_inventory(a);
+  if (a.enabled("contract-drift")) check_contract_drift(a, result.contracts);
+
+  apply_suppressions(a);
+
+  std::sort(a.findings.begin(), a.findings.end(),
+            [](const Finding& x, const Finding& y) {
+              return std::tie(x.file, x.line, x.rule, x.message) <
+                     std::tie(y.file, y.line, y.rule, y.message);
+            });
+  a.findings.erase(
+      std::unique(a.findings.begin(), a.findings.end(),
+                  [](const Finding& x, const Finding& y) {
+                    return std::tie(x.file, x.line, x.rule, x.message) ==
+                           std::tie(y.file, y.line, y.rule, y.message);
+                  }),
+      a.findings.end());
+  result.findings = std::move(a.findings);
+  result.include_dot = build_dot(a);
+  return result;
+}
+
+std::vector<std::string> tus_from_compile_commands(
+    const std::string& json_path, const std::string& root) {
+  std::ifstream in(json_path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot read compile_commands: " + json_path);
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string json = buf.str();
+
+  const std::string prefix = root.empty() || root.back() == '/'
+                                 ? root
+                                 : root + "/";
+  std::set<std::string> tus;
+  std::size_t at = 0;
+  while ((at = json.find("\"file\"", at)) != std::string::npos) {
+    at += 6;
+    std::size_t colon = json.find(':', at);
+    if (colon == std::string::npos) break;
+    std::size_t open = json.find('"', colon);
+    if (open == std::string::npos) break;
+    std::string value;
+    std::size_t j = open + 1;
+    while (j < json.size() && json[j] != '"') {
+      if (json[j] == '\\' && j + 1 < json.size()) ++j;
+      value.push_back(json[j++]);
+    }
+    at = j;
+    if (value.rfind(prefix, 0) == 0) value = value.substr(prefix.size());
+    if (value.empty() || value[0] == '/') continue;  // outside the repo
+    tus.insert(normalize(value));
+  }
+  return {tus.begin(), tus.end()};
+}
+
+std::vector<SourceFile> load_closure(const std::string& root,
+                                     const std::vector<std::string>& tus) {
+  const std::string prefix = root.empty() || root.back() == '/'
+                                 ? root
+                                 : root + "/";
+  auto slurp = [&](const std::string& rel, std::string* out) {
+    std::ifstream in(prefix + rel, std::ios::binary);
+    if (!in) return false;
+    std::stringstream buf;
+    buf << in.rdbuf();
+    *out = buf.str();
+    return true;
+  };
+
+  std::vector<SourceFile> sources;
+  std::unordered_set<std::string> seen;
+  std::deque<std::string> queue(tus.begin(), tus.end());
+  while (!queue.empty()) {
+    const std::string path = queue.front();
+    queue.pop_front();
+    if (!seen.insert(path).second) continue;
+    std::string content;
+    if (!slurp(path, &content)) continue;
+    const Lexed lexed = lex(content);
+    for (const auto& inc : lexed.includes) {
+      for (const auto& cand : include_candidates(path, inc.target)) {
+        std::ifstream probe(prefix + cand);
+        if (probe) {
+          queue.push_back(cand);
+          break;
+        }
+      }
+    }
+    sources.push_back({path, std::move(content)});
+  }
+  std::sort(sources.begin(), sources.end(),
+            [](const SourceFile& x, const SourceFile& y) {
+              return x.path < y.path;
+            });
+  return sources;
+}
+
+std::string format_report(const std::vector<Finding>& findings) {
+  std::string out;
+  for (const auto& f : findings) {
+    out += f.file + ":" + std::to_string(f.line) + ": [" + f.rule + "] " +
+           f.message + "\n";
+  }
+  return out;
+}
+
+}  // namespace redist::analyze

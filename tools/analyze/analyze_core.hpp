@@ -1,0 +1,121 @@
+// redist_analyze — semantic static analysis over the whole program.
+//
+// Where tools/redist_lint checks one file at a time at the token level,
+// this pass is driven by compile_commands.json: it lexes every translation
+// unit the build actually compiles, follows quoted includes to closure,
+// and builds two whole-program structures —
+//
+//   * an include graph (file- and module-level), checked against the
+//     architecture's layering DAG, and
+//   * a per-TU symbol/call index, over which the contract annotations of
+//     src/common/contract_annotations.hpp (REDIST_DETERMINISTIC,
+//     REDIST_PURE, REDIST_ALLOW_NONDET, REDIST_LAYER) are enforced by
+//     reachability.
+//
+// Rules (ids are stable; used in suppressions, fixtures and CI output):
+//   determinism     nothing reachable from a REDIST_DETERMINISTIC function
+//                   may touch RNG, wall clocks, thread ids, unordered-
+//                   container iteration, or float-keyed sort comparators
+//   purity          REDIST_PURE adds I/O and environment sinks on top of
+//                   the determinism set
+//   layering        include edges must point down the module DAG
+//                   (common -> graph/obs -> matching -> kpbs -> runtime/
+//                   validate/netsim -> net/dynamic -> mpilite -> tools);
+//                   includes inside preprocessor conditionals are exempt
+//                   (e.g. the REDIST_VALIDATE self-audit seam)
+//   include-cycle   the file-level include graph must be acyclic
+//   layer-tag       every header under src/ carries REDIST_LAYER("<dir>")
+//   contract-drift  the live annotation set is audited against a checked-
+//                   in baseline: removing or adding a contract without
+//                   regenerating tools/analyze/contracts_baseline.txt is
+//                   an error
+//   deprecated-api  bans the removed positional solve_kpbs overload
+//                   (any solve_kpbs declaration or call with more than two
+//                   top-level arguments)
+//   lock-transition manual .lock()/.unlock()/.try_lock() calls in src/net
+//                   and src/robust (RAII MutexLock scopes only; manual
+//                   transitions there have no exception-safe story)
+//
+// Suppression: `// redist-analyze: allow(rule-id) <reason>` on the same
+// line or the line directly above the finding (same grammar as
+// redist_lint). Like the lint pass, this is a token-level analysis — the
+// container toolchain has no libclang — so constructors invoked without
+// parentheses and calls through function pointers are invisible to the
+// call index; rules are scoped to patterns that are unambiguous at the
+// token level and every rule is pinned by must-fire and near-miss fixtures
+// under tests/analyze/.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace redist::analyze {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct Options {
+  /// Empty = all rules; otherwise the subset of rule ids to run.
+  std::vector<std::string> rules;
+  /// Baseline text for contract-drift (the *contents*, not a path). Empty
+  /// disables the rule unless `require_baseline` is set.
+  std::string baseline;
+  /// When true, an empty baseline is itself a contract-drift finding.
+  bool require_baseline = false;
+  /// Where removal findings are anchored (the baseline has no source line).
+  std::string baseline_path = "tools/analyze/contracts_baseline.txt";
+};
+
+/// One source file, with its repo-relative '/'-separated path. The path
+/// decides module membership (src/<module>/..., tools/..., bench/...).
+struct SourceFile {
+  std::string path;
+  std::string content;
+};
+
+struct AnalysisResult {
+  std::vector<Finding> findings;
+  /// Current contract inventory, one line per entry, sorted — the exact
+  /// text `--write-baseline` persists and contract-drift diffs against.
+  std::string contracts;
+  /// Module-level include graph in Graphviz DOT (conditional edges are
+  /// dashed) for the CI review artifact.
+  std::string include_dot;
+};
+
+/// Stable rule ids, in reporting order.
+const std::vector<std::string>& rule_ids();
+
+/// One-line description for --list-rules.
+std::string rule_description(const std::string& id);
+
+/// Runs every enabled rule over the closed set of sources. Include edges
+/// pointing outside `sources` (system headers, generated files) are
+/// ignored.
+AnalysisResult run_analysis(const std::vector<SourceFile>& sources,
+                            const Options& options);
+
+/// Extracts the repo-relative paths of all translation units listed in a
+/// compile_commands.json whose "file" lies under `root`. Tolerant of the
+/// formatting CMake emits; throws std::runtime_error when unreadable.
+std::vector<std::string> tus_from_compile_commands(
+    const std::string& json_path, const std::string& root);
+
+/// Reads `tus` (repo-relative, under `root`) and chases their quoted
+/// includes to a fixed point, returning every reached file exactly once.
+/// Unresolvable targets (system headers) are silently dropped.
+std::vector<SourceFile> load_closure(const std::string& root,
+                                     const std::vector<std::string>& tus);
+
+/// `path:line: [rule] message` lines, newline-terminated — the golden
+/// report format (tests/test_analyze.cpp pins it).
+std::string format_report(const std::vector<Finding>& findings);
+
+}  // namespace redist::analyze

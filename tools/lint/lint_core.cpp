@@ -79,7 +79,11 @@ std::vector<Token> tokenize(std::string_view src, AllowMap& allows) {
       ++i;
       continue;
     }
-    // Preprocessor directive: skip the whole (continued) line.
+    // Preprocessor directive: skip the whole (continued) line. The skip is
+    // quote- and comment-aware so that a block comment *opened* on the
+    // directive line (e.g. `#define X /* ...` spanning lines) swallows its
+    // continuation instead of leaking comment text into the token stream,
+    // while `"/*"` inside an #include path or #define string stays inert.
     if (c == '#' && line_start) {
       while (i < n) {
         if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
@@ -88,19 +92,53 @@ std::vector<Token> tokenize(std::string_view src, AllowMap& allows) {
           continue;
         }
         if (src[i] == '\n') break;
+        if (src[i] == '"' || src[i] == '\'') {
+          const char q = src[i];
+          ++i;
+          while (i < n && src[i] != q && src[i] != '\n') {
+            if (src[i] == '\\' && i + 1 < n) ++i;
+            ++i;
+          }
+          if (i < n && src[i] == q) ++i;
+          continue;
+        }
+        if (src[i] == '/' && i + 1 < n && src[i + 1] == '/') {
+          // A line comment runs to the (unescaped) end of the directive.
+          while (i < n && src[i] != '\n') {
+            if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') break;
+            ++i;
+          }
+          continue;
+        }
+        if (src[i] == '/' && i + 1 < n && src[i + 1] == '*') {
+          i += 2;
+          while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+            if (src[i] == '\n') ++line;
+            ++i;
+          }
+          i = i + 1 < n ? i + 2 : n;
+          continue;
+        }
         ++i;
       }
       continue;
     }
     line_start = false;
-    // Line comment.
+    // Line comment. A trailing backslash splices the next line into the
+    // comment (C++ phase-2 line continuation), so keep consuming.
     if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      const int first_line = line;
       const bool standalone =
           tokens.empty() || tokens.back().line != line;
-      const std::size_t end = src.find('\n', i);
-      const std::size_t stop = end == std::string_view::npos ? n : end;
-      harvest_directives(src.substr(i, stop - i), line, line, standalone,
-                         allows);
+      std::size_t stop = i;
+      while (stop < n && src[stop] != '\n') ++stop;
+      while (stop < n && stop > 0 && src[stop - 1] == '\\') {
+        ++line;
+        ++stop;
+        while (stop < n && src[stop] != '\n') ++stop;
+      }
+      harvest_directives(src.substr(i, stop - i), first_line, line,
+                         standalone, allows);
       i = stop;
       continue;
     }
