@@ -158,8 +158,12 @@ SolveResult solve_kpbs(const BipartiteGraph& demand,
 
 double evaluation_ratio(const BipartiteGraph& demand, const Schedule& s,
                         int k, Weight beta) {
-  const LowerBound lb = kpbs_lower_bound(demand, k, beta);
-  const double bound = lb.value_double();
+  return evaluation_ratio(s, kpbs_lower_bound(demand, k, beta), beta);
+}
+
+double evaluation_ratio(const Schedule& s, const LowerBound& lower_bound,
+                        Weight beta) {
+  const double bound = lower_bound.value_double();
   // The lower bound is a ratio of exact integers; it is 0.0 only when the
   // integer numerator is zero, so exact comparison is the correct guard.
   // redist-lint: allow(float-eq)

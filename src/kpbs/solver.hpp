@@ -42,4 +42,11 @@ REDIST_DETERMINISTIC
 double evaluation_ratio(const BipartiteGraph& demand, const Schedule& s,
                         int k, Weight beta);
 
+/// Same ratio against a precomputed bound — the sweep harness and the
+/// baseline comparisons evaluate many schedules of one instance, and the
+/// bound only depends on the instance.
+REDIST_DETERMINISTIC
+double evaluation_ratio(const Schedule& s, const LowerBound& lower_bound,
+                        Weight beta);
+
 }  // namespace redist

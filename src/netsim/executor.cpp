@@ -29,13 +29,17 @@ ExecutionResult simulate_bruteforce(const Platform& p,
   return result;
 }
 
-ExecutionResult execute_schedule(const Platform& p,
-                                 const TrafficMatrix& traffic,
-                                 const Schedule& schedule,
-                                 double bytes_per_time_unit,
-                                 const FluidOptions& options) {
+namespace {
+
+// Shared stepped-execution loop; `pair_unit(i, j)` is the byte value of one
+// scheduled time unit on pair (i, j).
+template <typename PairUnit>
+ExecutionResult execute_schedule_impl(const Platform& p,
+                                      const TrafficMatrix& traffic,
+                                      const Schedule& schedule,
+                                      PairUnit&& pair_unit,
+                                      const FluidOptions& options) {
   REDIST_CHECK(traffic.senders() == p.n1 && traffic.receivers() == p.n2);
-  REDIST_CHECK(bytes_per_time_unit > 0);
 
   std::map<std::pair<NodeId, NodeId>, double> remaining;
   for (NodeId i = 0; i < p.n1; ++i) {
@@ -56,7 +60,7 @@ ExecutionResult execute_schedule(const Platform& p,
                            << c.sender << "->" << c.receiver
                            << " with no remaining demand");
       const double want =
-          static_cast<double>(c.amount) * bytes_per_time_unit;
+          static_cast<double>(c.amount) * pair_unit(c.sender, c.receiver);
       const double send = std::min(want, it->second);
       REDIST_CHECK(send > 0);
       it->second -= send;
@@ -77,6 +81,45 @@ ExecutionResult execute_schedule(const Platform& p,
   result.total_seconds =
       result.transmission_seconds + result.barrier_seconds;
   return result;
+}
+
+}  // namespace
+
+ExecutionResult execute_schedule(const Platform& p,
+                                 const TrafficMatrix& traffic,
+                                 const Schedule& schedule,
+                                 double bytes_per_time_unit,
+                                 const FluidOptions& options) {
+  REDIST_CHECK(bytes_per_time_unit > 0);
+  return execute_schedule_impl(
+      p, traffic, schedule,
+      [bytes_per_time_unit](NodeId, NodeId) { return bytes_per_time_unit; },
+      options);
+}
+
+ExecutionResult execute_schedule_heterogeneous(
+    const Platform& p, const TrafficMatrix& traffic, const Schedule& schedule,
+    double bytes_per_time_unit, const std::vector<double>& t1_scale,
+    const std::vector<double>& t2_scale, const FluidOptions& options) {
+  REDIST_CHECK(bytes_per_time_unit > 0);
+  REDIST_CHECK(t1_scale.empty() ||
+               t1_scale.size() == static_cast<std::size_t>(p.n1));
+  REDIST_CHECK(t2_scale.empty() ||
+               t2_scale.size() == static_cast<std::size_t>(p.n2));
+  if (t1_scale.empty() && t2_scale.empty()) {
+    return execute_schedule(p, traffic, schedule, bytes_per_time_unit,
+                            options);
+  }
+  const auto scale_at = [](const std::vector<double>& scale, NodeId v) {
+    return scale.empty() ? 1.0 : scale[static_cast<std::size_t>(v)];
+  };
+  return execute_schedule_impl(
+      p, traffic, schedule,
+      [&](NodeId i, NodeId j) {
+        return bytes_per_time_unit *
+               std::min(scale_at(t1_scale, i), scale_at(t2_scale, j));
+      },
+      options);
 }
 
 }  // namespace redist

@@ -44,4 +44,15 @@ ExecutionResult execute_schedule(const Platform& p,
                                  double bytes_per_time_unit,
                                  const FluidOptions& options = {});
 
+/// Heterogeneous variant (scenario matrix, workload/scenario.hpp): demand
+/// weights were built as ceil(bytes / (bytes_per_time_unit * pair_speed))
+/// with pair_speed = min(t1_scale[i], t2_scale[j]), so one scheduled time
+/// unit of pair (i, j) is worth bytes_per_time_unit * pair_speed bytes.
+/// This overload undoes that per pair; empty scale vectors mean 1.0
+/// everywhere (then it is exactly the homogeneous overload).
+ExecutionResult execute_schedule_heterogeneous(
+    const Platform& p, const TrafficMatrix& traffic, const Schedule& schedule,
+    double bytes_per_time_unit, const std::vector<double>& t1_scale,
+    const std::vector<double>& t2_scale, const FluidOptions& options = {});
+
 }  // namespace redist

@@ -55,6 +55,42 @@ struct Platform {
   double comm_speed_bps() const { return std::min(t1_bps, t2_bps); }
 };
 
+/// Materializes a (possibly heterogeneous) two-cluster platform from base
+/// card throughputs plus per-node *relative* speeds (1.0 = nominal; empty =
+/// homogeneous) — the bridge from workload/scenario.hpp's ScenarioWorkload
+/// scale vectors to a simulable Platform. The scalar t1/t2 fields keep the
+/// nominal values, so max_k() and comm_speed_bps() answer for the
+/// homogeneous model the solver assumed while the per-node overrides let
+/// the executor simulate the reality the scenario describes.
+inline Platform heterogeneous_platform(NodeId n1, NodeId n2, double t1_bps,
+                                       double t2_bps, double backbone_bps,
+                                       double beta_seconds,
+                                       const std::vector<double>& t1_scale,
+                                       const std::vector<double>& t2_scale) {
+  REDIST_CHECK(n1 >= 1 && n2 >= 1);
+  REDIST_CHECK(t1_bps > 0 && t2_bps > 0 && backbone_bps > 0);
+  REDIST_CHECK(t1_scale.empty() ||
+               t1_scale.size() == static_cast<std::size_t>(n1));
+  REDIST_CHECK(t2_scale.empty() ||
+               t2_scale.size() == static_cast<std::size_t>(n2));
+  Platform p;
+  p.n1 = n1;
+  p.n2 = n2;
+  p.t1_bps = t1_bps;
+  p.t2_bps = t2_bps;
+  p.backbone_bps = backbone_bps;
+  p.beta_seconds = beta_seconds;
+  for (const double s : t1_scale) {
+    REDIST_CHECK(s > 0);
+    p.t1_per_node.push_back(t1_bps * s);
+  }
+  for (const double s : t2_scale) {
+    REDIST_CHECK(s > 0);
+    p.t2_per_node.push_back(t2_bps * s);
+  }
+  return p;
+}
+
 /// The paper's testbed (Section 5.2): two 10-node clusters, 100 Mbit cards
 /// shaped to 100/k Mbit/s, two 100 Mbit switches (backbone ~100 Mbit/s).
 /// Throughputs converted at 1 Mbit/s = 125000 bytes/s.

@@ -54,6 +54,7 @@
 #include "workload/block_cyclic.hpp"
 #include "workload/patterns.hpp"
 #include "workload/random_graphs.hpp"
+#include "workload/scenario.hpp"
 #include "workload/uniform_traffic.hpp"
 
 #include "netsim/executor.hpp"
@@ -68,6 +69,10 @@
 #include "aggregation/aggregate.hpp"
 #include "dynamic/adaptive.hpp"
 #include "dynamic/online.hpp"
+
+#include "robust/fault_injector.hpp"
+#include "robust/retry.hpp"
+#include "robust/storm.hpp"
 
 #include "mpilite/alltoallv.hpp"
 #include "mpilite/comm.hpp"

@@ -1,0 +1,68 @@
+#include "robust/storm.hpp"
+
+#include "common/error.hpp"
+
+namespace redist::robust {
+
+std::vector<FaultRule> storm_rules(const StormProfile& profile) {
+  if (!(profile.intensity >= 0.0 && profile.intensity <= 1.0)) {
+    throw Error("storm: intensity must be in [0, 1]");
+  }
+  std::vector<FaultRule> rules;
+  if (!(profile.intensity > 0.0)) return rules;
+
+  // Wiring phase: a bounded burst of refused connects. Capped by count, not
+  // by horizon, so the storm can never exhaust a mesh's connect budget.
+  if (profile.connect_refusals > 0) {
+    FaultRule refuse;
+    refuse.kind = FaultKind::kConnectRefuse;
+    refuse.site = FaultSite::kConnect;
+    refuse.begin = 0;
+    refuse.count = profile.connect_refusals;
+    refuse.probability = profile.intensity;
+    rules.push_back(refuse);
+  }
+
+  // Data phase: sender-side resets and receiver-side stalls, each hitting
+  // an eligible operation with probability `intensity`, at most once per
+  // storm per class — one mid-flight cut plus one tripped deadline already
+  // force a full residual re-solve each.
+  FaultRule reset;
+  reset.kind = FaultKind::kReset;
+  reset.site = FaultSite::kSend;
+  reset.begin = profile.data_phase_begin;
+  reset.count = 1;
+  reset.probability = profile.intensity;
+  reset.at_bytes = profile.reset_after_bytes;
+  rules.push_back(reset);
+
+  FaultRule stall;
+  stall.kind = FaultKind::kStall;
+  stall.site = FaultSite::kRecv;
+  stall.begin = profile.data_phase_begin;
+  stall.count = 1;
+  stall.probability = profile.intensity;
+  stall.stall_ms = profile.stall_ms;
+  rules.push_back(stall);
+
+  // Whole horizon: short writes keep every send loop honest without ever
+  // failing a run on their own.
+  FaultRule short_write;
+  short_write.kind = FaultKind::kShortWrite;
+  short_write.site = FaultSite::kSend;
+  short_write.begin = 0;
+  short_write.count = profile.horizon;
+  short_write.probability = profile.intensity;
+  short_write.chunk_cap = profile.short_write_cap;
+  rules.push_back(short_write);
+
+  return rules;
+}
+
+void arm_storm(FaultInjector& injector, const StormProfile& profile) {
+  for (const FaultRule& rule : storm_rules(profile)) {
+    injector.add_rule(rule);
+  }
+}
+
+}  // namespace redist::robust

@@ -1,0 +1,48 @@
+// Fault storms — deterministic multi-fault pressure profiles for the
+// scenario matrix.
+//
+// A single FaultRule injects one fault class at one site; the adversarial
+// sweep scenarios (workload/scenario.hpp, kind fault_storm) want sustained,
+// mixed-class pressure: refusals while the mesh wires up, resets and stalls
+// in the data phase, short writes throughout. A StormProfile is the
+// declarative knob — one intensity scalar plus the per-class parameters —
+// and storm_rules() expands it into the concrete rule list, so a scenario
+// spec's single `storm_intensity` field reproduces the same storm on every
+// platform (the injector's per-op decisions are already seeded).
+#pragma once
+
+#include <vector>
+
+#include "common/contract_annotations.hpp"
+#include "robust/fault_injector.hpp"
+
+REDIST_LAYER("robust");
+
+namespace redist::robust {
+
+/// One declarative fault storm. `intensity` in [0, 1] is the per-operation
+/// fault probability shared by every class; 0 expands to no rules at all.
+struct StormProfile {
+  double intensity = 0.25;
+  /// First data-phase operation index (per site). Rules for resets and
+  /// stalls start here so the storm hits transfers, not the wiring
+  /// handshakes (connect refusals cover the wiring phase separately).
+  std::uint64_t data_phase_begin = 60;
+  /// Eligible operations per rule once it opens (the storm's horizon).
+  std::uint64_t horizon = 256;
+  std::uint64_t connect_refusals = 2;  ///< hard cap on refused connects
+  Bytes reset_after_bytes = 2'000;     ///< kReset: bytes before the cut
+  double stall_ms = 1'500;             ///< kStall: must outlast idle deadline
+  Bytes short_write_cap = 512;         ///< kShortWrite: syscall byte cap
+};
+
+/// Expands `profile` into the concrete rule list: bounded connect refusals
+/// during wiring, probabilistic resets (send side) and stalls (recv side)
+/// in the data phase, and short writes across the whole horizon. Empty when
+/// intensity == 0.
+std::vector<FaultRule> storm_rules(const StormProfile& profile);
+
+/// Convenience: add_rule()s the expanded storm onto `injector`.
+void arm_storm(FaultInjector& injector, const StormProfile& profile);
+
+}  // namespace redist::robust

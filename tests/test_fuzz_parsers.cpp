@@ -8,6 +8,7 @@
 #include "kpbs/schedule_io.hpp"
 #include "kpbs/solver.hpp"
 #include "workload/random_graphs.hpp"
+#include "workload/scenario.hpp"
 
 namespace redist {
 namespace {
@@ -167,6 +168,63 @@ TEST(ParserFuzz, MalformedSchedulesThrowError) {
   };
   for (const char* text : cases) {
     EXPECT_THROW(schedule_from_string(text), Error) << "input: " << text;
+  }
+}
+
+// Scenario-spec parser (workload/scenario.hpp): the sweep harness and the
+// committed regression baselines key on these files, so a corrupted spec
+// must never silently materialize a different instance.
+TEST_P(ParserFuzz, ScenarioParserNeverCrashes) {
+  Rng rng(GetParam() ^ 0x5CE0);
+  const std::vector<ScenarioSpec> specs = builtin_scenarios(0.25);
+  for (int trial = 0; trial < 200; ++trial) {
+    const ScenarioSpec& spec =
+        specs[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(specs.size()) - 1))];
+    const std::string mutated = mutate(rng, scenario_to_string(spec));
+    try {
+      const ScenarioSpec parsed = scenario_from_string(mutated);
+      parsed.validate();  // if it parsed, every field is in-domain
+    } catch (const Error&) {
+      // rejected: fine
+    }
+  }
+}
+
+TEST_P(ParserFuzz, ScenarioRoundTripIsIdentity) {
+  Rng rng(GetParam() ^ 0x5CE1);
+  for (ScenarioSpec spec : builtin_scenarios(0.5)) {
+    spec.seed = rng.next();  // any seed must survive the trip
+    const std::string text = scenario_to_string(spec);
+    const ScenarioSpec parsed = scenario_from_string(text);
+    ASSERT_EQ(scenario_to_string(parsed), text);  // serialize∘parse fixpoint
+    ASSERT_EQ(parsed.name, spec.name);
+    ASSERT_EQ(parsed.kind, spec.kind);
+    ASSERT_EQ(parsed.seed, spec.seed);
+  }
+}
+
+TEST(ParserFuzz, MalformedScenariosThrowError) {
+  const char* cases[] = {
+      "",                                     // empty
+      "scenario",                             // header missing name
+      "kind uniform",                         // missing header line
+      "scenario x\nkind bogus",               // unknown kind
+      "scenario x\nkind uniform extra",       // trailing token
+      "scenario x\nseed 1\nseed 2",           // duplicate key
+      "scenario x\nnodes 4",                  // truncated pair
+      "scenario x\nnodes 0 4",                // out-of-domain size
+      "scenario x\nnodes four 4",             // non-numeric
+      "scenario x\nbytes 10 5 1",             // min > max
+      "scenario x\nsolver 0 1",               // k < 1
+      "scenario x\nhot_share 1.0",            // boundary excluded
+      "scenario x\nhet_spread 0.25",          // spread < 1
+      "scenario x\nstorm 2.0",                // intensity > 1
+      "scenario x\nflavor vanilla",           // unknown key
+      "scenario Bad Name\nkind uniform",      // invalid name charset
+  };
+  for (const char* text : cases) {
+    EXPECT_THROW(scenario_from_string(text), Error) << "input: " << text;
   }
 }
 

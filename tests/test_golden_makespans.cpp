@@ -1,6 +1,7 @@
-// Golden-makespan regression corpus: ten committed instance files
-// (tests/data/golden_*.graph, produced by `redist_cli generate` with the
-// recorded seeds) whose exact GGP/OGGP step counts and costs were captured
+// Golden-makespan regression corpus: committed instance files
+// (tests/data/golden_*.graph — golden_01..10 produced by `redist_cli
+// generate` with the recorded seeds, golden_11..13 materialized from the
+// builtin scenario matrix) whose exact GGP/OGGP step counts and costs were captured
 // from the reference solver. Any change to normalization, regularization,
 // peeling order, matching tie-breaking, or extraction that alters a single
 // schedule shows up here as an exact-value diff — for the cold engine and,
@@ -44,6 +45,14 @@ constexpr GoldenCase kGolden[] = {
     {"golden_08.graph", 3, 10, 16, 1358, 12, 1318},
     {"golden_09.graph", 5, 1, 11, 44, 9, 42},
     {"golden_10.graph", 2, 100, 5, 3456, 4, 3356},
+    // Adversarial scenario-matrix instances (workload/scenario.hpp): the
+    // demand graphs of the builtin heterogeneous (scale 0.5), hotspot
+    // (scale 0.5) and sparse_giant (scale 0.05) scenarios. Heterogeneity is
+    // already folded into the weights; hotspot is near-degenerate (one
+    // receiver serializes ~80% of the traffic, so GGP == OGGP here).
+    {"golden_11.graph", 4, 1, 56, 311, 30, 285},
+    {"golden_12.graph", 4, 1, 61, 189, 61, 189},
+    {"golden_13.graph", 16, 1, 116, 233, 50, 167},
 };
 
 BipartiteGraph load_golden(const std::string& file) {

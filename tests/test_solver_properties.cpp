@@ -11,6 +11,7 @@
 #include "kpbs/regularize.hpp"
 #include "kpbs/solver.hpp"
 #include "workload/random_graphs.hpp"
+#include "workload/scenario.hpp"
 
 namespace redist {
 namespace {
@@ -150,6 +151,53 @@ TEST(SolverProperties, StepCountWithinPeelingBound) {
     }
   }
 }
+
+// The paper's bounds hold per instance, not per distribution — so every
+// adversarial family in the scenario matrix must satisfy them too, on both
+// matching engines. Sizes are scaled down hard; the full-size instances run
+// in tools/redist_sweep.
+class ScenarioFamilyProperties
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ScenarioFamilyProperties, TwoApproximationHoldsAcrossTheFamily) {
+  ScenarioSpec spec;
+  for (const ScenarioSpec& builtin : builtin_scenarios(0.05)) {
+    if (builtin.name == GetParam()) spec = builtin;
+  }
+  ASSERT_EQ(spec.name, GetParam());
+  for (int trial = 0; trial < 4; ++trial) {
+    spec.seed = 0xFA2 + static_cast<std::uint64_t>(trial) * 6151;
+    const ScenarioWorkload w = materialize_scenario(spec);
+    if (w.demand.alive_edge_count() == 0) continue;
+    const LowerBound lb = kpbs_lower_bound(w.demand, spec.k, spec.beta);
+    for (const Algorithm algo : {Algorithm::kGGP, Algorithm::kOGGP}) {
+      for (const MatchingEngine engine :
+           {MatchingEngine::kCold, MatchingEngine::kWarm}) {
+        const Schedule s =
+            solve_kpbs(w.demand, {spec.k, spec.beta, algo, engine}).schedule;
+        ASSERT_NO_THROW(
+            validate_schedule(w.demand, s, clamp_k(w.demand, spec.k)))
+            << spec.name << "/" << algorithm_name(algo) << "/"
+            << engine_name(engine) << " trial=" << trial;
+        const Rational cost(s.cost(spec.beta));
+        ASSERT_LE(cost, Rational(2) * lb.value())
+            << spec.name << "/" << algorithm_name(algo)
+            << " cost=" << s.cost(spec.beta) << " trial=" << trial;
+        ASSERT_GE(cost, lb.value()) << spec.name << " trial=" << trial;
+        ASSERT_LE(s.max_step_width(),
+                  static_cast<std::size_t>(clamp_k(w.demand, spec.k)))
+            << spec.name << " trial=" << trial;
+        ASSERT_EQ(s.total_amount(), w.demand.total_weight())
+            << spec.name << " trial=" << trial;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, ScenarioFamilyProperties,
+                         ::testing::Values("uniform", "heterogeneous",
+                                           "asymmetric", "hotspot",
+                                           "sparse_giant", "fault_storm"));
 
 TEST(SolverProperties, DeterministicForFixedInput) {
   Rng rng(444);
