@@ -5,10 +5,15 @@
 //   warm_start [--n=64] [--edges=2048] [--max-weight=1000] [--instances=6]
 //              [--k=8] [--beta=1] [--repeat=3] [--threads=0]
 //              [--out=BENCH_warm_start.json] [--check-min-speedup=0]
+//              [--check-max-journal-overhead=0]
 //
 // Every warm schedule is verified step-for-step against its cold twin
 // before any timing is reported. --check-min-speedup=X exits nonzero when
 // the warm OGGP speedup falls below X (the CI bench-smoke gate).
+// The bench also re-times the warm OGGP pass with the flight recorder
+// (obs/journal.hpp) installed and reports the fractional overhead;
+// --check-max-journal-overhead=F exits nonzero when it exceeds F (the
+// ISSUE budget is < 1%; the CI gate allows slack for timer noise).
 #include <algorithm>
 #include <fstream>
 #include <iostream>
@@ -158,6 +163,8 @@ int main(int argc, char** argv) {
     const std::string out =
         flags.get_string("out", "BENCH_warm_start.json");
     const double min_speedup = flags.get_double("check-min-speedup", 0);
+    const double max_journal_overhead =
+        flags.get_double("check-max-journal-overhead", 0);
     flags.check_unused();
 
     std::vector<BipartiteGraph> pool;
@@ -202,6 +209,23 @@ int main(int argc, char** argv) {
           collect_phase_counters(pool, k, beta, algo, MatchingEngine::kCold),
           collect_phase_counters(pool, k, beta, algo, MatchingEngine::kWarm));
     }
+
+    // Journal overhead: re-time the warm OGGP pass with the flight
+    // recorder installed and compare against the uninstrumented timing
+    // from the same best-of-repeat discipline. The events land in a
+    // real-size ring so the measurement includes wraparound costs.
+    const double baseline_ms = results.back().warm_ms;
+    obs::Journal journal(8192);
+    double journal_ms = 0;
+    std::uint64_t journal_events = 0;
+    {
+      const obs::ScopedJournal scoped_journal(&journal);
+      journal_ms = time_engine(pool, k, beta, Algorithm::kOGGP,
+                               MatchingEngine::kWarm, repeat);
+      journal_events = journal.total_recorded();
+    }
+    const double journal_overhead =
+        baseline_ms > 0 ? journal_ms / baseline_ms - 1.0 : 0.0;
 
     // Batch throughput: same OGGP instances, 1 worker vs a pool.
     std::vector<KpbsRequest> requests;
@@ -261,6 +285,11 @@ int main(int argc, char** argv) {
                                batch_pool_ms
                          : 0,
                      1)
+       << "},\n"
+       << "  \"journal\": {\"events\": " << journal_events
+       << ", \"baseline_ms\": " << Table::fmt(baseline_ms, 3)
+       << ", \"journaled_ms\": " << Table::fmt(journal_ms, 3)
+       << ", \"overhead_frac\": " << Table::fmt(journal_overhead, 4)
        << "}\n"
        << "}\n";
     os.close();
@@ -284,6 +313,10 @@ int main(int argc, char** argv) {
                             3)
               << ", seed hits " << oggp_warm.seed_hits << "/"
               << (oggp_warm.seed_hits + oggp_warm.seed_misses) << '\n';
+    std::cout << "journal: " << journal_events << " events, warm OGGP "
+              << Table::fmt(baseline_ms, 2) << " -> "
+              << Table::fmt(journal_ms, 2) << " ms (overhead "
+              << Table::fmt(journal_overhead * 100.0, 2) << "%)\n";
     std::cout << "batch: sequential " << Table::fmt(batch_seq_ms, 2)
               << " ms, pooled " << Table::fmt(batch_pool_ms, 2)
               << " ms\nwrote " << out << '\n';
@@ -295,6 +328,12 @@ int main(int argc, char** argv) {
                   << " below required " << min_speedup << '\n';
         return 1;
       }
+    }
+    if (max_journal_overhead > 0 &&
+        journal_overhead > max_journal_overhead) {
+      std::cerr << "FAIL: journal overhead " << journal_overhead
+                << " above allowed " << max_journal_overhead << '\n';
+      return 1;
     }
     return 0;
   } catch (const std::exception& e) {

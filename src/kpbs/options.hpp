@@ -8,6 +8,7 @@
 // its reintroduction).
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "common/contract_annotations.hpp"
@@ -47,6 +48,12 @@ struct SolverOptions {
   Weight beta = 1;     ///< per-step setup cost, same units as edge weights
   Algorithm algorithm = Algorithm::kOGGP;
   MatchingEngine engine = MatchingEngine::kWarm;
+  /// Flight-recorder identity (obs/journal.hpp): 0 (the default) makes
+  /// solve_kpbs allocate a fresh process-unique ID; callers that own a
+  /// larger causal unit (batch requests, robust socket runs re-solving
+  /// residual traffic) pass their own so journal events across layers
+  /// join on one ID. Never feeds back into scheduling.
+  std::uint64_t solve_id = 0;
 };
 
 /// A solved instance plus the quality/latency facts every caller was
@@ -56,6 +63,7 @@ struct SolveResult {
   LowerBound lower_bound;         ///< kpbs_lower_bound(demand, k, beta)
   double evaluation_ratio = 1.0;  ///< cost / lower bound (>= 1)
   double solve_ms = 0.0;          ///< wall clock, Stopwatch timebase
+  std::uint64_t solve_id = 0;     ///< the journal ID this solve ran under
 };
 
 /// Parsers shared by the CLI, benchmarks and tests (the one place the

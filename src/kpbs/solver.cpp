@@ -8,6 +8,7 @@
 #include "kpbs/regularize.hpp"
 #include "kpbs/wrgp.hpp"
 #include "matching/hungarian.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
@@ -139,6 +140,16 @@ Schedule solve_schedule(const BipartiteGraph& demand, int k, Weight beta,
 SolveResult solve_kpbs(const BipartiteGraph& demand,
                        const SolverOptions& options) {
   SolveResult result;
+  // Flight-recorder identity: reuse the caller's ID (batch request, robust
+  // run) or allocate a fresh one, and pin it for every seam below — peel
+  // steps, ledger probes and pool events all join on it.
+  result.solve_id = options.solve_id != 0 ? options.solve_id
+                                          : obs::allocate_solve_id();
+  const obs::SolveIdScope solve_scope(result.solve_id);
+  obs::journal_record(
+      obs::JournalEventKind::kSolveBegin,
+      static_cast<std::int64_t>(demand.left_count() + demand.right_count()),
+      static_cast<std::int64_t>(demand.alive_edge_count()));
   const Stopwatch timer;
   result.schedule = solve_schedule(demand, options.k, options.beta,
                                    options.algorithm, options.engine);
@@ -153,6 +164,11 @@ SolveResult solve_kpbs(const BipartiteGraph& demand,
       zero_bound
           ? 1.0
           : static_cast<double>(result.schedule.cost(options.beta)) / bound;
+  obs::journal_record(
+      obs::JournalEventKind::kSolveEnd,
+      static_cast<std::int64_t>(result.schedule.step_count()),
+      static_cast<std::int64_t>(result.schedule.cost(options.beta)),
+      result.evaluation_ratio);
   return result;
 }
 

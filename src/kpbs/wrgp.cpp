@@ -3,6 +3,7 @@
 #include "matching/bottleneck.hpp"
 #include "matching/hopcroft_karp.hpp"
 #include "matching/peeling_context.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
@@ -64,6 +65,10 @@ std::vector<PeelStep> wrgp_peel(BipartiteGraph& g,
     if (amount_hist != nullptr) {
       amount_hist->record(static_cast<double>(w));
     }
+    obs::journal_record(obs::JournalEventKind::kPeelStep,
+                        static_cast<std::int64_t>(iterations - 1),
+                        static_cast<std::int64_t>(m.edges.size()),
+                        static_cast<double>(w));
     if (step_span) {
       step_span.arg("step", iterations - 1);
       step_span.arg("amount", w);

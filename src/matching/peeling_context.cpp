@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "matching/bottleneck.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
@@ -145,12 +146,15 @@ void PeelingContext::ensure_ledger(const BipartiteGraph& g) {
     // Ledger carried over from the previous step: the O(m log m) rebuild
     // below was avoided — the whole point of the warm engine.
     if (metrics != nullptr) metrics->counter("warm.ledger.hits").add();
+    obs::journal_record(obs::JournalEventKind::kLedgerHit);
     return;
   }
   if (metrics != nullptr) {
     metrics->counter("warm.ledger.hits");  // materialize the pair in exports
     metrics->counter("warm.ledger.misses").add();
   }
+  obs::journal_record(obs::JournalEventKind::kLedgerMiss,
+                      static_cast<std::int64_t>(g.edge_count()));
   weight_count_.clear();
   for (EdgeId e = 0; e < g.edge_count(); ++e) {
     if (g.alive(e)) ++weight_count_[g.edge(e).weight];

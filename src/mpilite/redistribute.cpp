@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cmath>
 #include <exception>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <thread>
@@ -12,6 +13,8 @@
 #include "common/error.hpp"
 #include "common/stopwatch.hpp"
 #include "kpbs/solver.hpp"
+#include "obs/journal.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
@@ -306,10 +309,14 @@ void run_robust_receiver(Communicator& comm, NodeId receiver_index,
     }
   }
   drain_errors.resize(drain_senders.size());
+  // Drain threads inherit the robust run's solve ID so their journal
+  // events (socket faults, retries) join the run in forensic dumps.
+  const std::uint64_t run_id = obs::SolveIdScope::current();
   for (std::size_t d = 0; d < drain_senders.size(); ++d) {
     const NodeId i = drain_senders[d];
     const std::vector<Bytes>& pieces = plan.at({i, receiver_index});
-    drains.emplace_back([&, d, i, pieces]() {
+    drains.emplace_back([&, d, i, pieces, run_id]() {
+      const obs::SolveIdScope drain_scope(run_id);
       try {
         Bytes offset = base.at({i, receiver_index});
         Bytes& slot = ledger.at({i, receiver_index});
@@ -379,8 +386,12 @@ AttemptOutcome run_attempt(const SocketClusterConfig& config,
   std::vector<int> sender_group;
   for (NodeId i = 0; i < n1; ++i) sender_group.push_back(static_cast<int>(i));
 
+  // Rank threads inherit the caller's solve ID (the robust run's ID); the
+  // thread_local scope does not cross thread spawns by itself.
+  const std::uint64_t run_id = obs::SolveIdScope::current();
   const std::vector<std::exception_ptr> errors =
-      run_ranks_collect(mesh, [&](Communicator& comm) {
+      run_ranks_collect(mesh, [&, run_id](Communicator& comm) {
+        const obs::SolveIdScope rank_scope(run_id);
         const int r = comm.rank();
         comm.barrier();  // synchronized start
         if (r < static_cast<int>(n1)) {
@@ -446,6 +457,15 @@ SocketRunResult socket_scheduled(const SocketClusterConfig& config,
   obs::TraceSpan run_span(obs::trace(), "socket.robust");
   if (metrics != nullptr) metrics->counter("robust.run.count").add();
 
+  // One flight-recorder ID for the whole run: the initial attempt, every
+  // retry/fault on its links, and every residual re-solve journal under it
+  // (the resolve options are stamped below), so a dump reconstructs the
+  // run end to end.
+  const std::uint64_t run_id = robustness.resolve.solve_id != 0
+                                   ? robustness.resolve.solve_id
+                                   : obs::allocate_solve_id();
+  const obs::SolveIdScope run_scope(run_id);
+
   MeshOptions mesh_options;
   mesh_options.io_timeout_ms = robustness.io_timeout_ms;
   mesh_options.connect_retry = robustness.connect_retry;
@@ -462,6 +482,7 @@ SocketRunResult socket_scheduled(const SocketClusterConfig& config,
 
   std::atomic<bool> checksum_ok{true};
   SocketRunResult result;
+  result.run_id = run_id;
   const Stopwatch watch;
   Rng backoff_rng(robustness.attempt_backoff.seed);
 
@@ -476,6 +497,7 @@ SocketRunResult socket_scheduled(const SocketClusterConfig& config,
     {
       obs::TraceSpan attempt_span(obs::trace(), "socket.robust.attempt");
       if (attempt_span) attempt_span.arg("attempt", attempt);
+      obs::journal_record(obs::JournalEventKind::kAttemptBegin, attempt);
       try {
         outcome = run_attempt(config, residual, current, bytes_per_time_unit,
                               mesh_options, ledger, checksum_ok);
@@ -485,6 +507,9 @@ SocketRunResult socket_scheduled(const SocketClusterConfig& config,
         outcome.failed = true;
       }
       if (attempt_span) attempt_span.arg("failed", outcome.failed);
+      obs::journal_record(obs::JournalEventKind::kAttemptEnd, attempt,
+                          outcome.failed ? 1 : 0,
+                          static_cast<double>(ledger_total(ledger)));
     }
     result.steps += outcome.steps;
     result.link_retries += outcome.connect_retries;
@@ -508,10 +533,38 @@ SocketRunResult socket_scheduled(const SocketClusterConfig& config,
                                               static_cast<double>(rest) /
                                               bytes_per_time_unit))));
     }
-    recovery = solve_kpbs(demand, robustness.resolve).schedule;
+    SolverOptions resolve_options = robustness.resolve;
+    resolve_options.solve_id = run_id;
+    recovery = solve_kpbs(demand, resolve_options).schedule;
     current = &recovery;
     ++result.reschedules;
     if (metrics != nullptr) metrics->counter("robust.run.reschedules").add();
+    obs::journal_record(obs::JournalEventKind::kRecoverySpliced, attempt,
+                        static_cast<std::int64_t>(demand.edge_count()));
+    obs::log_event(obs::LogLevel::kWarn, "robust.socket", "recovery spliced",
+                   {obs::log_field("attempt", attempt),
+                    obs::log_field("residual_pairs",
+                                   static_cast<std::int64_t>(
+                                       demand.edge_count())),
+                    obs::log_field("delivered",
+                                   static_cast<std::int64_t>(
+                                       ledger_total(ledger)))});
+
+    // Forensic artifact: after a splice, persist the flight recorder so
+    // the fault storm that forced this recovery can be reconstructed even
+    // if the process never reaches a clean exit.
+    if (!robustness.journal_dir.empty()) {
+      obs::Journal* const journal = obs::journal();
+      if (journal != nullptr) {
+        const std::string path = robustness.journal_dir + "/recovery_" +
+                                 std::to_string(run_id) + ".jsonl";
+        std::ofstream dump(path);
+        if (dump) {
+          obs::write_journal_jsonl(dump, *journal);
+          result.journal_dump_path = path;
+        }
+      }
+    }
   }
 
   result.seconds = watch.elapsed_seconds();

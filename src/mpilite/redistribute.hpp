@@ -59,6 +59,12 @@ struct RobustnessOptions {
   /// Solver used to re-solve the residual matrix between attempts; set k
   /// (and beta) to match the original solve.
   SolverOptions resolve;
+  /// When non-empty and a journal is installed (obs/journal.hpp), every
+  /// spliced recovery dumps the flight recorder to
+  /// `<journal_dir>/recovery_<run_id>.jsonl` — a forensic artifact joining
+  /// solver, pool and socket events by the run's solve ID; the path lands
+  /// in SocketRunResult::journal_dump_path.
+  std::string journal_dir;
 };
 
 struct SocketRunResult {
@@ -69,6 +75,8 @@ struct SocketRunResult {
   int attempts = 1;        ///< redistribution attempts run (robust path)
   int reschedules = 0;     ///< residual re-solves spliced in
   std::uint64_t link_retries = 0;  ///< connect retries across all meshes
+  std::uint64_t run_id = 0;  ///< flight-recorder solve ID of this run
+  std::string journal_dump_path;  ///< recovery dump, "" when none written
 };
 
 /// All flows at once over the socket mesh.

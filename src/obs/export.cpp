@@ -40,6 +40,9 @@ void write_histogram_json(std::ostream& os, const HistogramSnapshot& h,
   stat("min", empty ? 0.0 : h.summary.min(), ",\n");
   stat("max", empty ? 0.0 : h.summary.max(), ",\n");
   stat("stddev", h.summary.stddev(), ",\n");
+  stat("p50", empty ? 0.0 : h.p50(), ",\n");
+  stat("p95", empty ? 0.0 : h.p95(), ",\n");
+  stat("p99", empty ? 0.0 : h.p99(), ",\n");
   os << indent << "  \"buckets\": [";
   for (std::size_t b = 0; b < h.counts.size(); ++b) {
     if (b > 0) os << ", ";
@@ -114,12 +117,12 @@ void write_metrics_json(std::ostream& os, const MetricsRegistry& registry) {
 
 void write_metrics_csv(std::ostream& os, const MetricsRegistry& registry) {
   const MetricsSnapshot snap = registry.snapshot();
-  os << "name,kind,count,value,mean,min,max\n";
+  os << "name,kind,count,value,mean,min,max,p50,p95,p99\n";
   for (const auto& [name, value] : snap.counters) {
-    os << name << ",counter,," << value << ",,,\n";
+    os << name << ",counter,," << value << ",,,,,,\n";
   }
   for (const auto& [name, gauge] : snap.gauges) {
-    os << name << ",gauge,," << gauge.value << ",,," << "\n";
+    os << name << ",gauge,," << gauge.value << ",,,,,," << "\n";
   }
   for (const auto& [name, hist] : snap.histograms) {
     os << name << ",histogram," << hist.summary.count() << ","
@@ -127,11 +130,61 @@ void write_metrics_csv(std::ostream& os, const MetricsRegistry& registry) {
     if (hist.summary.count() > 0) {
       os << "," << json_number(hist.summary.mean()) << ","
          << json_number(hist.summary.min()) << ","
-         << json_number(hist.summary.max());
+         << json_number(hist.summary.max()) << ","
+         << json_number(hist.p50()) << "," << json_number(hist.p95()) << ","
+         << json_number(hist.p99());
     } else {
-      os << ",,,";
+      os << ",,,,,,";
     }
     os << "\n";
+  }
+}
+
+void write_metrics_prometheus(std::ostream& os,
+                              const MetricsRegistry& registry) {
+  const MetricsSnapshot snap = registry.snapshot();
+  const auto prom_name = [](const std::string& name) {
+    std::string out = "redist_";
+    for (const char c : name) {
+      const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_';
+      out.push_back(keep ? c : '_');
+    }
+    return out;
+  };
+  for (const auto& [name, value] : snap.counters) {
+    const std::string p = prom_name(name);
+    os << "# TYPE " << p << " counter\n" << p << " " << value << "\n";
+  }
+  for (const auto& [name, gauge] : snap.gauges) {
+    const std::string p = prom_name(name);
+    os << "# TYPE " << p << " gauge\n" << p << " " << gauge.value << "\n";
+    os << "# TYPE " << p << "_max gauge\n"
+       << p << "_max " << gauge.max << "\n";
+  }
+  for (const auto& [name, hist] : snap.histograms) {
+    const std::string p = prom_name(name);
+    os << "# TYPE " << p << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < hist.counts.size(); ++b) {
+      cumulative += hist.counts[b];
+      os << p << "_bucket{le=\""
+         << (b < hist.bounds.size() ? json_number(hist.bounds[b])
+                                    : std::string("+Inf"))
+         << "\"} " << cumulative << "\n";
+    }
+    const bool empty = hist.summary.count() == 0;
+    os << p << "_sum " << json_number(empty ? 0.0 : hist.summary.sum())
+       << "\n";
+    os << p << "_count " << hist.summary.count() << "\n";
+    if (!empty) {
+      os << "# TYPE " << p << "_p50 gauge\n"
+         << p << "_p50 " << json_number(hist.p50()) << "\n";
+      os << "# TYPE " << p << "_p95 gauge\n"
+         << p << "_p95 " << json_number(hist.p95()) << "\n";
+      os << "# TYPE " << p << "_p99 gauge\n"
+         << p << "_p99 " << json_number(hist.p99()) << "\n";
+    }
   }
 }
 

@@ -6,8 +6,14 @@
 //    is deterministic for a deterministic span stream.
 //  * write_metrics_json — flat `{"counters": .., "gauges": .., "histograms":
 //    ..}` document under the "redist.metrics.v1" schema tag. Empty
-//    histograms export null mean/min/max (JSON has no NaN).
-//  * write_metrics_csv — one row per instrument for spreadsheet ingestion.
+//    histograms export null mean/min/max/p50/p95/p99 (JSON has no NaN).
+//  * write_metrics_csv — one row per instrument for spreadsheet ingestion
+//    (histogram rows carry interpolated p50/p95/p99 columns).
+//  * write_metrics_prometheus — Prometheus text exposition (the metricsz
+//    endpoint body, obs/introspect.hpp): counters/gauges as-is, histograms
+//    as cumulative `_bucket{le=...}` series plus `_sum`/`_count` and
+//    interpolated `_p50`/`_p95`/`_p99` gauges. Instrument names are
+//    sanitized (dots to underscores) and prefixed `redist_`.
 #pragma once
 
 #include <iosfwd>
@@ -25,5 +31,8 @@ void write_chrome_trace(std::ostream& os, const TraceSession& session);
 void write_metrics_json(std::ostream& os, const MetricsRegistry& registry);
 
 void write_metrics_csv(std::ostream& os, const MetricsRegistry& registry);
+
+void write_metrics_prometheus(std::ostream& os,
+                              const MetricsRegistry& registry);
 
 }  // namespace redist::obs

@@ -1,0 +1,116 @@
+#include "obs/log.hpp"
+
+#include <ostream>
+
+#include "common/stopwatch.hpp"
+#include "obs/journal.hpp"
+#include "obs/trace.hpp"
+
+namespace redist::obs {
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+  }
+  return "info";
+}
+
+LogLevel parse_log_level(std::string_view name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "warn" || name == "warning") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  return LogLevel::kInfo;
+}
+
+LogField log_field(std::string_view key, std::string_view value) {
+  return LogField{std::string(key), json_quote(value)};
+}
+
+LogField log_field(std::string_view key, const char* value) {
+  return log_field(key, std::string_view(value));
+}
+
+LogField log_field(std::string_view key, std::int64_t value) {
+  return LogField{std::string(key), std::to_string(value)};
+}
+
+LogField log_field(std::string_view key, std::uint64_t value) {
+  return LogField{std::string(key), std::to_string(value)};
+}
+
+LogField log_field(std::string_view key, int value) {
+  return log_field(key, static_cast<std::int64_t>(value));
+}
+
+LogField log_field(std::string_view key, double value) {
+  return LogField{std::string(key), json_number(value)};
+}
+
+LogField log_field(std::string_view key, bool value) {
+  return LogField{std::string(key), value ? "true" : "false"};
+}
+
+namespace {
+std::function<std::uint64_t()> default_log_clock(
+    std::function<std::uint64_t()> clock) {
+  if (clock) return clock;
+  const std::uint64_t origin = Stopwatch::now_ns();
+  return [origin] { return Stopwatch::now_ns() - origin; };
+}
+}  // namespace
+
+Logger::Logger(std::ostream* sink, LogLevel min_level,
+               std::function<std::uint64_t()> clock)
+    : sink_(sink),
+      min_level_(min_level),
+      clock_(default_log_clock(std::move(clock))) {}
+
+void Logger::write(LogLevel level, std::string_view component,
+                   std::string_view message,
+                   const std::vector<LogField>& fields) {
+  if (!enabled(level)) return;
+  // Build the line outside the lock; hold it only for the final stream op.
+  const double ts_ms = static_cast<double>(clock_()) / 1e6;
+  const std::uint64_t solve_id = SolveIdScope::current();
+  std::string line;
+  line.reserve(96);
+  line += "{\"ts_ms\":";
+  line += json_number(ts_ms);
+  line += ",\"level\":\"";
+  line += log_level_name(level);
+  line += "\",\"component\":";
+  line += json_quote(component);
+  line += ",\"msg\":";
+  line += json_quote(message);
+  if (solve_id != 0) {
+    line += ",\"solve\":";
+    line += std::to_string(solve_id);
+  }
+  for (const LogField& field : fields) {
+    line += ",";
+    line += json_quote(field.key);
+    line += ":";
+    line += field.json_value;
+  }
+  line += "}\n";
+  {
+    MutexLock lock(mu_);
+    if (sink_ == nullptr) return;
+    (*sink_) << line;
+    sink_->flush();
+  }
+  lines_.fetch_add(1, std::memory_order_relaxed);
+}
+
+namespace detail {
+std::atomic<Logger*> g_logger{nullptr};
+}  // namespace detail
+
+}  // namespace redist::obs

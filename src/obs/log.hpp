@@ -1,0 +1,128 @@
+// Structured logging — leveled JSONL lines with the null-sink discipline.
+//
+// Library code never printf-debugs to stderr: operational notices (socket
+// retries, fault recoveries, introspection requests, CLI progress) go
+// through one process-wide Logger that serializes each record as a single
+// JSON object per line, machine-joinable with the flight recorder
+// (obs/journal.hpp) via the shared solve-ID model and with metrics dumps
+// via component names.
+//
+// Discipline mirrors ScopedTelemetry: a global atomic sink pointer that
+// defaults to nullptr, a ScopedLogger RAII installer, an injectable clock
+// for golden tests, and a single-branch null-safe helper (log_event) at
+// call sites. Logging is observation only — no log statement may feed back
+// into scheduling decisions.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/contract_annotations.hpp"
+#include "common/sync.hpp"
+#include "common/thread_annotations.hpp"
+
+REDIST_LAYER("obs");
+
+namespace redist::obs {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Stable wire name ("debug", "info", "warn", "error").
+const char* log_level_name(LogLevel level);
+
+/// Parses a wire name back to a level; unknown strings map to kInfo.
+LogLevel parse_log_level(std::string_view name);
+
+/// One extra key/value on a log line. `json_value` is emitted verbatim —
+/// build it with the typed log_field helpers, which quote/format safely.
+struct LogField {
+  std::string key;
+  std::string json_value;
+};
+
+LogField log_field(std::string_view key, std::string_view value);
+LogField log_field(std::string_view key, const char* value);
+LogField log_field(std::string_view key, std::int64_t value);
+LogField log_field(std::string_view key, std::uint64_t value);
+LogField log_field(std::string_view key, int value);
+LogField log_field(std::string_view key, double value);
+LogField log_field(std::string_view key, bool value);
+
+/// Thread-safe leveled JSONL writer. Lines look like:
+///   {"ts_ms":1.234,"level":"info","component":"robust.socket",
+///    "msg":"recovery spliced","solve":7,"attempt":2}
+/// The sink stream is borrowed, not owned; one mutex serializes writes so
+/// concurrent lines never interleave.
+class Logger {
+ public:
+  /// `clock` returns nanoseconds and is injectable for golden tests; the
+  /// default counts from construction on Stopwatch::now_ns().
+  explicit Logger(std::ostream* sink, LogLevel min_level = LogLevel::kInfo,
+                  std::function<std::uint64_t()> clock = {});
+
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+
+  /// Cheap pre-check so call sites skip field building below the level.
+  bool enabled(LogLevel level) const { return level >= min_level_; }
+
+  /// Writes one line; the calling thread's SolveIdScope (if any) is added
+  /// automatically as "solve". No-op when below min_level or sink is null.
+  void write(LogLevel level, std::string_view component,
+             std::string_view message, const std::vector<LogField>& fields = {});
+
+  /// Lines actually written (test/diagnostic hook).
+  std::uint64_t lines() const { return lines_.load(std::memory_order_relaxed); }
+
+ private:
+  std::ostream* sink_ REDIST_GUARDED_BY(mu_);
+  const LogLevel min_level_;  // immutable after construction
+  const std::function<std::uint64_t()> clock_;
+  std::atomic<std::uint64_t> lines_{0};
+  mutable Mutex mu_;
+};
+
+namespace detail {
+extern std::atomic<Logger*> g_logger;
+}  // namespace detail
+
+/// Currently installed logger, or nullptr (logging off).
+inline Logger* logger() noexcept {
+  return detail::g_logger.load(std::memory_order_acquire);
+}
+
+/// Installs a logger on construction, restores the previous on destruction.
+class ScopedLogger {
+ public:
+  explicit ScopedLogger(Logger* logger)
+      : previous_(
+            detail::g_logger.exchange(logger, std::memory_order_acq_rel)) {}
+  ~ScopedLogger() {
+    detail::g_logger.store(previous_, std::memory_order_release);
+  }
+
+  ScopedLogger(const ScopedLogger&) = delete;
+  ScopedLogger& operator=(const ScopedLogger&) = delete;
+
+ private:
+  Logger* previous_;
+};
+
+/// Null-safe logging helper: one acquire load, one level branch, no work
+/// when no logger is installed (the telemetry-guard discipline).
+inline void log_event(LogLevel level, std::string_view component,
+                      std::string_view message,
+                      const std::vector<LogField>& fields = {}) {
+  Logger* const sink = logger();
+  if (sink != nullptr && sink->enabled(level)) {
+    sink->write(level, component, message, fields);
+  }
+}
+
+}  // namespace redist::obs

@@ -1,25 +1,69 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "obs/trace.hpp"
 
 namespace redist::obs {
+
+double HistogramSnapshot::quantile(double q) const {
+  const auto total = static_cast<std::uint64_t>(summary.count());
+  if (total == 0) return std::numeric_limits<double>::quiet_NaN();
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target sample (1-based, fractional) within the sorted
+  // sample sequence the bucket counts summarize.
+  const double rank = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) < rank) continue;
+    if (counts[i] == 0) continue;
+    const double lower = i == 0 ? summary.min() : bounds[i - 1];
+    const double upper = i < bounds.size() ? bounds[i] : summary.max();
+    const double before = static_cast<double>(cumulative - counts[i]);
+    const double fraction =
+        (rank - before) / static_cast<double>(counts[i]);
+    const double estimate = lower + (upper - lower) * fraction;
+    return std::clamp(estimate, summary.min(), summary.max());
+  }
+  return summary.max();
+}
 
 Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
   std::sort(bounds_.begin(), bounds_.end());
   bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
-  counts_.assign(bounds_.size() + 1, 0);
+  for (Stripe& stripe : stripes_) {
+    MutexLock lock(stripe.mu);
+    stripe.counts.assign(bounds_.size() + 1, 0);
+  }
 }
 
 void Histogram::record(double x) {
-  MutexLock lock(mu_);
+  // Stripe by the recording thread's dense index: a thread always hits the
+  // same stripe, so single-threaded recording is as cheap as the old
+  // one-mutex scheme while concurrent recorders rarely share a lock.
+  Stripe& stripe = stripes_[TraceSession::current_tid() % kStripes];
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
-  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
-  summary_.add(x);
+  const auto bucket = static_cast<std::size_t>(it - bounds_.begin());
+  MutexLock lock(stripe.mu);
+  ++stripe.counts[bucket];
+  stripe.summary.add(x);
 }
 
 HistogramSnapshot Histogram::snapshot() const {
-  MutexLock lock(mu_);
-  return HistogramSnapshot{bounds_, counts_, summary_};
+  HistogramSnapshot out;
+  out.bounds = bounds_;
+  out.counts.assign(bounds_.size() + 1, 0);
+  for (const Stripe& stripe : stripes_) {
+    MutexLock lock(stripe.mu);
+    for (std::size_t i = 0; i < stripe.counts.size(); ++i) {
+      out.counts[i] += stripe.counts[i];
+    }
+    out.summary.merge(stripe.summary);
+  }
+  return out;
 }
 
 std::vector<double> default_latency_bounds_ms() {

@@ -7,8 +7,11 @@
 //
 //  * Counter and Gauge are single relaxed atomics — exact totals under any
 //    interleaving, no locks;
-//  * Histogram takes a per-instance mutex per record (bucket counts plus a
-//    RunningStats summary cannot be updated atomically together);
+//  * Histogram stripes its state (bucket counts plus a RunningStats
+//    summary, which cannot be updated atomically together) across 8
+//    independently locked sub-accumulators keyed by the recording thread's
+//    dense index, so concurrent recorders contend only when they collide
+//    on a stripe; snapshot() merges the stripes and stays exact;
 //  * instrument creation/lookup is sharded by name hash, so unrelated
 //    lookups do not contend on one registry-wide lock.
 //
@@ -80,11 +83,23 @@ struct HistogramSnapshot {
   std::vector<double> bounds;        ///< ascending bucket upper limits
   std::vector<std::uint64_t> counts; ///< bounds.size() + 1 (last = overflow)
   RunningStats summary;              ///< exact count/mean/min/max/stddev
+
+  /// Quantile estimate for q in [0, 1], linearly interpolated within the
+  /// bucket containing the rank. The first bucket's lower edge is the
+  /// observed min, the overflow bucket's upper edge the observed max, and
+  /// the result is clamped to [min, max] — so estimates never leave the
+  /// observed range. NaN when empty.
+  double quantile(double q) const;
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
 };
 
 /// Fixed-bucket histogram with an exact RunningStats summary. Bucket i
 /// counts samples x <= bounds[i] (first matching bucket); the final bucket
-/// is the +inf overflow.
+/// is the +inf overflow. Recording stripes across independently locked
+/// sub-accumulators (see the file header); snapshot() merges them, so
+/// totals are exact with respect to completed record() calls.
 class Histogram {
  public:
   explicit Histogram(std::vector<double> bounds);
@@ -93,10 +108,16 @@ class Histogram {
   HistogramSnapshot snapshot() const;
 
  private:
-  mutable Mutex mu_;
-  std::vector<double> bounds_ REDIST_GUARDED_BY(mu_);
-  std::vector<std::uint64_t> counts_ REDIST_GUARDED_BY(mu_);
-  RunningStats summary_ REDIST_GUARDED_BY(mu_);
+  static constexpr std::size_t kStripes = 8;
+
+  struct Stripe {
+    mutable Mutex mu;
+    std::vector<std::uint64_t> counts REDIST_GUARDED_BY(mu);
+    RunningStats summary REDIST_GUARDED_BY(mu);
+  };
+
+  std::vector<double> bounds_;  ///< immutable after construction
+  Stripe stripes_[kStripes];
 };
 
 /// Default bucket layout for millisecond latencies (10 µs .. 10 s).

@@ -16,6 +16,9 @@
 #include "common/types.hpp"
 
 #include "obs/export.hpp"
+#include "obs/introspect.hpp"
+#include "obs/journal.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
 
@@ -81,6 +82,9 @@ FaultPlan FaultInjector::plan_op(FaultSite site) {
     if (metrics != nullptr) {
       metrics->counter("robust.fault.injected").add(fired);
     }
+    obs::journal_record(obs::JournalEventKind::kFaultInjected,
+                        static_cast<std::int64_t>(site),
+                        static_cast<std::int64_t>(fired));
   }
   return plan;
 }

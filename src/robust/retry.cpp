@@ -4,6 +4,7 @@
 #include <chrono>
 #include <thread>
 
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
 
@@ -39,6 +40,7 @@ void Retrier::on_failure(int attempt) {
   ++retries_;
   obs::MetricsRegistry* const metrics = obs::metrics();
   if (metrics != nullptr) metrics->counter("robust.retry.count").add();
+  obs::journal_record(obs::JournalEventKind::kRetry, attempt);
   sleeper_(backoff_delay_ms(policy_, attempt, rng_));
 }
 

@@ -4,6 +4,7 @@
 #include <exception>
 #include <thread>
 
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
@@ -45,12 +46,24 @@ std::vector<SolveResult> solve_kpbs_batch(
     metrics->counter("kpbs.batch.instances").add(requests.size());
   }
 
+  // Pre-assign flight-recorder IDs so the pool's enqueue events (recorded
+  // at submit time, before the solve runs) already carry the ID the solve
+  // itself will journal under — the causal join the dump relies on.
+  std::vector<std::uint64_t> solve_ids(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    solve_ids[i] = requests[i].options.solve_id != 0
+                       ? requests[i].options.solve_id
+                       : obs::allocate_solve_id();
+  }
+
   std::vector<std::exception_ptr> errors(requests.size());
   const auto solve_one = [&](std::size_t i) {
     obs::TraceSpan instance_span(obs::trace(), "kpbs.batch.instance");
     if (instance_span) instance_span.arg("instance", i);
     try {
-      results[i] = solve_kpbs(requests[i].demand, requests[i].options);
+      SolverOptions instance_options = requests[i].options;
+      instance_options.solve_id = solve_ids[i];
+      results[i] = solve_kpbs(requests[i].demand, instance_options);
     } catch (...) {
       errors[i] = std::current_exception();
     }
@@ -64,6 +77,7 @@ std::vector<SolveResult> solve_kpbs_batch(
   } else {
     ThreadPool pool(threads);
     for (std::size_t i = 0; i < requests.size(); ++i) {
+      const obs::SolveIdScope enqueue_scope(solve_ids[i]);
       pool.submit([&solve_one, i] { solve_one(i); });
     }
     pool.wait_idle();

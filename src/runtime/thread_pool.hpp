@@ -25,6 +25,7 @@
 #include "common/contract_annotations.hpp"
 #include "common/stopwatch.hpp"
 #include "common/sync.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
 
@@ -60,6 +61,8 @@ class ThreadPool {
   int size() const { return static_cast<int>(workers_.size()); }
 
   /// Enqueues a job. Safe to call from any thread, including from a job.
+  /// The submitter's SolveIdScope is captured with the job so journal
+  /// events on the worker join the enqueuing solve.
   void submit(std::function<void()> job) {
     obs::MetricsRegistry* const metrics = obs::metrics();
     std::uint64_t enqueue_ns = 0;
@@ -67,13 +70,21 @@ class ThreadPool {
       metrics->counter("runtime.pool.tasks").add();
       enqueue_ns = Stopwatch::now_ns();
     }
+    const std::uint64_t solve_id = obs::SolveIdScope::current();
+    std::size_t depth = 0;
     {
       MutexLock lock(mutex_);
-      queue_.push_back(QueuedJob{std::move(job), enqueue_ns});
+      queue_.push_back(QueuedJob{std::move(job), enqueue_ns, solve_id});
+      depth = queue_.size();
       if (metrics != nullptr) {
         metrics->gauge("runtime.pool.queue_depth")
-            .set(static_cast<std::int64_t>(queue_.size()));
+            .set(static_cast<std::int64_t>(depth));
       }
+    }
+    obs::Journal* const journal = obs::journal();
+    if (journal != nullptr) {
+      journal->record_for(solve_id, obs::JournalEventKind::kPoolEnqueue,
+                          static_cast<std::int64_t>(depth));
     }
     work_available_.notify_one();
   }
@@ -89,6 +100,7 @@ class ThreadPool {
   struct QueuedJob {
     std::function<void()> job;
     std::uint64_t enqueue_ns;  // Stopwatch::now_ns at submit; 0 = untimed
+    std::uint64_t solve_id;    // submitter's SolveIdScope; 0 = none
   };
 
   void work() {
@@ -107,15 +119,35 @@ class ThreadPool {
             .set(static_cast<std::int64_t>(queue_.size()));
       }
       lock.unlock();
-      if (metrics != nullptr) {
+      // Journal re-read per job for the same reason as the metrics sink;
+      // the recorded solve ID is the submitter's, so a dump joins the
+      // worker-side task lifecycle to the solve it serves.
+      obs::Journal* const journal = obs::journal();
+      if (metrics != nullptr || journal != nullptr) {
         const std::uint64_t start_ns = Stopwatch::now_ns();
+        double wait_ms = 0.0;
         if (entry.enqueue_ns != 0 && start_ns >= entry.enqueue_ns) {
-          metrics->histogram("runtime.pool.task_wait_ms")
-              .record(static_cast<double>(start_ns - entry.enqueue_ns) / 1e6);
+          wait_ms = static_cast<double>(start_ns - entry.enqueue_ns) / 1e6;
+          if (metrics != nullptr) {
+            metrics->histogram("runtime.pool.task_wait_ms").record(wait_ms);
+          }
+        }
+        if (journal != nullptr) {
+          journal->record_for(entry.solve_id,
+                              obs::JournalEventKind::kPoolStart, 0, 0,
+                              wait_ms);
         }
         entry.job();
-        metrics->histogram("runtime.pool.task_run_ms")
-            .record(static_cast<double>(Stopwatch::now_ns() - start_ns) / 1e6);
+        const double run_ms =
+            static_cast<double>(Stopwatch::now_ns() - start_ns) / 1e6;
+        if (metrics != nullptr) {
+          metrics->histogram("runtime.pool.task_run_ms").record(run_ms);
+        }
+        if (journal != nullptr) {
+          journal->record_for(entry.solve_id,
+                              obs::JournalEventKind::kPoolFinish, 0, 0,
+                              run_ms);
+        }
       } else {
         entry.job();
       }

@@ -96,6 +96,26 @@ TEST(Analyze, LayeringRejectsUpwardIncludeButNotConditionalSeam) {
             std::string::npos);
 }
 
+TEST(Analyze, LayeringAllowsTheSanctionedObsToNetEdge) {
+  // obs -> net is the one reviewed upward edge (the introspection endpoint
+  // serves over loopback sockets); any other module reaching into net from
+  // below still fires.
+  const std::vector<SourceFile> sources = {
+      {"src/obs/endpoint.hpp",
+       "#pragma once\n#include \"net/sock.hpp\"\nREDIST_LAYER(\"obs\");\n"},
+      {"src/graph/leak.hpp",
+       "#pragma once\n#include \"net/sock.hpp\"\nREDIST_LAYER(\"graph\");\n"},
+      {"src/net/sock.hpp", "#pragma once\nREDIST_LAYER(\"net\");\n"}};
+  Options layering_only;
+  layering_only.rules = {"layering"};
+  const auto r = redist::analyze::run_analysis(sources, layering_only);
+  ASSERT_EQ(r.findings.size(), 1u)
+      << redist::analyze::format_report(r.findings);
+  EXPECT_EQ(r.findings[0].rule, "layering");
+  EXPECT_EQ(r.findings[0].file, "src/graph/leak.hpp");
+  EXPECT_TRUE(mentions(r.findings[0], "net"));
+}
+
 TEST(Analyze, IncludeCycleDetected) {
   const auto r =
       analyze_fixture("cycle", {"src/graph/a.hpp", "src/graph/b.hpp"});

@@ -185,7 +185,8 @@ TEST(Cli, SolveWritesMetricsCsv) {
                 .status,
             0);
   const std::string csv = slurp(metrics);
-  EXPECT_EQ(csv.rfind("name,kind,count,value,mean,min,max\n", 0), 0u);
+  EXPECT_EQ(csv.rfind("name,kind,count,value,mean,min,max,p50,p95,p99\n", 0),
+            0u);
   EXPECT_NE(csv.find("wrgp.steps,counter,"), std::string::npos);
 }
 

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -125,11 +126,82 @@ TEST(ObsMetrics, CsvExportHasOneRowPerInstrument) {
   std::ostringstream os;
   write_metrics_csv(os, registry);
   const std::string csv = os.str();
-  EXPECT_NE(csv.find("name,kind,count,value,mean,min,max\n"),
+  EXPECT_NE(csv.find("name,kind,count,value,mean,min,max,p50,p95,p99\n"),
             std::string::npos);
-  EXPECT_NE(csv.find("c,counter,,4,,,"), std::string::npos);
-  EXPECT_NE(csv.find("g,gauge,,-2,,,"), std::string::npos);
+  EXPECT_NE(csv.find("c,counter,,4,,,,,,"), std::string::npos);
+  EXPECT_NE(csv.find("g,gauge,,-2,,,,,,"), std::string::npos);
   EXPECT_NE(csv.find("h,histogram,1,"), std::string::npos);
+}
+
+TEST(ObsMetrics, HistogramQuantilesInterpolateWithinBuckets) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("q", {10.0, 20.0, 30.0});
+  // 10 samples in (10, 20]: ranks 1..10 all land in the second bucket.
+  for (int i = 0; i < 10; ++i) h.record(15.0);
+  const HistogramSnapshot snap = h.snapshot();
+  // p50 rank = 5 of 10 -> halfway through [10, 20].
+  EXPECT_NEAR(snap.p50(), 15.0, 1e-9);
+  // Quantiles never leave the observed range.
+  EXPECT_GE(snap.quantile(0.0), snap.summary.min());
+  EXPECT_LE(snap.quantile(1.0), snap.summary.max());
+}
+
+TEST(ObsMetrics, HistogramQuantilesSpreadAcrossBuckets) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("q2", {10.0, 20.0, 30.0});
+  // 50 samples <= 10, 50 in (20, 30]: the median sits at the top of the
+  // first bucket, p99 deep in the third.
+  for (int i = 0; i < 50; ++i) h.record(5.0);
+  for (int i = 0; i < 50; ++i) h.record(25.0);
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_LE(snap.p50(), 10.0);
+  EXPECT_GT(snap.p99(), 20.0);
+  EXPECT_LE(snap.p99(), snap.summary.max());
+}
+
+TEST(ObsMetrics, EmptyHistogramQuantileIsNaN) {
+  MetricsRegistry registry;
+  const HistogramSnapshot snap = registry.histogram("never", {1.0}).snapshot();
+  EXPECT_TRUE(std::isnan(snap.p50()));
+  EXPECT_TRUE(std::isnan(snap.quantile(0.99)));
+}
+
+TEST(ObsMetrics, JsonExportCarriesQuantiles) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("lat", {1.0, 10.0});
+  for (int i = 0; i < 4; ++i) h.record(0.5);
+  std::ostringstream os;
+  write_metrics_json(os, registry);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p95\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+}
+
+TEST(ObsMetrics, PrometheusExposition) {
+  MetricsRegistry registry;
+  registry.counter("kpbs.solve.count").add(3);
+  registry.gauge("runtime.pool.queue_depth").set(2);
+  Histogram& h = registry.histogram("kpbs.solve_ms", {1.0, 10.0});
+  h.record(0.5);
+  h.record(5.0);
+  h.record(50.0);
+  std::ostringstream os;
+  write_metrics_prometheus(os, registry);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("# TYPE redist_kpbs_solve_count counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("redist_kpbs_solve_count 3"), std::string::npos);
+  EXPECT_NE(text.find("redist_runtime_pool_queue_depth 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE redist_kpbs_solve_ms histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("redist_kpbs_solve_ms_bucket{le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("redist_kpbs_solve_ms_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("redist_kpbs_solve_ms_count 3"), std::string::npos);
+  EXPECT_NE(text.find("redist_kpbs_solve_ms_p50"), std::string::npos);
 }
 
 TEST(ObsMetrics, ScopedTelemetryInstallsAndRestores) {

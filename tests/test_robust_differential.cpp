@@ -10,8 +10,12 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <string>
+
 #include "common/rng.hpp"
 #include "kpbs/solver.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
 #include "robust/fault_injector.hpp"
@@ -166,6 +170,64 @@ TEST(RobustDifferential, ShortWritesDeliverIntactInOneAttempt) {
   EXPECT_EQ(r.attempts, 1);
   EXPECT_EQ(r.reschedules, 0);
   EXPECT_GT(injector.injected_count(), 0u);
+}
+
+// The flight recorder joins the whole robust run on one solve ID: attempt
+// seams, injected faults and (when an attempt fails) the spliced recovery
+// all carry SocketRunResult::run_id, and a recovery leaves a forensic
+// JSONL dump in RobustnessOptions::journal_dir.
+TEST(RobustDifferential, JournalJoinsRobustRunBySolveIdAndDumpsRecovery) {
+  const Instance in = test_instance(75);
+  robust::FaultInjector injector(202);
+  robust::FaultRule rule;
+  rule.kind = robust::FaultKind::kReset;
+  rule.site = robust::FaultSite::kSend;
+  rule.begin = 60;
+  rule.at_bytes = 2000;
+  injector.add_rule(rule);
+  const robust::ScopedFaultInjection scope(&injector);
+
+  obs::Journal journal(8192);
+  const obs::ScopedJournal scoped_journal(&journal);
+  RobustnessOptions robustness = fast_robustness();
+  robustness.journal_dir = ::testing::TempDir();
+  const SocketRunResult r = socket_scheduled(test_cluster(), in.traffic,
+                                             in.schedule, in.bpu, robustness);
+  ASSERT_TRUE(r.verified);
+  ASSERT_GT(r.run_id, 0u);
+
+  int attempt_begins = 0;
+  int attempt_ends = 0;
+  int splices = 0;
+  for (const obs::JournalEvent& e : journal.snapshot()) {
+    if (e.solve_id != r.run_id) continue;
+    if (e.kind == obs::JournalEventKind::kAttemptBegin) ++attempt_begins;
+    if (e.kind == obs::JournalEventKind::kAttemptEnd) ++attempt_ends;
+    if (e.kind == obs::JournalEventKind::kRecoverySpliced) ++splices;
+  }
+  EXPECT_EQ(attempt_begins, r.attempts);
+  EXPECT_EQ(attempt_ends, r.attempts);
+  EXPECT_EQ(splices, r.reschedules);
+
+  if (r.reschedules > 0) {
+    // Every spliced recovery leaves a forensic artifact.
+    ASSERT_FALSE(r.journal_dump_path.empty());
+    std::ifstream dump(r.journal_dump_path);
+    ASSERT_TRUE(dump.good()) << r.journal_dump_path;
+    std::string line;
+    ASSERT_TRUE(std::getline(dump, line));
+    EXPECT_NE(line.find("\"schema\":\"redist.journal.v1\""),
+              std::string::npos);
+    bool saw_splice = false;
+    while (std::getline(dump, line)) {
+      if (line.find("\"kind\":\"recovery_spliced\"") != std::string::npos) {
+        saw_splice = true;
+      }
+    }
+    EXPECT_TRUE(saw_splice);
+  } else {
+    EXPECT_TRUE(r.journal_dump_path.empty());
+  }
 }
 
 TEST(RobustDifferential, RobustCountersReachTheMetricsRegistry) {

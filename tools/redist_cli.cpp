@@ -34,6 +34,20 @@
 //       matchings, step width <= k, exact coverage of the demanded
 //       weights, makespan consistency (against --makespan when given) and,
 //       with --bound, the 2x lower-bound guarantee. Exits 0 iff valid.
+//   serve     [--solves=4] [--seed=1] [--k=4] [--beta=1] [--algo=oggp]
+//             [--linger-ms=60000] [--port-file=FILE] [--journal-out=FILE]
+//             [--journal-capacity=8192] [--crash-dump=FILE]
+//       Runs N random solves with the full observability stack installed
+//       (metrics registry + flight recorder) and serves
+//       healthz/statusz/metricsz/journalz on an ephemeral loopback port
+//       for --linger-ms. Prints the port (and writes it to --port-file)
+//       so `redist_cli inspect` or curl can probe the live process;
+//       --journal-out dumps the flight recorder as JSONL on exit and
+//       --crash-dump arms the fatal-signal journal dump.
+//   inspect   --port=P [--endpoint=all|healthz|statusz|metricsz|journalz]
+//             [--last=N] [--timeout-ms=2000]
+//       Probes a live serve process over loopback and prints the response
+//       bodies (all four endpoints by default, with section headers).
 //
 // The solve, batch, and verify subcommands accept --metrics-out=FILE (flat
 // metrics JSON, or CSV when FILE ends in .csv) and --trace-out=FILE (Chrome
@@ -349,6 +363,136 @@ int cmd_verify(Flags& flags) {
   return 1;
 }
 
+int cmd_serve(Flags& flags) {
+  const int solves = static_cast<int>(flags.get_int("solves", 4));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const SolverOptions solver = solver_options_from_flags(flags, kCliDefaults);
+  const double linger_ms = flags.get_double("linger-ms", 60000.0);
+  const std::string port_file = flags.get_string("port-file", "");
+  const std::string journal_out = flags.get_string("journal-out", "");
+  const std::size_t journal_capacity =
+      static_cast<std::size_t>(flags.get_int("journal-capacity", 8192));
+  const std::string crash_dump = flags.get_string("crash-dump", "");
+  flags.check_unused();
+
+  obs::MetricsRegistry registry;
+  obs::Journal journal(journal_capacity);
+  obs::ScopedTelemetry telemetry(&registry, nullptr);
+  obs::ScopedJournal scoped_journal(&journal);
+  if (!crash_dump.empty()) obs::install_signal_dump(&journal, crash_dump);
+
+  // Seed the observability surfaces with real solver activity so probes
+  // see live data immediately.
+  Rng rng(seed);
+  RandomGraphConfig config;
+  config.max_left = 16;
+  config.max_right = 16;
+  config.max_edges = 120;
+  config.min_weight = 1;
+  config.max_weight = 20;
+  for (int i = 0; i < solves; ++i) {
+    const BipartiteGraph g = random_bipartite(rng, config);
+    solve_kpbs(g, solver);
+  }
+
+  obs::IntrospectionServer server(&registry, &journal);
+  std::cout << "serving on 127.0.0.1:" << server.port() << " for "
+            << Table::fmt(linger_ms, 0) << " ms ("
+            << solves << " solves journaled)\n"
+            << std::flush;
+  if (!port_file.empty()) {
+    std::ofstream os(port_file);
+    if (!os) throw Error("cannot write: " + port_file);
+    os << server.port() << '\n';
+  }
+
+  // Linger in short ticks so SIGTERM-less harnesses can bound our
+  // lifetime precisely via --linger-ms.
+  double remaining = linger_ms;
+  while (remaining > 0) {
+    const double tick = std::min(remaining, 100.0);
+    robust::sleep_ms(tick);
+    remaining -= tick;
+  }
+  server.stop();
+
+  if (!journal_out.empty()) {
+    std::ofstream os(journal_out);
+    if (!os) throw Error("cannot write: " + journal_out);
+    obs::write_journal_jsonl(os, journal);
+    std::cout << "journal written to " << journal_out << '\n';
+  }
+  if (!crash_dump.empty()) obs::uninstall_signal_dump();
+  std::cout << "served " << server.requests_served() << " request(s)\n";
+  return 0;
+}
+
+// One introspection exchange: send the request line, read until the server
+// closes, return the body (bytes after the blank header line).
+std::string inspect_fetch(std::uint16_t port, const std::string& target,
+                          int timeout_ms) {
+  TcpStream stream = TcpStream::connect_loopback(port);
+  stream.set_io_timeout_ms(timeout_ms);
+  const std::string request = "GET /" + target + " HTTP/1.0\r\n\r\n";
+  stream.send_all(request.data(), request.size());
+  std::string response;
+  try {
+    char c = 0;
+    for (;;) {
+      stream.recv_all(&c, 1);
+      response.push_back(c);
+    }
+  } catch (const TimeoutError&) {
+    throw;  // a stalled server is an error, not end-of-response
+  } catch (const Error&) {
+    // Peer close terminates the response (Connection: close).
+  }
+  const std::string::size_type split = response.find("\r\n\r\n");
+  if (split == std::string::npos) {
+    throw Error("malformed response from port " + std::to_string(port));
+  }
+  return response.substr(split + 4);
+}
+
+int cmd_inspect(Flags& flags) {
+  const int port = static_cast<int>(flags.get_int("port", 0));
+  if (port <= 0 || port > 65535) {
+    throw Error("inspect requires --port=P of a live `redist_cli serve`");
+  }
+  const std::string endpoint = flags.get_string("endpoint", "all");
+  const std::int64_t last = flags.get_int("last", 0);
+  const int timeout_ms = static_cast<int>(flags.get_int("timeout-ms", 2000));
+  flags.check_unused();
+
+  std::string journalz = "journalz";
+  if (last > 0) journalz += "?last=" + std::to_string(last);
+
+  const auto probe = [&](const std::string& target) {
+    return inspect_fetch(static_cast<std::uint16_t>(port), target,
+                         timeout_ms);
+  };
+  if (endpoint == "all") {
+    for (const std::string& target :
+         {std::string("healthz"), std::string("statusz"),
+          std::string("metricsz"), journalz}) {
+      std::cout << "== " << target << " ==\n" << probe(target);
+    }
+    return 0;
+  }
+  if (endpoint == "healthz" || endpoint == "statusz" ||
+      endpoint == "metricsz") {
+    std::cout << probe(endpoint);
+    return 0;
+  }
+  if (endpoint == "journalz") {
+    std::cout << probe(journalz);
+    return 0;
+  }
+  throw Error("unknown --endpoint: " + endpoint +
+              " (want all|healthz|statusz|metricsz|journalz)");
+}
+
 int cmd_gantt(Flags& flags) {
   const std::string in = flags.get_string("in", "");
   const std::string out = flags.get_string("out", "");
@@ -386,7 +530,8 @@ int main(int argc, char** argv) {
   try {
     if (argc < 2) {
       std::cerr << "usage: redist_cli "
-                   "<generate|solve|batch|lb|simulate|analyze|gantt|verify> "
+                   "<generate|solve|batch|lb|simulate|analyze|gantt|verify|"
+                   "serve|inspect> "
                    "[--flags...]\n(see the file header for details)\n";
       return 2;
     }
@@ -400,6 +545,8 @@ int main(int argc, char** argv) {
     if (cmd == "analyze") return cmd_analyze(flags);
     if (cmd == "gantt") return cmd_gantt(flags);
     if (cmd == "verify") return cmd_verify(flags);
+    if (cmd == "serve") return cmd_serve(flags);
+    if (cmd == "inspect") return cmd_inspect(flags);
     std::cerr << "unknown subcommand: " << cmd << '\n';
     return 2;
   } catch (const std::exception& e) {

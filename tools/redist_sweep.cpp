@@ -11,7 +11,10 @@
 //   * batch pool speedup (sequential vs pooled solve_kpbs_batch),
 //   * simulated scheduled vs brute-force seconds on the scenario platform,
 //   * recovery overhead (storm wall time / clean wall time), attempts,
-//     reschedules and injected-fault counts.
+//     reschedules and injected-fault counts,
+//   * flight-recorder coverage of the storm run: journaled event counts
+//     and the forensic recovery dump path (obs/journal.hpp) when a spliced
+//     recovery wrote one into --out-dir.
 //
 // Quality metrics (ratios, step counts) are bit-deterministic for a fixed
 // spec, so scripts/bench_diff.py can gate them strictly against the
@@ -69,6 +72,9 @@ struct RobustRow {
   std::uint64_t link_retries = 0;
   std::uint64_t faults_injected = 0;
   bool verified = true;
+  std::uint64_t journal_events = 0;   // flight-recorder events this scenario
+  std::uint64_t journal_dropped = 0;  // ring overflow during the storm
+  std::string recovery_dump;          // forensic JSONL path, "" when clean
 };
 
 std::string json_escape(const std::string& text) {
@@ -199,8 +205,14 @@ BatchRow run_batch(const ScenarioSpec& spec,
 }
 
 RobustRow run_fault_storm(const ScenarioSpec& spec,
-                          const ScenarioWorkload& w) {
+                          const ScenarioWorkload& w,
+                          const std::string& out_dir) {
   RobustRow row;
+  // Flight recorder for the whole scenario: solver, pool, socket and
+  // recovery events join on the run's solve ID in the BENCH JSON and in
+  // the per-recovery forensic dump.
+  obs::Journal journal(16384);
+  const obs::ScopedJournal scoped_journal(&journal);
   SocketClusterConfig config;
   config.card_out_bps = 3e6;
   config.card_in_bps = 3e6;
@@ -227,6 +239,7 @@ RobustRow run_fault_storm(const ScenarioSpec& spec,
   robustness.connect_retry.max_delay_ms = 4;
   robustness.attempt_backoff.base_delay_ms = 1;
   robustness.attempt_backoff.max_delay_ms = 4;
+  robustness.journal_dir = out_dir;
 
   robust::FaultInjector injector(spec.seed ^ 0x570F3ULL);
   robust::StormProfile profile;
@@ -247,6 +260,9 @@ RobustRow run_fault_storm(const ScenarioSpec& spec,
   row.link_retries = storm.link_retries;
   row.faults_injected = injector.injected_count();
   row.verified = clean.verified && storm.verified;
+  row.journal_events = journal.total_recorded();
+  row.journal_dropped = journal.dropped();
+  row.recovery_dump = storm.journal_dump_path;
   if (!row.verified) {
     throw Error("fault-storm run failed verification on scenario " +
                 spec.name);
@@ -307,7 +323,11 @@ void write_json(const std::string& path, const ScenarioSpec& spec,
      << robust_row.reschedules << ", \"link_retries\": "
      << robust_row.link_retries << ", \"faults_injected\": "
      << robust_row.faults_injected << ", \"verified\": "
-     << (robust_row.verified ? "true" : "false") << "}\n"
+     << (robust_row.verified ? "true" : "false") << "},\n"
+     << "  \"journal\": {\"events\": " << robust_row.journal_events
+     << ", \"dropped\": " << robust_row.journal_dropped
+     << ", \"recovery_dump\": \"" << json_escape(robust_row.recovery_dump)
+     << "\"}\n"
      << "}\n";
 }
 
@@ -365,7 +385,7 @@ int main(int argc, char** argv) {
 
       RobustRow robust_row;
       if (spec.kind == ScenarioKind::kFaultStorm && with_socket) {
-        robust_row = run_fault_storm(spec, pool.front());
+        robust_row = run_fault_storm(spec, pool.front(), out_dir);
       }
 
       const std::string path =
