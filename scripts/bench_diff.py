@@ -20,6 +20,12 @@ compared against its baseline value with a per-class tolerance:
   derived ``recovery_overhead``) are reported but ungated unless
   ``--check-timing`` is given, in which case the loose tolerance applies.
 
+Independently of the gated list, every key path present in a baseline
+document but absent from the candidate is reported as a ``WARN`` — the
+gated metrics above are an enumeration, and a bench that silently stops
+emitting a section would otherwise vanish without trace.  With
+``--fail-on-missing`` those warnings become failures.
+
 Exit status: 0 all gates pass, 1 at least one regression, 2 usage/IO error.
 """
 
@@ -82,6 +88,52 @@ class Diff:
 
 def algo_map(doc):
     return {a.get("name"): a for a in doc.get("algorithms", [])}
+
+
+def missing_key_paths(base, cand, prefix=""):
+    """Key paths present in ``base`` but absent from ``cand``, recursively.
+
+    Lists of ``{"name": ...}`` objects (the per-algorithm records) are
+    matched by name; other lists are treated as leaves.
+    """
+    missing = []
+    if isinstance(base, dict):
+        if not isinstance(cand, dict):
+            missing.append(prefix or "<root>")
+            return missing
+        for key, value in base.items():
+            path = f"{prefix}.{key}" if prefix else key
+            if key not in cand:
+                missing.append(path)
+            else:
+                missing.extend(missing_key_paths(value, cand[key], path))
+    elif isinstance(base, list):
+        by_name = {e["name"]: e for e in base
+                   if isinstance(e, dict) and "name" in e}
+        if not by_name:
+            return missing  # positional list: compared by the gated metrics
+        if not isinstance(cand, list):
+            missing.append(prefix)
+            return missing
+        cand_by_name = {e.get("name"): e for e in cand if isinstance(e, dict)}
+        for name, entry in by_name.items():
+            path = f"{prefix}[{name}]"
+            if name not in cand_by_name:
+                missing.append(path)
+            else:
+                missing.extend(
+                    missing_key_paths(entry, cand_by_name[name], path))
+    return missing
+
+
+def report_coverage(label, base_doc, cand_doc, args):
+    """Warns (or fails) on baseline keys the candidate no longer emits."""
+    missing = missing_key_paths(base_doc, cand_doc)
+    for path in missing:
+        verdict = "FAIL" if args.fail_on_missing else "WARN"
+        print(f"  {verdict:>7}  {label}: baseline key '{path}' not present "
+              f"in candidate")
+    return len(missing) if args.fail_on_missing else 0
 
 
 def diff_sweep(base_doc, cand_doc, args):
@@ -161,6 +213,9 @@ def main(argv=None) -> int:
     p.add_argument("--check-timing", action="store_true",
                    help="also gate wall-clock metrics (solve_ms, recovery "
                         "overhead) at the loose tolerance")
+    p.add_argument("--fail-on-missing", action="store_true",
+                   help="treat baseline keys absent from the candidate as "
+                        "failures instead of warnings")
     args = p.parse_args(argv)
 
     if not args.baseline.is_dir():
@@ -185,16 +240,22 @@ def main(argv=None) -> int:
             print(f"scenario {scenario}: FAIL (missing {cand_path})")
             total_failures += 1
             continue
-        d = diff_sweep(load(base_path), load(cand_path), args)
+        base_doc, cand_doc = load(base_path), load(cand_path)
+        d = diff_sweep(base_doc, cand_doc, args)
         d.report(f"scenario {scenario}:")
         total_failures += d.failures
+        total_failures += report_coverage(f"scenario {scenario}", base_doc,
+                                          cand_doc, args)
 
     warm_base = args.baseline / WARM_START
     warm_cand = args.candidate / WARM_START
     if warm_base.exists() and warm_cand.exists():
-        d = diff_warm_start(load(warm_base), load(warm_cand), args)
+        base_doc, cand_doc = load(warm_base), load(warm_cand)
+        d = diff_warm_start(base_doc, cand_doc, args)
         d.report("warm_start:")
         total_failures += d.failures
+        total_failures += report_coverage("warm_start", base_doc, cand_doc,
+                                          args)
 
     if total_failures:
         print(f"bench_diff: {total_failures} regression(s) detected")

@@ -50,6 +50,29 @@ ensure_build() {
   fi
 }
 
+# The analyze and tidy stages are driven by compile_commands.json; running
+# them against a missing or stale database silently analyzes the wrong tree
+# (TUs added since the last configure are invisible). Fail loudly instead.
+ensure_compile_commands() {
+  local db="${BUILD_DIR}/compile_commands.json"
+  if [[ ! -f "${db}" ]]; then
+    note "FAIL: ${db} not found — configure first:"
+    note "  cmake -S ${ROOT} -B ${BUILD_DIR}"
+    note "(CMAKE_EXPORT_COMPILE_COMMANDS is on by default in this tree)"
+    exit 1
+  fi
+  local stale
+  stale="$(find "${ROOT}" -name CMakeCache.txt -prune -o \
+                \( -name 'CMakeLists.txt' -o -name '*.cmake' \) \
+                -newer "${db}" -print -quit 2>/dev/null)"
+  if [[ -n "${stale}" ]]; then
+    note "FAIL: ${db} is older than ${stale#"${ROOT}"/}"
+    note "  the compile database no longer reflects the build; re-run:"
+    note "  cmake -S ${ROOT} -B ${BUILD_DIR}"
+    exit 1
+  fi
+}
+
 stage_lint() {
   command -v cmake >/dev/null || { missing_tool cmake; return; }
   ensure_build
@@ -61,6 +84,7 @@ stage_lint() {
 stage_analyze() {
   command -v cmake >/dev/null || { missing_tool cmake; return; }
   ensure_build
+  ensure_compile_commands
   cmake --build "${BUILD_DIR}" --target redist_analyze -j >/dev/null
   "${BUILD_DIR}/tools/redist_analyze" \
     --root="${ROOT}" \
@@ -84,6 +108,7 @@ stage_thread_safety() {
 stage_tidy() {
   command -v run-clang-tidy >/dev/null || { missing_tool run-clang-tidy; return; }
   ensure_build
+  ensure_compile_commands
   run-clang-tidy -p "${BUILD_DIR}" -quiet \
     "${ROOT}/(src|tools|bench|tests)/.*\.cpp\$"
   note "ok: clang-tidy clean"

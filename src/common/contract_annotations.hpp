@@ -28,6 +28,19 @@
 //                         The reason string is mandatory; use it only where
 //                         nondeterminism cannot alter emitted schedules
 //                         (e.g. sizing a worker pool).
+//   REDIST_NOBLOCK        the annotated function — and everything reachable
+//                         from it — must not sleep, wait on a condition
+//                         variable, perform socket I/O, or enqueue into the
+//                         thread pool. For the hot instrument/journal seams
+//                         a solve thread crosses thousands of times.
+//   REDIST_NOALLOC        nothing reachable from the annotated function may
+//                         call new/malloc or grow a container; the warm
+//                         peeling inner loop's "no per-probe allocations"
+//                         guarantee, promoted to a build-time invariant.
+//   REDIST_ALLOW_BLOCK(reason) / REDIST_ALLOW_ALLOC(reason)
+//                         audited boundary escapes for the two rules above,
+//                         in the style of REDIST_ALLOW_NONDET. The reason is
+//                         mandatory; the function is not descended into.
 //
 // Conventions: annotations go immediately BEFORE the declaration they
 // annotate (the analyzer binds each annotation to the next function name);
@@ -58,5 +71,23 @@
 /// a non-empty string literal explaining why schedules cannot be affected.
 #define REDIST_ALLOW_NONDET(reason) \
   REDIST_CONTRACT_ANNOTATION("redist::allow_nondet:" reason)
+
+/// Function contract: nothing reachable may block (sleep, condvar wait,
+/// socket I/O, pool enqueue). See the `noblock` analyzer rule.
+#define REDIST_NOBLOCK REDIST_CONTRACT_ANNOTATION("redist::noblock")
+
+/// Function contract: nothing reachable may allocate (new/malloc, container
+/// growth). See the `noalloc` analyzer rule.
+#define REDIST_NOALLOC REDIST_CONTRACT_ANNOTATION("redist::noalloc")
+
+/// Exempts the NEXT function from noblock traversal: it blocks by design.
+/// `reason` must be a non-empty string literal.
+#define REDIST_ALLOW_BLOCK(reason) \
+  REDIST_CONTRACT_ANNOTATION("redist::allow_block:" reason)
+
+/// Exempts the NEXT function from noalloc traversal: it allocates by
+/// design. `reason` must be a non-empty string literal.
+#define REDIST_ALLOW_ALLOC(reason) \
+  REDIST_CONTRACT_ANNOTATION("redist::allow_alloc:" reason)
 
 REDIST_LAYER("common");

@@ -72,7 +72,13 @@ class HopcroftKarp {
  private:
   Matching augment_to_maximum();
   bool bfs_layers();
+  /// The warm peeling inner loop: every probe of the bottleneck binary
+  /// search augments through here, and the "no per-probe allocations"
+  /// guarantee of PeelingContext depends on it staying allocation-free
+  /// (`noalloc` analyzer rule).
+  REDIST_NOALLOC
   bool dfs_augment(NodeId left);
+  REDIST_NOALLOC
   bool edge_usable(EdgeId e) const;
 
   const BipartiteGraph* g_ = nullptr;

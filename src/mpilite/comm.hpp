@@ -75,8 +75,11 @@ class Mesh {
     // reads the wire at a time, with recv_mutex released during the read).
     // That protocol spans two capabilities, which is beyond GUARDED_BY.
     TcpStream stream;  // redist-lint: allow(mutex-guard) duplex protocol
-    Mutex send_mutex;
-    Mutex recv_mutex;
+    // send() holds the write token through the shaper (TokenBucket) and
+    // the fault-injection seams, hence the declared orderings.
+    Mutex send_mutex REDIST_ACQUIRED_BEFORE(bucket_mutex_, inject_mutex_)
+        REDIST_LOCK_RANK(20);
+    Mutex recv_mutex REDIST_LOCK_RANK(25);
     CondVar recv_cv;
     bool reader_active REDIST_GUARDED_BY(recv_mutex) = false;
     std::map<std::uint32_t, std::deque<std::vector<char>>> inbox
@@ -100,6 +103,9 @@ class Communicator {
   /// are parked for their eventual receiver (MPI-style tag matching).
   /// Note: a parked frame is drained by whichever thread was reading, so
   /// per-chunk receive shaping only applies to frames consumed directly.
+  REDIST_ALLOW_BLOCK(
+      "send_mutex is the per-link write token: the wire write and the "
+      "shaper sleep happen under it by design, deadline-armed")
   void send(int to, std::uint32_t tag, const void* data, std::size_t size,
             const std::vector<TokenBucket*>& shapers = {},
             Bytes chunk = 65536);

@@ -46,7 +46,7 @@ Journal::Journal(std::size_t capacity, std::function<std::uint64_t()> clock)
     clock_ = [origin] { return Stopwatch::now_ns() - origin; };
   }
   for (Stripe& stripe : stripes_) {
-    MutexLock lock(stripe.mu);
+    MutexLock lock(stripe.journal_mu);
     stripe.ring.resize(stripe_capacity_);
   }
 }
@@ -77,7 +77,7 @@ void Journal::record_for(std::uint64_t solve_id, JournalEventKind kind,
   Stripe& stripe = stripes_[event.seq % kStripes];
   const std::size_t slot =
       static_cast<std::size_t>((event.seq / kStripes) % stripe_capacity_);
-  MutexLock lock(stripe.mu);
+  MutexLock lock(stripe.journal_mu);
   stripe.ring[slot] = event;
   ++stripe.appended;
 }
@@ -86,7 +86,7 @@ std::vector<JournalEvent> Journal::snapshot(std::size_t last_n) const {
   std::vector<JournalEvent> events;
   events.reserve(capacity_);
   for (const Stripe& stripe : stripes_) {
-    MutexLock lock(stripe.mu);
+    MutexLock lock(stripe.journal_mu);
     const std::size_t filled = static_cast<std::size_t>(
         std::min<std::uint64_t>(stripe.appended, stripe.ring.size()));
     // Slots fill in index order within a stripe, so [0, filled) are live.

@@ -91,10 +91,14 @@ class Journal {
   Journal& operator=(const Journal&) = delete;
 
   /// Records under the calling thread's SolveIdScope (0 when none).
+  /// Flight-recorder appends sit on every hot seam, so they must never
+  /// block (`noblock` analyzer rule).
+  REDIST_NOBLOCK
   void record(JournalEventKind kind, std::int64_t a = 0, std::int64_t b = 0,
               double v = 0.0);
 
   /// Records with an explicit solve ID (pool seams carry the enqueuer's).
+  REDIST_NOBLOCK
   void record_for(std::uint64_t solve_id, JournalEventKind kind,
                   std::int64_t a = 0, std::int64_t b = 0, double v = 0.0);
 
@@ -137,13 +141,13 @@ class Journal {
   static constexpr std::size_t kStripes = 8;
 
   struct Stripe {
-    mutable Mutex mu;
+    mutable Mutex journal_mu REDIST_LOCK_RANK(80);
     /// Slot j holds the event with seq % kStripes == stripe index and
     /// (seq / kStripes) % stripe_capacity == j.
-    std::vector<JournalEvent> ring REDIST_GUARDED_BY(mu);
+    std::vector<JournalEvent> ring REDIST_GUARDED_BY(journal_mu);
     /// Events ever written to this stripe; min(appended, ring.size())
     /// slots are initialized.
-    std::uint64_t appended REDIST_GUARDED_BY(mu) = 0;
+    std::uint64_t appended REDIST_GUARDED_BY(journal_mu) = 0;
   };
 
   std::size_t stripe_capacity_;

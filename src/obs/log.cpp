@@ -101,7 +101,7 @@ void Logger::write(LogLevel level, std::string_view component,
   }
   line += "}\n";
   {
-    MutexLock lock(mu_);
+    MutexLock lock(log_mu_);
     if (sink_ == nullptr) return;
     (*sink_) << line;
     sink_->flush();

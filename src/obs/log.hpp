@@ -81,11 +81,12 @@ class Logger {
   std::uint64_t lines() const { return lines_.load(std::memory_order_relaxed); }
 
  private:
-  std::ostream* sink_ REDIST_GUARDED_BY(mu_);
+  std::ostream* sink_ REDIST_GUARDED_BY(log_mu_);
   const LogLevel min_level_;  // immutable after construction
   const std::function<std::uint64_t()> clock_;
   std::atomic<std::uint64_t> lines_{0};
-  mutable Mutex mu_;
+  // Leaf lock: nothing else is ever acquired under the logger.
+  mutable Mutex log_mu_ REDIST_LOCK_RANK(90);
 };
 
 namespace detail {

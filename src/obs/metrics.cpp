@@ -35,7 +35,7 @@ Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
   std::sort(bounds_.begin(), bounds_.end());
   bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
   for (Stripe& stripe : stripes_) {
-    MutexLock lock(stripe.mu);
+    MutexLock lock(stripe.hist_mu);
     stripe.counts.assign(bounds_.size() + 1, 0);
   }
 }
@@ -47,7 +47,7 @@ void Histogram::record(double x) {
   Stripe& stripe = stripes_[TraceSession::current_tid() % kStripes];
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
   const auto bucket = static_cast<std::size_t>(it - bounds_.begin());
-  MutexLock lock(stripe.mu);
+  MutexLock lock(stripe.hist_mu);
   ++stripe.counts[bucket];
   stripe.summary.add(x);
 }
@@ -57,7 +57,7 @@ HistogramSnapshot Histogram::snapshot() const {
   out.bounds = bounds_;
   out.counts.assign(bounds_.size() + 1, 0);
   for (const Stripe& stripe : stripes_) {
-    MutexLock lock(stripe.mu);
+    MutexLock lock(stripe.hist_mu);
     for (std::size_t i = 0; i < stripe.counts.size(); ++i) {
       out.counts[i] += stripe.counts[i];
     }
@@ -79,7 +79,7 @@ std::vector<double> default_amount_bounds() {
 
 Counter& MetricsRegistry::counter(std::string_view name) {
   Shard& shard = shard_for(name);
-  MutexLock lock(shard.mu);
+  MutexLock lock(shard.shard_mu);
   const auto it = shard.counters.find(name);
   if (it != shard.counters.end()) return *it->second;
   return *shard.counters.emplace(std::string(name), std::make_unique<Counter>())
@@ -88,7 +88,7 @@ Counter& MetricsRegistry::counter(std::string_view name) {
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
   Shard& shard = shard_for(name);
-  MutexLock lock(shard.mu);
+  MutexLock lock(shard.shard_mu);
   const auto it = shard.gauges.find(name);
   if (it != shard.gauges.end()) return *it->second;
   return *shard.gauges.emplace(std::string(name), std::make_unique<Gauge>())
@@ -98,7 +98,7 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
 Histogram& MetricsRegistry::histogram(std::string_view name,
                                       std::vector<double> bounds) {
   Shard& shard = shard_for(name);
-  MutexLock lock(shard.mu);
+  MutexLock lock(shard.shard_mu);
   const auto it = shard.histograms.find(name);
   if (it != shard.histograms.end()) return *it->second;
   if (bounds.empty()) bounds = default_latency_bounds_ms();
@@ -111,7 +111,7 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
 MetricsSnapshot MetricsRegistry::snapshot() const {
   MetricsSnapshot out;
   for (const Shard& shard : shards_) {
-    MutexLock lock(shard.mu);
+    MutexLock lock(shard.shard_mu);
     for (const auto& entry : shard.counters) {
       out.counters.emplace_back(entry.first, entry.second->value());
     }

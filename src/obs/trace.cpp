@@ -18,17 +18,17 @@ std::uint64_t TraceSession::now() const {
 }
 
 void TraceSession::record(TraceEvent&& event) {
-  MutexLock lock(mu_);
+  MutexLock lock(trace_mu_);
   events_.push_back(std::move(event));
 }
 
 std::vector<TraceEvent> TraceSession::snapshot() const {
-  MutexLock lock(mu_);
+  MutexLock lock(trace_mu_);
   return events_;
 }
 
 std::size_t TraceSession::event_count() const {
-  MutexLock lock(mu_);
+  MutexLock lock(trace_mu_);
   return events_.size();
 }
 

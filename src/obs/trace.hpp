@@ -62,6 +62,7 @@ class TraceSession {
   TraceSession& operator=(const TraceSession&) = delete;
 
   std::uint64_t now() const;
+  REDIST_NOBLOCK
   void record(TraceEvent&& event);
 
   std::vector<TraceEvent> snapshot() const;
@@ -75,8 +76,8 @@ class TraceSession {
   // thread, origin_ns_ only rebases the default clock.
   const std::function<std::uint64_t()> clock_;
   const std::uint64_t origin_ns_;
-  mutable Mutex mu_;
-  std::vector<TraceEvent> events_ REDIST_GUARDED_BY(mu_);
+  mutable Mutex trace_mu_ REDIST_LOCK_RANK(75);
+  std::vector<TraceEvent> events_ REDIST_GUARDED_BY(trace_mu_);
 };
 
 /// Renders a double as a JSON number token (no exponent surprises for the

@@ -37,7 +37,7 @@ void FaultInjector::add_rule(const FaultRule& rule) {
                    "connect-refuse rules apply to the connect site");
   REDIST_CHECK_MSG(rule.kind != FaultKind::kShortWrite || rule.chunk_cap > 0,
                    "short-write rules need a positive chunk cap");
-  MutexLock lock(mutex_);
+  MutexLock lock(inject_mutex_);
   rules_.push_back(ArmedRule{rule, rule.count});
 }
 
@@ -45,7 +45,7 @@ FaultPlan FaultInjector::plan_op(FaultSite site) {
   FaultPlan plan;
   std::uint64_t fired = 0;
   {
-    MutexLock lock(mutex_);
+    MutexLock lock(inject_mutex_);
     const std::uint64_t index = ops_[static_cast<std::size_t>(site)]++;
     for (ArmedRule& armed : rules_) {
       const FaultRule& rule = armed.rule;
@@ -90,7 +90,7 @@ FaultPlan FaultInjector::plan_op(FaultSite site) {
 }
 
 std::uint64_t FaultInjector::op_count(FaultSite site) const {
-  MutexLock lock(mutex_);
+  MutexLock lock(inject_mutex_);
   return ops_[static_cast<std::size_t>(site)];
 }
 

@@ -100,10 +100,11 @@ class FaultInjector {
     std::uint64_t remaining;
   };
 
-  mutable Mutex mutex_;
-  Rng rng_ REDIST_GUARDED_BY(mutex_);
-  std::vector<ArmedRule> rules_ REDIST_GUARDED_BY(mutex_);
-  std::uint64_t ops_[3] REDIST_GUARDED_BY(mutex_) = {0, 0, 0};
+  // Taken at syscall seams while a mesh link's send_mutex is held.
+  mutable Mutex inject_mutex_ REDIST_LOCK_RANK(40);
+  Rng rng_ REDIST_GUARDED_BY(inject_mutex_);
+  std::vector<ArmedRule> rules_ REDIST_GUARDED_BY(inject_mutex_);
+  std::uint64_t ops_[3] REDIST_GUARDED_BY(inject_mutex_) = {0, 0, 0};
   std::atomic<std::uint64_t> injected_{0};
 };
 

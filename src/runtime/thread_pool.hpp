@@ -7,7 +7,7 @@
 // solve_kpbs_batch does) if failure is an expected outcome.
 //
 // Locking discipline is machine-checked: queue_, active_ and stopping_
-// are REDIST_GUARDED_BY(mutex_) and clang -Werror=thread-safety proves
+// are REDIST_GUARDED_BY(pool_mutex_) and clang -Werror=thread-safety proves
 // every access holds the lock (docs/STATIC_ANALYSIS.md). The worker loop
 // releases the lock around the job body through MutexLock's checked
 // unlock()/lock(), and waits are explicit while-loops because the
@@ -48,7 +48,7 @@ class ThreadPool {
   ~ThreadPool() {
     wait_idle();
     {
-      MutexLock lock(mutex_);
+      MutexLock lock(pool_mutex_);
       stopping_ = true;
     }
     work_available_.notify_all();
@@ -63,6 +63,7 @@ class ThreadPool {
   /// Enqueues a job. Safe to call from any thread, including from a job.
   /// The submitter's SolveIdScope is captured with the job so journal
   /// events on the worker join the enqueuing solve.
+  REDIST_NOBLOCK
   void submit(std::function<void()> job) {
     obs::MetricsRegistry* const metrics = obs::metrics();
     std::uint64_t enqueue_ns = 0;
@@ -73,7 +74,7 @@ class ThreadPool {
     const std::uint64_t solve_id = obs::SolveIdScope::current();
     std::size_t depth = 0;
     {
-      MutexLock lock(mutex_);
+      MutexLock lock(pool_mutex_);
       queue_.push_back(QueuedJob{std::move(job), enqueue_ns, solve_id});
       depth = queue_.size();
       if (metrics != nullptr) {
@@ -92,8 +93,8 @@ class ThreadPool {
   /// Blocks until every submitted job has completed. The pool is reusable
   /// afterwards (submit/wait cycles may repeat).
   void wait_idle() {
-    MutexLock lock(mutex_);
-    while (!queue_.empty() || active_ != 0) idle_.wait(mutex_);
+    MutexLock lock(pool_mutex_);
+    while (!queue_.empty() || active_ != 0) idle_.wait(pool_mutex_);
   }
 
  private:
@@ -104,9 +105,9 @@ class ThreadPool {
   };
 
   void work() {
-    MutexLock lock(mutex_);
+    MutexLock lock(pool_mutex_);
     for (;;) {
-      while (!stopping_ && queue_.empty()) work_available_.wait(mutex_);
+      while (!stopping_ && queue_.empty()) work_available_.wait(pool_mutex_);
       if (queue_.empty()) return;  // only reachable when stopping
       QueuedJob entry = std::move(queue_.front());
       queue_.pop_front();
@@ -156,15 +157,17 @@ class ThreadPool {
     }
   }
 
-  Mutex mutex_;
+  // Outermost lock in the process hierarchy: held while updating the
+  // queue-depth gauge, so it must order before the metrics shards.
+  Mutex pool_mutex_ REDIST_ACQUIRED_BEFORE(shard_mu) REDIST_LOCK_RANK(10);
   CondVar work_available_;
   CondVar idle_;
-  std::deque<QueuedJob> queue_ REDIST_GUARDED_BY(mutex_);
+  std::deque<QueuedJob> queue_ REDIST_GUARDED_BY(pool_mutex_);
   // Written only by the constructor, joined only by the destructor (both
   // single-threaded by contract).
   std::vector<std::thread> workers_;  // redist-lint: allow(mutex-guard)
-  int active_ REDIST_GUARDED_BY(mutex_) = 0;
-  bool stopping_ REDIST_GUARDED_BY(mutex_) = false;
+  int active_ REDIST_GUARDED_BY(pool_mutex_) = 0;
+  bool stopping_ REDIST_GUARDED_BY(pool_mutex_) = false;
 };
 
 }  // namespace redist

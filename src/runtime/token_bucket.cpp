@@ -33,7 +33,7 @@ void TokenBucket::acquire(Bytes n) {
     for (;;) {
       double wait_seconds = 0;
       {
-        MutexLock lock(mutex_);
+        MutexLock lock(bucket_mutex_);
         refill_locked(Clock::now());
         if (tokens_ >= gulp) {
           tokens_ -= gulp;
@@ -54,7 +54,7 @@ bool TokenBucket::try_acquire(Bytes n) {
   REDIST_CHECK(n >= 0);
   const double want = static_cast<double>(n);
   if (want > burst_) return false;
-  MutexLock lock(mutex_);
+  MutexLock lock(bucket_mutex_);
   refill_locked(Clock::now());
   if (tokens_ >= want) {
     tokens_ -= want;

@@ -5,8 +5,8 @@
 // user space: acquire(n) blocks the calling thread until n byte-tokens are
 // available. Buckets refill continuously at `rate_bps` up to `burst_bytes`.
 //
-// tokens_ and last_refill_ are REDIST_GUARDED_BY(mutex_) and
-// refill_locked() carries REDIST_REQUIRES(mutex_), so the "caller holds
+// tokens_ and last_refill_ are REDIST_GUARDED_BY(bucket_mutex_) and
+// refill_locked() carries REDIST_REQUIRES(bucket_mutex_), so the "caller holds
 // the mutex" contract is compiler-checked under clang -Wthread-safety
 // instead of being a comment.
 #pragma once
@@ -39,13 +39,13 @@ class TokenBucket {
   using Clock = std::chrono::steady_clock;
 
   /// Refills based on elapsed time.
-  void refill_locked(Clock::time_point now) REDIST_REQUIRES(mutex_);
+  void refill_locked(Clock::time_point now) REDIST_REQUIRES(bucket_mutex_);
 
   const double rate_bps_;
   const double burst_;
-  Mutex mutex_;
-  double tokens_ REDIST_GUARDED_BY(mutex_);
-  Clock::time_point last_refill_ REDIST_GUARDED_BY(mutex_);
+  Mutex bucket_mutex_ REDIST_LOCK_RANK(30);
+  double tokens_ REDIST_GUARDED_BY(bucket_mutex_);
+  Clock::time_point last_refill_ REDIST_GUARDED_BY(bucket_mutex_);
 };
 
 }  // namespace redist

@@ -1,0 +1,15 @@
+// Lock-rank fixture: declared REDIST_ACQUIRED_BEFORE edges are checked
+// for rank monotonicity, unknown targets, and cycles. Never compiled.
+#include <mutex>
+
+namespace redist {
+
+struct CycleLocks {
+  // MUST FIRE (cycle + inversion): c_mu -> d_mu -> c_mu cannot be ranked.
+  Mutex c_mu REDIST_ACQUIRED_BEFORE(d_mu) REDIST_LOCK_RANK(30);
+  Mutex d_mu REDIST_ACQUIRED_BEFORE(c_mu) REDIST_LOCK_RANK(40);
+  // MUST FIRE: REDIST_ACQUIRED_BEFORE names a lock that does not exist.
+  Mutex e_mu REDIST_ACQUIRED_BEFORE(ghost_mu) REDIST_LOCK_RANK(50);
+};
+
+}  // namespace redist

@@ -1,0 +1,46 @@
+// Lock-rank fixture: every Mutex declares its place in the acquisition
+// order, and ranks must strictly increase along every chain — both the
+// directly nested MutexLock scopes and the edges derived through the call
+// graph. Never compiled.
+#include <mutex>
+
+namespace redist {
+
+struct Locks {
+  Mutex a_mu REDIST_LOCK_RANK(10);
+  Mutex b_mu REDIST_LOCK_RANK(20);
+  // MUST FIRE: a lock with no declared rank.
+  Mutex naked_mu;
+  // redist-analyze: allow(lock-rank) fixture exercises suppression
+  Mutex hushed_mu;
+};
+
+void fixture_inverted(Locks& l) {
+  MutexLock outer(l.b_mu);
+  // MUST FIRE: acquiring rank 10 while rank 20 is held.
+  MutexLock inner(l.a_mu);
+}
+
+void fixture_ordered(Locks& l) {
+  // NEAR MISS: ranks strictly increase along this chain.
+  MutexLock outer(l.a_mu);
+  MutexLock inner(l.b_mu);
+}
+
+void fixture_take_a(Locks& l) { MutexLock guard(l.a_mu); }
+void fixture_take_b(Locks& l) { MutexLock guard(l.b_mu); }
+
+void fixture_interprocedural_inversion(Locks& l) {
+  MutexLock outer(l.b_mu);
+  // MUST FIRE: the callee's transitive closure acquires rank 10 while
+  // rank 20 is held here.
+  fixture_take_a(l);
+}
+
+void fixture_interprocedural_ordered(Locks& l) {
+  // NEAR MISS: the derived edge a_mu -> b_mu points up the rank order.
+  MutexLock outer(l.a_mu);
+  fixture_take_b(l);
+}
+
+}  // namespace redist

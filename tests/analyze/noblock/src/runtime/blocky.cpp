@@ -1,0 +1,78 @@
+// Noblock fixture: nothing may park the thread while a lock is held
+// (sleeps, socket waits, pool enqueue, waiting on someone else's condvar),
+// and nothing blocking may be reachable from a REDIST_NOBLOCK function.
+// Never compiled.
+#include <mutex>
+
+namespace redist {
+
+struct Worker {
+  Mutex q_mu REDIST_LOCK_RANK(10);
+  Mutex side_mu REDIST_LOCK_RANK(20);
+  CondVar cv;
+};
+
+void fixture_sleep_under_lock(Worker& w) {
+  MutexLock lock(w.q_mu);
+  // MUST FIRE: the sleep parks the thread with q_mu held.
+  sleep_for(Millis(5));
+}
+
+void fixture_unlock_then_sleep(Worker& w) {
+  MutexLock lock(w.q_mu);
+  lock.unlock();
+  // NEAR MISS: the checked transition released q_mu before the sleep.
+  sleep_for(Millis(5));
+  lock.lock();
+}
+
+void fixture_own_wait(Worker& w) {
+  MutexLock lock(w.q_mu);
+  // NEAR MISS: waiting on the one held mutex is the worker-loop idiom.
+  w.cv.wait(w.q_mu);
+}
+
+void fixture_foreign_wait(Worker& w) {
+  MutexLock lock(w.q_mu);
+  // MUST FIRE: this wait keeps q_mu held for the whole sleep.
+  w.cv.wait(w.side_mu);
+}
+
+void fixture_enqueue_under_lock(Worker& w, ThreadPool& pool) {
+  MutexLock lock(w.q_mu);
+  // MUST FIRE: pool enqueue is a blocking sink.
+  pool.submit(make_job());
+}
+
+void fixture_slow_helper() { sleep_for(Millis(5)); }
+
+void fixture_chained_block(Worker& w) {
+  MutexLock lock(w.q_mu);
+  // MUST FIRE: the callee reaches a sleep while q_mu is held here.
+  fixture_slow_helper();
+}
+
+REDIST_ALLOW_BLOCK("fixture exercises the audited-boundary escape")
+void fixture_sanctioned(Worker& w) {
+  MutexLock lock(w.q_mu);
+  // NEAR MISS: the enclosing function is an audited boundary.
+  sleep_for(Millis(5));
+}
+
+REDIST_NOBLOCK
+void fixture_hot_path(Worker& w);
+
+void fixture_hot_path(Worker& w) { fixture_hot_helper(w); }
+
+void fixture_hot_helper(Worker& w) {
+  // MUST FIRE: reachable from REDIST_NOBLOCK fixture_hot_path.
+  usleep(10);
+}
+
+REDIST_NOBLOCK
+void fixture_hot_clean(Worker& w) {
+  // NEAR MISS: arithmetic only; nothing blocking is reachable.
+  w.cv.notify_one();
+}
+
+}  // namespace redist

@@ -166,6 +166,121 @@ TEST(Analyze, LockTransitionScopedToNetAndRobustWithSuppression) {
   EXPECT_EQ(r.findings.size(), locks.size());
 }
 
+TEST(Analyze, LockRankInversionsDirectAndInterprocedural) {
+  const auto r = analyze_fixture("lockrank", {"src/runtime/ranks.cpp"});
+  const auto ranks = by_rule(r, "lock-rank");
+  // Expected: the unranked lock, the direct inversion, the derived
+  // (call-graph) inversion, and the cycle those two inversions close with
+  // the correctly-ordered chain. The suppressed unranked lock and both
+  // ordered chains stay silent.
+  EXPECT_EQ(r.findings.size(), ranks.size())
+      << redist::analyze::format_report(r.findings);
+  ASSERT_EQ(ranks.size(), 4u) << redist::analyze::format_report(r.findings);
+
+  EXPECT_TRUE(std::any_of(ranks.begin(), ranks.end(), [](const Finding& f) {
+    return f.message.find("'naked_mu' has no REDIST_LOCK_RANK") !=
+           std::string::npos;
+  }));
+  EXPECT_FALSE(std::any_of(ranks.begin(), ranks.end(), [](const Finding& f) {
+    return f.message.find("hushed_mu") != std::string::npos;
+  }));
+  EXPECT_TRUE(std::any_of(ranks.begin(), ranks.end(), [](const Finding& f) {
+    return f.message.find("acquired directly in 'fixture_inverted'") !=
+           std::string::npos;
+  }));
+  EXPECT_TRUE(std::any_of(ranks.begin(), ranks.end(), [](const Finding& f) {
+    return f.message.find("via call to 'fixture_take_a' in "
+                          "'fixture_interprocedural_inversion'") !=
+           std::string::npos;
+  }));
+  EXPECT_TRUE(std::any_of(ranks.begin(), ranks.end(), [](const Finding& f) {
+    return f.message.find("lock acquisition cycle") != std::string::npos;
+  }));
+}
+
+TEST(Analyze, LockRankDeclaredCycleAndUnknownTarget) {
+  const auto r = analyze_fixture("lockrank", {"src/runtime/cycle.cpp"});
+  const auto ranks = by_rule(r, "lock-rank");
+  EXPECT_EQ(r.findings.size(), ranks.size())
+      << redist::analyze::format_report(r.findings);
+  // The d_mu -> c_mu edge inverts the ranks, the pair forms a declared
+  // cycle, and e_mu points at a lock that does not exist.
+  ASSERT_EQ(ranks.size(), 3u) << redist::analyze::format_report(r.findings);
+  EXPECT_TRUE(std::any_of(ranks.begin(), ranks.end(), [](const Finding& f) {
+    return f.message.find("declared by REDIST_ACQUIRED_BEFORE") !=
+           std::string::npos;
+  }));
+  EXPECT_TRUE(std::any_of(ranks.begin(), ranks.end(), [](const Finding& f) {
+    return f.message.find("lock acquisition cycle") != std::string::npos;
+  }));
+  EXPECT_TRUE(std::any_of(ranks.begin(), ranks.end(), [](const Finding& f) {
+    return f.message.find("unknown lock 'ghost_mu'") != std::string::npos;
+  }));
+}
+
+TEST(Analyze, NoblockUnderLockAndReachabilityWithEscapes) {
+  const auto r = analyze_fixture("noblock", {"src/runtime/blocky.cpp"});
+  const auto blocks = by_rule(r, "noblock");
+  EXPECT_EQ(r.findings.size(), blocks.size())
+      << redist::analyze::format_report(r.findings);
+  // Expected: the sleep under q_mu, the foreign condvar wait, the pool
+  // enqueue, the interprocedural chain into the sleeping helper, and the
+  // usleep reachable from the REDIST_NOBLOCK hot path. The unlock-then-
+  // sleep, own-mutex wait, ALLOW_BLOCK boundary, and clean hot path stay
+  // silent.
+  ASSERT_EQ(blocks.size(), 5u) << redist::analyze::format_report(r.findings);
+
+  EXPECT_TRUE(std::any_of(blocks.begin(), blocks.end(), [](const Finding& f) {
+    return f.message.find("'sleep_for' in 'fixture_sleep_under_lock'") !=
+           std::string::npos;
+  }));
+  EXPECT_FALSE(std::any_of(blocks.begin(), blocks.end(), [](const Finding& f) {
+    return f.message.find("fixture_unlock_then_sleep") != std::string::npos ||
+           f.message.find("fixture_own_wait") != std::string::npos ||
+           f.message.find("fixture_sanctioned") != std::string::npos;
+  }));
+  EXPECT_TRUE(std::any_of(blocks.begin(), blocks.end(), [](const Finding& f) {
+    return f.message.find("condvar wait under a different lock") !=
+           std::string::npos;
+  }));
+  EXPECT_TRUE(std::any_of(blocks.begin(), blocks.end(), [](const Finding& f) {
+    return f.message.find("'submit' in 'fixture_enqueue_under_lock'") !=
+           std::string::npos;
+  }));
+  EXPECT_TRUE(std::any_of(blocks.begin(), blocks.end(), [](const Finding& f) {
+    return f.message.find("call to 'fixture_slow_helper'") !=
+               std::string::npos &&
+           f.message.find("blocking 'sleep_for'") != std::string::npos;
+  }));
+  EXPECT_TRUE(std::any_of(blocks.begin(), blocks.end(), [](const Finding& f) {
+    return f.message.find("reachable from REDIST_NOBLOCK "
+                          "'fixture_hot_path'") != std::string::npos;
+  }));
+}
+
+TEST(Analyze, NoallocDirectChainEscapeAndSuppression) {
+  const auto r = analyze_fixture("noalloc", {"src/matching/hot.cpp"});
+  const auto allocs = by_rule(r, "noalloc");
+  EXPECT_EQ(r.findings.size(), allocs.size())
+      << redist::analyze::format_report(r.findings);
+  // Expected: the bare new and the push_back reached through the call
+  // chain. The clean probe, the ALLOW_ALLOC boundary, and the suppressed
+  // growth stay silent.
+  ASSERT_EQ(allocs.size(), 2u) << redist::analyze::format_report(r.findings);
+  EXPECT_TRUE(std::any_of(allocs.begin(), allocs.end(), [](const Finding& f) {
+    return f.message.find("allocation 'new' in 'fixture_direct_new'") !=
+           std::string::npos;
+  }));
+  EXPECT_TRUE(std::any_of(allocs.begin(), allocs.end(), [](const Finding& f) {
+    return f.message.find("'push_back' in 'fixture_grow' (reached via "
+                          "'fixture_probe')") != std::string::npos;
+  }));
+  EXPECT_FALSE(std::any_of(allocs.begin(), allocs.end(), [](const Finding& f) {
+    return f.message.find("fixture_buffered") != std::string::npos ||
+           f.message.find("fixture_hushed") != std::string::npos;
+  }));
+}
+
 TEST(Analyze, ContractDriftRemovalAdditionAndMissingBaseline) {
   const std::vector<SourceFile> sources = {
       {"src/kpbs/contract.hpp",
@@ -229,7 +344,7 @@ TEST(Analyze, RuleListingCoversEveryRule) {
   for (const auto& id : redist::analyze::rule_ids()) {
     EXPECT_FALSE(redist::analyze::rule_description(id).empty()) << id;
   }
-  EXPECT_EQ(redist::analyze::rule_ids().size(), 8u);
+  EXPECT_EQ(redist::analyze::rule_ids().size(), 11u);
 }
 
 TEST(Analyze, TusFromCompileCommandsStripsRootAndForeignEntries) {

@@ -5,6 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -124,6 +127,101 @@ TEST(ThreadPoolSafety, DestructorDrainsTheQueue) {
   }  // ~ThreadPool waits for idle before joining
   EXPECT_EQ(done.load(), 128);
 }
+
+#if REDIST_LOCK_RANK_CHECKS
+
+TEST(LockRankSentinel, InOrderAcquisitionIsClean) {
+  Mutex outer REDIST_LOCK_RANK(10);
+  Mutex inner REDIST_LOCK_RANK(20);
+  MutexLock first(outer);
+  MutexLock second(inner);
+  SUCCEED();  // ranks strictly increased; the sentinel stayed silent
+}
+
+TEST(LockRankSentinel, InversionAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Mutex outer REDIST_LOCK_RANK(10);
+  Mutex inner REDIST_LOCK_RANK(20);
+  EXPECT_DEATH(
+      {
+        MutexLock first(inner);
+        MutexLock second(outer);  // rank 10 under rank 20: inversion
+      },
+      "lock-rank inversion");
+}
+
+TEST(LockRankSentinel, TryLockIsExemptFromTheOrderCheck) {
+  // try_lock cannot deadlock, so acquiring a lower rank this way is legal —
+  // but the success still lands on the held stack, so a later *blocking*
+  // out-of-order acquisition underneath it would abort.
+  Mutex outer REDIST_LOCK_RANK(10);
+  Mutex inner REDIST_LOCK_RANK(20);
+  MutexLock first(inner);
+  ASSERT_TRUE(outer.try_lock());
+  outer.unlock();
+}
+
+TEST(LockRankSentinel, CondVarWaitKeepsTheHeldStackConsistent) {
+  // The condvar releases and re-acquires through the annotated Mutex, so
+  // the waiter's held stack must be balanced across the sleep: after the
+  // wait it can still take a higher-ranked lock.
+  Mutex mu REDIST_LOCK_RANK(10);
+  Mutex after REDIST_LOCK_RANK(20);
+  CondVar cv;
+  bool ready = false;
+  std::thread waiter([&]() {
+    MutexLock lock(mu);
+    while (!ready) cv.wait(mu);
+    MutexLock next(after);
+  });
+  {
+    MutexLock lock(mu);
+    ready = true;
+  }
+  cv.notify_one();
+  waiter.join();
+  SUCCEED();
+}
+
+std::atomic<int> g_wait_hook_calls{0};
+void fixture_count_wait(int, std::uint64_t) { g_wait_hook_calls.fetch_add(1); }
+
+TEST(LockRankSentinel, ContendedAcquisitionFeedsTheWaitHook) {
+  lockrank::set_wait_hook(&fixture_count_wait);
+  g_wait_hook_calls.store(0);
+  Mutex mu REDIST_LOCK_RANK(10);
+  // Retried because the rendezvous is timing-based: the main thread spins
+  // until the holder provably owns mu, then blocks on it mid-nap.
+  for (int attempt = 0; attempt < 5 && g_wait_hook_calls.load() == 0;
+       ++attempt) {
+    std::atomic<bool> holder_done{false};
+    std::thread holder([&]() {
+      {
+        MutexLock lock(mu);
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      }
+      holder_done.store(true);
+    });
+    while (!holder_done.load() && mu.try_lock()) {
+      mu.unlock();
+      std::this_thread::yield();
+    }
+    { MutexLock lock(mu); }  // contends with the holder's nap
+    holder.join();
+  }
+  lockrank::set_wait_hook(nullptr);
+  EXPECT_GE(g_wait_hook_calls.load(), 1);
+}
+
+#else  // !REDIST_LOCK_RANK_CHECKS
+
+TEST(LockRankSentinel, CompiledOutMutexIsZeroCost) {
+  // With the sentinel off, the rank tag must leave no trace in the object:
+  // Mutex stays a plain std::mutex wrapper, bit for bit.
+  EXPECT_EQ(sizeof(redist::Mutex), sizeof(std::mutex));
+}
+
+#endif  // REDIST_LOCK_RANK_CHECKS
 
 TEST(TokenBucketSafety, ConcurrentTryAcquireNeverOverIssues) {
   // Very slow refill so the budget is essentially the burst; concurrent

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdlib>
 #include <deque>
+#include <functional>
 #include <fstream>
 #include <map>
 #include <set>
@@ -346,7 +348,9 @@ bool is_header(const std::string& path) {
 // ---------------------------------------------------------------------------
 
 struct Contract {
-  std::string kind;  // "deterministic" | "pure" | "allow_nondet"
+  // "deterministic" | "pure" | "allow_nondet" | "noblock" | "noalloc" |
+  // "allow_block" | "allow_alloc"
+  std::string kind;
   std::string function;
   std::string file;
   int line = 0;
@@ -459,6 +463,16 @@ void index_contracts(const std::string& path, const std::vector<Token>& toks,
       kind = "pure";
     } else if (toks[i].text == "REDIST_ALLOW_NONDET") {
       kind = "allow_nondet";
+      if (tok_is(toks, scan, "(")) scan = match_paren(toks, scan) + 1;
+    } else if (toks[i].text == "REDIST_NOBLOCK") {
+      kind = "noblock";
+    } else if (toks[i].text == "REDIST_NOALLOC") {
+      kind = "noalloc";
+    } else if (toks[i].text == "REDIST_ALLOW_BLOCK") {
+      kind = "allow_block";
+      if (tok_is(toks, scan, "(")) scan = match_paren(toks, scan) + 1;
+    } else if (toks[i].text == "REDIST_ALLOW_ALLOC") {
+      kind = "allow_alloc";
       if (tok_is(toks, scan, "(")) scan = match_paren(toks, scan) + 1;
     } else {
       continue;
@@ -642,7 +656,11 @@ std::unordered_set<std::string> body_callees(const std::vector<Token>& toks,
 /// sanctioned place for RNG/clock identifiers.
 bool exempt_from_sinks(const std::string& path) {
   return path == "src/common/rng.hpp" || path == "src/common/rng.cpp" ||
-         path == "src/common/stopwatch.hpp";
+         path == "src/common/stopwatch.hpp" ||
+         // The annotated mutex wrapper: the lock-rank sentinel inside it
+         // times waits and aborts on inversion, which is diagnostic
+         // machinery, not program behavior.
+         path == "src/common/sync.hpp";
 }
 
 // ---------------------------------------------------------------------------
@@ -859,6 +877,666 @@ void check_lock_transitions(Analysis& a) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Concurrency-hazard rules: lock-rank, noblock, noalloc
+// ---------------------------------------------------------------------------
+
+/// A `Mutex <name> [REDIST_ACQUIRED_BEFORE(...)] [REDIST_LOCK_RANK(n)];`
+/// member declaration. Lock member names are unique repo-wide by
+/// convention, which is what lets the token-level pass resolve a name to
+/// its rank without type information.
+struct LockDecl {
+  std::string name;
+  int rank = 0;
+  bool ranked = false;
+  std::vector<std::string> before;  // REDIST_ACQUIRED_BEFORE targets
+  std::string file;
+  int line = 0;
+};
+
+void index_lock_decls(const std::string& path, const std::vector<Token>& toks,
+                      std::vector<LockDecl>& out) {
+  // Only library code declares ranked locks; sync.hpp is the wrapper's own
+  // definition site (macros, the Mutex class, doc examples).
+  if (path.rfind("src/", 0) != 0 || path == "src/common/sync.hpp") return;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != 'i' || toks[i].text != "Mutex") continue;
+    if (toks[i + 1].kind != 'i') continue;  // `Mutex&`, `Mutex(`, `class ... {`
+    if (i > 0 && toks[i - 1].kind == 'i' &&
+        (toks[i - 1].text == "class" || toks[i - 1].text == "struct" ||
+         toks[i - 1].text == "friend")) {
+      continue;
+    }
+    LockDecl d;
+    d.name = toks[i + 1].text;
+    d.file = path;
+    d.line = toks[i].line;
+    std::size_t j = i + 2;
+    bool terminated = false;
+    while (j < toks.size()) {
+      if (tok_is(toks, j, ";")) {
+        terminated = true;
+        break;
+      }
+      if (toks[j].kind == 'i' && toks[j].text == "REDIST_LOCK_RANK" &&
+          tok_is(toks, j + 1, "(")) {
+        const std::size_t close = match_paren(toks, j + 1);
+        for (std::size_t k = j + 2; k < close; ++k) {
+          if (toks[k].kind == 'n') {
+            d.rank = std::atoi(toks[k].text.c_str());
+            d.ranked = true;
+          }
+        }
+        j = close + 1;
+        continue;
+      }
+      if (toks[j].kind == 'i' && toks[j].text == "REDIST_ACQUIRED_BEFORE" &&
+          tok_is(toks, j + 1, "(")) {
+        const std::size_t close = match_paren(toks, j + 1);
+        for (std::size_t k = j + 2; k < close; ++k) {
+          if (toks[k].kind == 'i') d.before.push_back(toks[k].text);
+        }
+        j = close + 1;
+        continue;
+      }
+      break;  // some other construct (`Mutex m = ...`): not a plain decl
+    }
+    if (terminated) out.push_back(d);
+  }
+}
+
+/// Calls that park the thread: sleeps, socket waits, pool enqueue. Condvar
+/// waits are handled separately (waiting on the one held mutex is the
+/// designed idiom; anything else blocks).
+const std::unordered_set<std::string>& blocking_idents() {
+  static const std::unordered_set<std::string> k = {
+      "sleep_for", "sleep_until", "usleep",   "nanosleep",
+      "sleep",     "poll",        "select",   "accept",
+      "send_all",  "recv_all",    "connect_loopback", "submit"};
+  return k;
+}
+
+bool is_condvar_wait(const std::vector<Token>& toks, std::size_t i) {
+  return toks[i].kind == 'i' &&
+         (toks[i].text == "wait" || toks[i].text == "wait_for" ||
+          toks[i].text == "wait_until") &&
+         tok_is(toks, i + 1, "(") && i > 0 && tok_is(toks, i - 1, ".");
+}
+
+/// Allocation sinks for REDIST_NOALLOC: direct allocator calls plus the
+/// container-growth member verbs.
+const std::unordered_set<std::string>& alloc_idents() {
+  static const std::unordered_set<std::string> k = {
+      "malloc",   "calloc",       "realloc",     "strdup",  "aligned_alloc",
+      "push_back", "emplace_back", "emplace",    "insert",  "resize",
+      "reserve",  "append",       "make_unique", "make_shared", "to_string"};
+  return k;
+}
+
+struct BodySink {
+  std::string ident;
+  int line = 0;
+};
+
+std::string join_names(const std::vector<std::string>& names) {
+  std::string out;
+  for (const auto& n : names) {
+    if (!out.empty()) out += ", ";
+    out += n;
+  }
+  return out;
+}
+
+std::vector<BodySink> body_blocking_sinks(const std::vector<Token>& toks,
+                                          std::size_t begin, std::size_t end) {
+  std::vector<BodySink> out;
+  for (std::size_t i = begin; i < end && i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != 'i') continue;
+    if (blocking_idents().count(toks[i].text) && tok_is(toks, i + 1, "(")) {
+      out.push_back({toks[i].text, toks[i].line});
+    } else if (is_condvar_wait(toks, i)) {
+      out.push_back({toks[i].text, toks[i].line});
+    }
+  }
+  return out;
+}
+
+std::vector<BodySink> body_alloc_sinks(const std::vector<Token>& toks,
+                                       std::size_t begin, std::size_t end) {
+  std::vector<BodySink> out;
+  for (std::size_t i = begin; i < end && i < toks.size(); ++i) {
+    if (toks[i].kind != 'i') continue;
+    if (toks[i].text == "new") {
+      out.push_back({"new", toks[i].line});
+    } else if (alloc_idents().count(toks[i].text) && tok_is(toks, i + 1, "(")) {
+      out.push_back({toks[i].text, toks[i].line});
+    }
+  }
+  return out;
+}
+
+/// What one function body does with locks, from a single token walk:
+/// MutexLock scopes (tracking the checked mid-scope unlock()/lock()
+/// transitions), direct blocking sinks and condvar waits under a held
+/// lock, nested acquisitions, and every call made while holding a lock.
+struct LockScopeScan {
+  std::vector<std::string> acquired;  // every lock MutexLock'd in the body
+  struct Edge {
+    std::string from, to;
+    int line = 0;
+  };
+  std::vector<Edge> nested;  // direct acquire-while-holding pairs
+  struct Call {
+    std::vector<std::string> held;
+    std::string callee;
+    int line = 0;
+  };
+  std::vector<Call> calls;
+  struct BlockedSink {
+    std::string ident;
+    std::string detail;
+    std::string held;
+    int line = 0;
+  };
+  std::vector<BlockedSink> sinks;  // blocking calls under a held lock
+};
+
+LockScopeScan scan_lock_scopes(const std::vector<Token>& toks,
+                               std::size_t begin, std::size_t end) {
+  LockScopeScan out;
+  struct Held {
+    std::string lock;
+    std::string var;
+    int depth;
+    bool active;
+  };
+  std::vector<Held> held;
+  auto active_names = [&held]() {
+    std::vector<std::string> names;
+    for (const Held& h : held)
+      if (h.active) names.push_back(h.lock);
+    return names;
+  };
+  int depth = 1;  // begin points just after the body '{'
+  for (std::size_t i = begin; i < end && i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind == 'p') {
+      if (t.text == "{") ++depth;
+      if (t.text == "}") {
+        --depth;
+        held.erase(std::remove_if(held.begin(), held.end(),
+                                  [&](const Held& h) {
+                                    return h.depth > depth;
+                                  }),
+                   held.end());
+        if (depth <= 0) break;
+      }
+      continue;
+    }
+    if (t.kind != 'i') continue;
+
+    // `MutexLock var(expr);` — the acquisition marker. The lock name is
+    // the last identifier inside the parens (`stripe.hist_mu`, `mutex_`).
+    if (t.text == "MutexLock" && i + 2 < end && toks[i + 1].kind == 'i' &&
+        tok_is(toks, i + 2, "(")) {
+      const std::size_t close = match_paren(toks, i + 2);
+      std::string lock_name;
+      for (std::size_t k = i + 3; k < close; ++k) {
+        if (toks[k].kind == 'i') lock_name = toks[k].text;
+      }
+      if (!lock_name.empty()) {
+        for (const Held& h : held) {
+          if (h.active) out.nested.push_back({h.lock, lock_name, t.line});
+        }
+        out.acquired.push_back(lock_name);
+        held.push_back({lock_name, toks[i + 1].text, depth, true});
+      }
+      i = close;
+      continue;
+    }
+
+    // `var.unlock()` / `var.lock()` — the checked mid-scope transitions.
+    if ((t.text == "unlock" || t.text == "lock") && tok_is(toks, i + 1, "(") &&
+        i >= 2 && tok_is(toks, i - 1, ".") && toks[i - 2].kind == 'i') {
+      const std::string& var = toks[i - 2].text;
+      bool matched = false;
+      for (auto it = held.rbegin(); it != held.rend(); ++it) {
+        if (it->var == var) {
+          it->active = (t.text == "lock");
+          matched = true;
+          break;
+        }
+      }
+      if (matched) {
+        i = match_paren(toks, i + 1);
+        continue;
+      }
+    }
+
+    const auto names = active_names();
+
+    // Condvar waits: waiting on exactly the held mutex is the designed
+    // worker-loop idiom; waiting while holding anything else blocks that
+    // other lock for the duration of the sleep.
+    if (is_condvar_wait(toks, i)) {
+      if (names.empty()) continue;
+      const std::size_t close = match_paren(toks, i + 1);
+      std::string waited;
+      for (std::size_t k = i + 2; k < close; ++k) {
+        if (toks[k].kind == 'i') waited = toks[k].text;
+      }
+      bool own_only = !names.empty();
+      for (const std::string& n : names) own_only = own_only && n == waited;
+      if (!own_only) {
+        out.sinks.push_back({t.text, "condvar wait under a different lock",
+                             join_names(names), t.line});
+      }
+      i = close;
+      continue;
+    }
+
+    if (names.empty()) continue;
+
+    if (blocking_idents().count(t.text) && tok_is(toks, i + 1, "(")) {
+      out.sinks.push_back(
+          {t.text, "blocking call", join_names(names), t.line});
+      continue;
+    }
+    if (tok_is(toks, i + 1, "(") && !stmt_keywords().count(t.text) &&
+        t.text.rfind("REDIST_", 0) != 0) {
+      out.calls.push_back({names, t.text, t.line});
+    }
+  }
+  return out;
+}
+
+/// Shared interprocedural state for the lock-rank and noblock rules.
+struct LockAnalysis {
+  std::vector<LockDecl> decls;
+  std::unordered_map<std::string, const LockDecl*> by_name;
+  std::unordered_map<std::string, std::vector<const FunctionDef*>> defs;
+  // Per function *name* (defs merged): scan results of every definition.
+  std::unordered_map<std::string, std::vector<std::pair<const FunctionDef*,
+                                                        LockScopeScan>>>
+      scans;
+  // Transitive closure: every lock a call to `name` may acquire.
+  std::unordered_map<std::string, std::set<std::string>> acquires;
+  std::unordered_set<std::string> allow_block;
+  // Memo for blocks_through(): "" = proven non-blocking.
+  std::unordered_map<std::string, std::string> blocks_memo;
+
+  /// Returns a human-readable chain to a blocking sink reachable from
+  /// `name`, or "" when none is. Functions marked REDIST_ALLOW_BLOCK are
+  /// audited boundaries and not descended into.
+  std::string blocks_through(const std::string& name,
+                             std::unordered_set<std::string>& visiting) {
+    auto memo = blocks_memo.find(name);
+    if (memo != blocks_memo.end()) return memo->second;
+    if (allow_block.count(name) || !visiting.insert(name).second) return "";
+    std::string result;
+    auto it = scans.find(name);
+    if (it != scans.end()) {
+      for (const auto& [f, scan] : it->second) {
+        if (exempt_from_sinks(f->file)) continue;
+        const auto direct =
+            body_blocking_sinks_cached(f);
+        if (!direct.empty()) {
+          result = "blocking '" + direct.front().ident + "' (" + f->file +
+                   ":" + std::to_string(direct.front().line) + ")";
+          break;
+        }
+      }
+      if (result.empty()) {
+        for (const auto& [f, scan] : it->second) {
+          if (exempt_from_sinks(f->file)) continue;
+          for (const auto& callee : callees_cached(f)) {
+            const std::string sub = blocks_through(callee, visiting);
+            if (!sub.empty()) {
+              result = "'" + callee + "' -> " + sub;
+              break;
+            }
+          }
+          if (!result.empty()) break;
+        }
+      }
+    }
+    visiting.erase(name);
+    blocks_memo[name] = result;
+    return result;
+  }
+
+  // Token re-scans are cheap but repeated; cache per definition.
+  std::unordered_map<const FunctionDef*, std::vector<BodySink>> sink_cache;
+  std::unordered_map<const FunctionDef*, std::unordered_set<std::string>>
+      callee_cache;
+  const Analysis* analysis = nullptr;
+
+  const std::vector<BodySink>& body_blocking_sinks_cached(
+      const FunctionDef* f) {
+    auto it = sink_cache.find(f);
+    if (it != sink_cache.end()) return it->second;
+    const auto& toks = analysis->tokens_of(f->file);
+    return sink_cache
+        .emplace(f, body_blocking_sinks(toks, f->body_begin, f->body_end))
+        .first->second;
+  }
+
+  const std::unordered_set<std::string>& callees_cached(
+      const FunctionDef* f) {
+    auto it = callee_cache.find(f);
+    if (it != callee_cache.end()) return it->second;
+    const auto& toks = analysis->tokens_of(f->file);
+    return callee_cache
+        .emplace(f, body_callees(toks, f->body_begin, f->body_end))
+        .first->second;
+  }
+};
+
+LockAnalysis build_lock_analysis(const Analysis& a) {
+  LockAnalysis la;
+  la.analysis = &a;
+  for (std::size_t i = 0; i < a.sources.size(); ++i)
+    index_lock_decls(a.sources[i].path, a.lexed[i].tokens, la.decls);
+  for (const auto& d : la.decls) la.by_name.emplace(d.name, &d);
+  // Call-graph resolution is by bare name, so scope it to src/: layering
+  // forbids src -> tools calls, and letting a tools-only definition absorb
+  // a name (ostream-style flush(), the CLI wrappers) would fabricate lock
+  // edges no src/ call site can reach.
+  for (const auto& f : a.functions) {
+    if (f.file.rfind("src/", 0) == 0) la.defs[f.name].push_back(&f);
+  }
+  for (const auto& c : a.contracts)
+    if (c.kind == "allow_block") la.allow_block.insert(c.function);
+
+  for (const auto& [name, fns] : la.defs) {
+    auto& per_name = la.scans[name];
+    for (const FunctionDef* f : fns) {
+      const auto& toks = a.tokens_of(f->file);
+      per_name.emplace_back(f,
+                            scan_lock_scopes(toks, f->body_begin, f->body_end));
+    }
+  }
+
+  // acquires*: direct MutexLock names, closed over the call graph to a
+  // fixpoint (the graph is name-merged and tiny, so iteration is fine).
+  for (const auto& [name, scans] : la.scans) {
+    auto& set = la.acquires[name];
+    for (const auto& [f, scan] : scans)
+      set.insert(scan.acquired.begin(), scan.acquired.end());
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [name, scans] : la.scans) {
+      auto& set = la.acquires[name];
+      const std::size_t before = set.size();
+      for (const auto& [f, scan] : scans) {
+        for (const auto& callee : la.callees_cached(f)) {
+          auto it = la.acquires.find(callee);
+          if (it != la.acquires.end())
+            set.insert(it->second.begin(), it->second.end());
+        }
+      }
+      changed = changed || set.size() != before;
+    }
+  }
+  return la;
+}
+
+void check_lock_rank(Analysis& a, LockAnalysis& la) {
+  // 1. Every lock under src/ declares a rank; names resolve unambiguously.
+  std::map<std::string, const LockDecl*> ranked;
+  for (const auto& d : la.decls) {
+    if (!d.ranked) {
+      a.add(d.file, d.line, "lock-rank",
+            "Mutex '" + d.name + "' has no REDIST_LOCK_RANK; every lock "
+            "under src/ must declare its place in the acquisition order "
+            "(docs/STATIC_ANALYSIS.md, layer 4)");
+      continue;
+    }
+    auto [it, fresh] = ranked.emplace(d.name, &d);
+    if (!fresh && it->second->rank != d.rank) {
+      a.add(d.file, d.line, "lock-rank",
+            "lock name '" + d.name + "' is declared with conflicting ranks " +
+            std::to_string(it->second->rank) + " (" + it->second->file + ":" +
+            std::to_string(it->second->line) + ") and " +
+            std::to_string(d.rank) +
+            "; lock member names must be unique repo-wide so the token-level "
+            "pass can resolve them");
+    }
+  }
+  auto rank_of_lock = [&ranked](const std::string& name) -> const LockDecl* {
+    auto it = ranked.find(name);
+    return it == ranked.end() ? nullptr : it->second;
+  };
+
+  struct RankEdge {
+    std::string from, to;
+    std::string file;
+    int line = 0;
+    std::string how;
+  };
+  std::vector<RankEdge> edges;
+
+  // 2. Declared acquired-before edges.
+  for (const auto& d : la.decls) {
+    for (const auto& target : d.before) {
+      if (!la.by_name.count(target)) {
+        a.add(d.file, d.line, "lock-rank",
+              "REDIST_ACQUIRED_BEFORE on '" + d.name + "' names unknown "
+              "lock '" + target + "'");
+        continue;
+      }
+      edges.push_back({d.name, target, d.file, d.line,
+                       "declared by REDIST_ACQUIRED_BEFORE"});
+    }
+  }
+
+  // 3. Derived edges: direct nesting, and calls made under a held lock
+  // into functions whose transitive closure acquires more locks.
+  for (const auto& [name, scans] : la.scans) {
+    for (const auto& [f, scan] : scans) {
+      if (f->file.rfind("src/", 0) != 0) continue;
+      for (const auto& e : scan.nested) {
+        if (e.from == e.to) {
+          a.add(f->file, e.line, "lock-rank",
+                "re-acquires '" + e.to + "' while already holding it in "
+                "'" + name + "' (self-deadlock)");
+          continue;
+        }
+        edges.push_back({e.from, e.to, f->file, e.line,
+                         "acquired directly in '" + name + "'"});
+      }
+      for (const auto& call : scan.calls) {
+        auto acq = la.acquires.find(call.callee);
+        if (acq == la.acquires.end()) continue;
+        for (const auto& inner : acq->second) {
+          for (const auto& outer : call.held) {
+            // Name-merged callees make self-edges through calls too noisy
+            // to act on; direct self-nesting is caught above.
+            if (inner == outer) continue;
+            edges.push_back({outer, inner, f->file, call.line,
+                             "via call to '" + call.callee + "' in '" + name +
+                             "'"});
+          }
+        }
+      }
+    }
+  }
+
+  // 4. Rank monotonicity along every edge.
+  std::set<std::tuple<std::string, std::string, std::string, int>> reported;
+  for (const auto& e : edges) {
+    const LockDecl* from = rank_of_lock(e.from);
+    const LockDecl* to = rank_of_lock(e.to);
+    if (from == nullptr || to == nullptr) continue;  // unranked: flagged above
+    if (from->rank >= to->rank &&
+        reported.insert({e.from, e.to, e.file, e.line}).second) {
+      a.add(e.file, e.line, "lock-rank",
+            "rank inversion: '" + e.to + "' (rank " +
+            std::to_string(to->rank) + ") is acquired while '" + e.from +
+            "' (rank " + std::to_string(from->rank) + ") is held — " +
+            e.how + "; ranks must strictly increase along every "
+            "acquisition chain");
+    }
+  }
+
+  // 5. Cycle detection over the combined edge set (catches equal-rank and
+  // declared-only cycles even where no single edge inverts).
+  std::map<std::string, std::set<std::string>> adj;
+  std::map<std::pair<std::string, std::string>, const RankEdge*> edge_at;
+  for (const auto& e : edges) {
+    if (e.from == e.to) continue;
+    adj[e.from].insert(e.to);
+    edge_at.emplace(std::make_pair(e.from, e.to), &e);
+  }
+  std::set<std::set<std::string>> seen_cycles;
+  std::vector<std::string> stack;
+  std::set<std::string> on_stack;
+  std::function<void(const std::string&)> dfs = [&](const std::string& node) {
+    stack.push_back(node);
+    on_stack.insert(node);
+    for (const auto& next : adj[node]) {
+      if (on_stack.count(next)) {
+        auto it = std::find(stack.begin(), stack.end(), next);
+        std::set<std::string> key(it, stack.end());
+        if (seen_cycles.insert(key).second) {
+          std::string path;
+          for (auto p = it; p != stack.end(); ++p) path += *p + " -> ";
+          path += next;
+          const RankEdge* anchor = edge_at[{node, next}];
+          a.add(anchor->file, anchor->line, "lock-rank",
+                "lock acquisition cycle: " + path + "; the acquired-before "
+                "graph must be a DAG");
+        }
+        continue;
+      }
+      dfs(next);
+    }
+    on_stack.erase(node);
+    stack.pop_back();
+  };
+  std::set<std::string> roots;
+  for (const auto& [from, tos] : adj) roots.insert(from);
+  for (const auto& r : roots) {
+    if (!on_stack.count(r)) dfs(r);
+  }
+}
+
+void check_noblock(Analysis& a, LockAnalysis& la) {
+  // Part 1: nothing blocking under a held lock, anywhere in src/.
+  for (const auto& [name, scans] : la.scans) {
+    if (la.allow_block.count(name)) continue;  // audited boundary
+    for (const auto& [f, scan] : scans) {
+      if (f->file.rfind("src/", 0) != 0 || exempt_from_sinks(f->file))
+        continue;
+      for (const auto& s : scan.sinks) {
+        a.add(f->file, s.line, "noblock",
+              s.detail + " '" + s.ident + "' in '" + name + "' while "
+              "holding '" + s.held + "'; a parked thread holds the lock "
+              "for its whole sleep — mark the function "
+              "REDIST_ALLOW_BLOCK(reason) only if this is by design");
+      }
+      for (const auto& call : scan.calls) {
+        std::unordered_set<std::string> visiting;
+        const std::string chain = la.blocks_through(call.callee, visiting);
+        if (chain.empty()) continue;
+        a.add(f->file, call.line, "noblock",
+              "call to '" + call.callee + "' in '" + name + "' while "
+              "holding '" + join_names(call.held) + "' reaches " + chain +
+              "; mark the boundary REDIST_ALLOW_BLOCK(reason) if this is "
+              "by design");
+      }
+    }
+  }
+
+  // Part 2: nothing blocking reachable from a REDIST_NOBLOCK function.
+  for (const auto& c : a.contracts) {
+    if (c.kind != "noblock") continue;
+    std::unordered_set<std::string> visited;
+    std::deque<std::pair<std::string, std::string>> queue;
+    queue.push_back({c.function, ""});
+    visited.insert(c.function);
+    while (!queue.empty()) {
+      auto [name, via] = queue.front();
+      queue.pop_front();
+      if (la.allow_block.count(name)) continue;
+      auto it = la.scans.find(name);
+      if (it == la.scans.end()) continue;
+      for (const auto& [f, scan] : it->second) {
+        if (exempt_from_sinks(f->file)) continue;
+        for (const BodySink& s : la.body_blocking_sinks_cached(f)) {
+          const std::string where =
+              via.empty() ? "'" + name + "'"
+                          : "'" + name + "' (reached via " + via + ")";
+          a.add(f->file, s.line, "noblock",
+                "blocking '" + s.ident + "' in " + where +
+                ", which is reachable from REDIST_NOBLOCK '" + c.function +
+                "' (" + c.file + ":" + std::to_string(c.line) +
+                "); hot seams must not sleep, wait, touch sockets, or "
+                "enqueue pool work");
+        }
+        const std::string next_via =
+            via.empty() ? "'" + name + "'" : via + " -> '" + name + "'";
+        for (const auto& callee : la.callees_cached(f)) {
+          if (visited.insert(callee).second && la.scans.count(callee))
+            queue.push_back({callee, next_via});
+        }
+      }
+    }
+  }
+}
+
+void check_noalloc(Analysis& a) {
+  std::unordered_set<std::string> exempt;
+  for (const auto& c : a.contracts)
+    if (c.kind == "allow_alloc") exempt.insert(c.function);
+
+  std::unordered_map<std::string, std::vector<const FunctionDef*>> defs;
+  for (const auto& f : a.functions) {
+    // src/-scoped for the same name-merge reason as build_lock_analysis.
+    if (f.file.rfind("src/", 0) == 0) defs[f.name].push_back(&f);
+  }
+
+  for (const auto& c : a.contracts) {
+    if (c.kind != "noalloc") continue;
+    std::unordered_set<std::string> visited;
+    std::deque<std::pair<std::string, std::string>> queue;
+    queue.push_back({c.function, ""});
+    visited.insert(c.function);
+    while (!queue.empty()) {
+      auto [name, via] = queue.front();
+      queue.pop_front();
+      if (exempt.count(name)) continue;  // REDIST_ALLOW_ALLOC boundary
+      auto it = defs.find(name);
+      if (it == defs.end()) continue;
+      for (const FunctionDef* f : it->second) {
+        if (exempt_from_sinks(f->file)) continue;
+        const auto& toks = a.tokens_of(f->file);
+        for (const BodySink& s :
+             body_alloc_sinks(toks, f->body_begin, f->body_end)) {
+          const std::string where =
+              via.empty() ? "'" + name + "'"
+                          : "'" + name + "' (reached via " + via + ")";
+          a.add(f->file, s.line, "noalloc",
+                "allocation '" + s.ident + "' in " + where +
+                ", which is reachable from REDIST_NOALLOC '" + c.function +
+                "' (" + c.file + ":" + std::to_string(c.line) +
+                "); hoist the allocation out of the hot loop or mark the "
+                "helper REDIST_ALLOW_ALLOC with a reason");
+        }
+        const std::string next_via =
+            via.empty() ? "'" + name + "'" : via + " -> '" + name + "'";
+        for (const auto& callee :
+             body_callees(toks, f->body_begin, f->body_end)) {
+          if (visited.insert(callee).second && defs.count(callee))
+            queue.push_back({callee, next_via});
+        }
+      }
+    }
+  }
+}
+
 void check_reachability(Analysis& a, const std::string& rule) {
   const bool pure = (rule == "purity");
   const std::string want = pure ? "pure" : "deterministic";
@@ -1024,9 +1702,10 @@ void apply_suppressions(Analysis& a) {
 
 const std::vector<std::string>& rule_ids() {
   static const std::vector<std::string> ids = {
-      "determinism",    "purity",         "layering",
-      "include-cycle",  "layer-tag",      "contract-drift",
-      "deprecated-api", "lock-transition"};
+      "determinism",    "purity",          "layering",
+      "include-cycle",  "layer-tag",       "contract-drift",
+      "deprecated-api", "lock-transition", "lock-rank",
+      "noblock",        "noalloc"};
   return ids;
 }
 
@@ -1054,7 +1733,19 @@ std::string rule_description(const std::string& id) {
        "must not come back; use solve_kpbs(graph, SolverOptions{...})"},
       {"lock-transition",
        "no manual .lock()/.unlock()/.try_lock() in src/net or src/robust; "
-       "use MutexLock RAII scopes"}};
+       "use MutexLock RAII scopes"},
+      {"lock-rank",
+       "every Mutex under src/ declares REDIST_LOCK_RANK(n); ranks must "
+       "strictly increase along every acquisition chain (declared "
+       "REDIST_ACQUIRED_BEFORE edges plus edges derived from the call "
+       "graph), and the combined graph must be acyclic"},
+      {"noblock",
+       "no sleep, socket I/O, foreign condvar wait, or pool enqueue while "
+       "a lock is held or reachable from a REDIST_NOBLOCK function; "
+       "REDIST_ALLOW_BLOCK(reason) marks an audited boundary"},
+      {"noalloc",
+       "no new/malloc/container growth reachable from a REDIST_NOALLOC "
+       "function; REDIST_ALLOW_ALLOC(reason) marks an audited boundary"}};
   auto it = descriptions.find(id);
   return it == descriptions.end() ? std::string() : it->second;
 }
@@ -1078,6 +1769,12 @@ AnalysisResult run_analysis(const std::vector<SourceFile>& sources,
   if (a.enabled("lock-transition")) check_lock_transitions(a);
   if (a.enabled("determinism")) check_reachability(a, "determinism");
   if (a.enabled("purity")) check_reachability(a, "purity");
+  if (a.enabled("lock-rank") || a.enabled("noblock")) {
+    LockAnalysis la = build_lock_analysis(a);
+    if (a.enabled("lock-rank")) check_lock_rank(a, la);
+    if (a.enabled("noblock")) check_noblock(a, la);
+  }
+  if (a.enabled("noalloc")) check_noalloc(a);
 
   AnalysisResult result;
   result.contracts = contract_inventory(a);

@@ -35,6 +35,18 @@
 //   lock-transition manual .lock()/.unlock()/.try_lock() calls in src/net
 //                   and src/robust (RAII MutexLock scopes only; manual
 //                   transitions there have no exception-safe story)
+//   lock-rank       every Mutex under src/ declares REDIST_LOCK_RANK(n);
+//                   along every acquisition chain (declared
+//                   REDIST_ACQUIRED_BEFORE edges plus edges derived from
+//                   MutexLock scopes and the call graph) ranks must
+//                   strictly increase and the graph must be acyclic
+//   noblock         nothing blocking (sleep, socket I/O, foreign condvar
+//                   wait, pool enqueue) while a lock is held, anywhere in
+//                   src/, nor reachable from a REDIST_NOBLOCK function;
+//                   REDIST_ALLOW_BLOCK(reason) marks an audited boundary
+//   noalloc         no new/malloc/container growth reachable from a
+//                   REDIST_NOALLOC function; REDIST_ALLOW_ALLOC(reason)
+//                   marks an audited boundary
 //
 // Suppression: `// redist-analyze: allow(rule-id) <reason>` on the same
 // line or the line directly above the finding (same grammar as
