@@ -38,6 +38,7 @@ from pathlib import Path
 
 SWEEP_PREFIX = "BENCH_sweep_"
 WARM_START = "BENCH_warm_start.json"
+SERVICE_CACHE = "BENCH_service_cache.json"
 
 
 def load(path: Path):
@@ -195,6 +196,36 @@ def diff_warm_start(base_doc, cand_doc, args):
     return d
 
 
+def diff_service_cache(base_doc, cand_doc, args):
+    """Gates for BENCH_service_cache.json (the scheduler-daemon cache).
+
+    The identity flags are correctness, not performance: a cache hit that
+    is not byte-identical to the original solve, or a warm-seeded
+    near-miss that diverges from the unseeded solve, fails outright.
+    Speedups are machine-dependent and gated loosely (the bench's own
+    ``--check-min-hit-speedup`` enforces the absolute floor in CI).
+    """
+    d = Diff()
+    base_c = base_doc.get("cache", {})
+    cand_c = cand_doc.get("cache", {})
+    for flag in ("hit_identical", "near_identical"):
+        if not cand_c.get(flag, False):
+            d.rows.append((f"cache.{flag}", True, cand_c.get(flag),
+                           None, "FAIL"))
+            d.failures += 1
+    if cand_c.get("near_misses") != base_c.get("near_misses"):
+        d.rows.append(("cache.near_misses", base_c.get("near_misses"),
+                       cand_c.get("near_misses"), None, "FAIL"))
+        d.failures += 1
+    d.check("cache.hit_speedup", base_c.get("hit_speedup"),
+            cand_c.get("hit_speedup"), frac=args.loose_frac,
+            higher_is_worse=False)
+    d.check("cache.near_speedup", base_c.get("near_speedup"),
+            cand_c.get("near_speedup"), frac=args.loose_frac,
+            higher_is_worse=False, gated=args.check_timing)
+    return d
+
+
 def main(argv=None) -> int:
     p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     p.add_argument("--baseline", required=True, type=Path,
@@ -256,6 +287,16 @@ def main(argv=None) -> int:
         total_failures += d.failures
         total_failures += report_coverage("warm_start", base_doc, cand_doc,
                                           args)
+
+    cache_base = args.baseline / SERVICE_CACHE
+    cache_cand = args.candidate / SERVICE_CACHE
+    if cache_base.exists() and cache_cand.exists():
+        base_doc, cand_doc = load(cache_base), load(cache_cand)
+        d = diff_service_cache(base_doc, cand_doc, args)
+        d.report("service_cache:")
+        total_failures += d.failures
+        total_failures += report_coverage("service_cache", base_doc,
+                                          cand_doc, args)
 
     if total_failures:
         print(f"bench_diff: {total_failures} regression(s) detected")

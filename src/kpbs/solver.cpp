@@ -8,6 +8,7 @@
 #include "kpbs/regularize.hpp"
 #include "kpbs/wrgp.hpp"
 #include "matching/hungarian.hpp"
+#include "matching/peeling_context.hpp"
 #include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
@@ -32,20 +33,44 @@ PerfectMatchingStrategy strategy_for(Algorithm algorithm) {
   return PerfectMatchingStrategy(arbitrary_perfect_matching);
 }
 
-std::vector<PeelStep> peel_regularized(BipartiteGraph& j, Algorithm algorithm,
-                                       MatchingEngine engine) {
+std::vector<PeelStep> peel_regularized(
+    BipartiteGraph& j, Algorithm algorithm, MatchingEngine engine,
+    const std::shared_ptr<const Matching>& warm_seed,
+    std::shared_ptr<const Matching>* warm_handle) {
   // kGGPMaxWeight is Hungarian-based and has no warm path; run it cold.
   if (engine == MatchingEngine::kWarm &&
       algorithm != Algorithm::kGGPMaxWeight) {
-    return wrgp_peel_warm(j, algorithm == Algorithm::kOGGP
-                                 ? WarmStrategy::kBottleneck
-                                 : WarmStrategy::kArbitrary);
+    PeelingContext ctx;
+    // Cross-instance seeding only helps (and is only sound to export) on
+    // the bottleneck path: GGP's arbitrary matchings must stay bit-equal to
+    // max_matching(g), which depends on the greedy start.
+    if (algorithm == Algorithm::kOGGP && warm_seed != nullptr &&
+        !warm_seed->edges.empty()) {
+      ctx.seed(*warm_seed);
+      obs::MetricsRegistry* const metrics = obs::metrics();
+      if (metrics != nullptr) metrics->counter("kpbs.warm_seed.installed").add();
+    }
+    std::vector<PeelStep> steps =
+        wrgp_peel_warm(j,
+                       algorithm == Algorithm::kOGGP ? WarmStrategy::kBottleneck
+                                                     : WarmStrategy::kArbitrary,
+                       ctx);
+    // Export the first step's matching as the instance's warm handle: two
+    // near-identical demands diverge least before any peeling, so their
+    // first bottleneck searches are the ones a shared seed accelerates.
+    if (warm_handle != nullptr && algorithm == Algorithm::kOGGP &&
+        !steps.empty()) {
+      *warm_handle = std::make_shared<const Matching>(steps.front().matching);
+    }
+    return steps;
   }
   return wrgp_peel(j, strategy_for(algorithm));
 }
 
 Schedule solve_schedule(const BipartiteGraph& demand, int k, Weight beta,
-                        Algorithm algorithm, MatchingEngine engine) {
+                        Algorithm algorithm, MatchingEngine engine,
+                        const std::shared_ptr<const Matching>& warm_seed,
+                        std::shared_ptr<const Matching>* warm_handle) {
   REDIST_CHECK_MSG(beta >= 0, "negative beta");
   Schedule schedule;
   if (demand.empty()) return schedule;
@@ -87,7 +112,7 @@ Schedule solve_schedule(const BipartiteGraph& demand, int k, Weight beta,
   // Step 2 — regularize; Step 3 — peel.
   Regularized reg = regularize(normalized, k);
   const std::vector<PeelStep> peels =
-      peel_regularized(reg.graph, algorithm, engine);
+      peel_regularized(reg.graph, algorithm, engine, warm_seed, warm_handle);
 
   // Step 4 — extract real communications with realized amounts.
   {
@@ -151,8 +176,9 @@ SolveResult solve_kpbs(const BipartiteGraph& demand,
       static_cast<std::int64_t>(demand.left_count() + demand.right_count()),
       static_cast<std::int64_t>(demand.alive_edge_count()));
   const Stopwatch timer;
-  result.schedule = solve_schedule(demand, options.k, options.beta,
-                                   options.algorithm, options.engine);
+  result.schedule =
+      solve_schedule(demand, options.k, options.beta, options.algorithm,
+                     options.engine, options.warm_seed, &result.warm_handle);
   result.solve_ms = timer.elapsed_ms();
   result.lower_bound = kpbs_lower_bound(demand, options.k, options.beta);
   const double bound = result.lower_bound.value_double();

@@ -57,6 +57,18 @@ class PeelingContext {
   REDIST_DETERMINISTIC
   void before_peel(const BipartiteGraph& g, const Matching& m, Weight amount);
 
+  /// Installs `m` as the warm seed of the next bottleneck search. Intended
+  /// for cross-instance warm starts (the scheduler daemon's near-miss cache
+  /// path, docs/SERVICE.md): edge ids that do not exist in the next bound
+  /// graph are ignored by the probes, and seeds only shortcut feasibility
+  /// checks — the final matching of every step is canonically replayed, so
+  /// any seed (even a nonsense one) leaves schedules bit-identical.
+  void seed(Matching m) { last_ = std::move(m); }
+
+  /// The last matching this context produced — the warm handle a solve
+  /// exports for future near-miss seeding. Empty before any step.
+  const Matching& last_matching() const { return last_; }
+
  private:
   void ensure_ledger(const BipartiteGraph& g);
 

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/error.hpp"
+#include "net/client_session.hpp"
 
 namespace redist {
 
@@ -40,30 +41,30 @@ Mesh::Mesh(int size, const MeshOptions& options) : size_(size) {
   for (int r = 0; r < size; ++r) {
     wires.emplace_back([this, r, &listeners, &errors, &options]() {
       try {
-        // Each wiring thread gets its own retrier (and so its own jitter
-        // stream, decorrelated by rank) covering connect + handshake: a
-        // failed handshake redials from scratch.
-        robust::RetryPolicy policy = options.connect_retry;
-        policy.seed += static_cast<std::uint64_t>(r);
-        robust::Retrier retrier(policy);
+        // Each wiring thread dials through ClientSession under a policy
+        // whose jitter stream is decorrelated by rank. The session covers
+        // connect + rank handshake per attempt: a failed handshake
+        // redials from scratch, exactly the old hand-rolled semantics.
+        ClientSessionOptions dial_options;
+        dial_options.retry = options.connect_retry;
+        dial_options.retry.seed += static_cast<std::uint64_t>(r);
+        dial_options.io_timeout_ms = options.io_timeout_ms;
         for (int peer = 0; peer < r; ++peer) {
-          auto link = retrier.run([&]() {
-            TcpStream stream = TcpStream::connect_loopback(
-                listeners[static_cast<std::size_t>(peer)].port());
-            stream.set_nodelay(true);
-            stream.set_io_timeout_ms(options.io_timeout_ms);
-            const std::uint32_t me = static_cast<std::uint32_t>(r);
-            stream.send_all(&me, sizeof(me));
-            auto fresh = std::make_unique<Link>();
-            fresh->stream = std::move(stream);
-            return fresh;
-          });
+          int retries = 0;
+          ClientSession session = ClientSession::dial(
+              listeners[static_cast<std::size_t>(peer)].port(), dial_options,
+              [r](TcpStream& stream) {
+                const std::uint32_t me = static_cast<std::uint32_t>(r);
+                stream.send_all(&me, sizeof(me));
+              },
+              &retries);
+          connect_retries_.fetch_add(static_cast<std::uint64_t>(retries),
+                                     std::memory_order_relaxed);
+          auto link = std::make_unique<Link>();
+          link->stream = std::move(session.stream());
           links_[static_cast<std::size_t>(r)][static_cast<std::size_t>(
               peer)] = std::move(link);
         }
-        connect_retries_.fetch_add(
-            static_cast<std::uint64_t>(retrier.retries()),
-            std::memory_order_relaxed);
         for (int expected = r + 1; expected < size_; ++expected) {
           TcpStream stream =
               listeners[static_cast<std::size_t>(r)].accept();

@@ -75,9 +75,10 @@ class Mesh {
     // reads the wire at a time, with recv_mutex released during the read).
     // That protocol spans two capabilities, which is beyond GUARDED_BY.
     TcpStream stream;  // redist-lint: allow(mutex-guard) duplex protocol
-    // send() holds the write token through the shaper (TokenBucket) and
-    // the fault-injection seams, hence the declared orderings.
-    Mutex send_mutex REDIST_ACQUIRED_BEFORE(bucket_mutex_, inject_mutex_)
+    // send() holds the write token through the shaper (TokenBucket — now
+    // lock-free, so no ordering edge) and the fault-injection seams,
+    // hence the declared ordering.
+    Mutex send_mutex REDIST_ACQUIRED_BEFORE(inject_mutex_)
         REDIST_LOCK_RANK(20);
     Mutex recv_mutex REDIST_LOCK_RANK(25);
     CondVar recv_cv;

@@ -1,0 +1,109 @@
+#include "net/client_session.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "net/message.hpp"
+
+namespace redist {
+
+ClientSession ClientSession::dial(std::uint16_t port,
+                                  const ClientSessionOptions& options,
+                                  const Handshake& handshake,
+                                  int* retries_out) {
+  robust::Retrier retrier(options.retry);
+  TcpStream stream = retrier.run([&]() {
+    TcpStream fresh = TcpStream::connect_loopback(port);
+    if (options.nodelay) fresh.set_nodelay(true);
+    fresh.set_io_timeout_ms(options.io_timeout_ms);
+    // The handshake runs inside the attempt: a stream that connected but
+    // failed its application handshake is discarded and redialed whole.
+    if (handshake) handshake(fresh);
+    return fresh;
+  });
+  if (retries_out != nullptr) *retries_out = retrier.retries();
+  return ClientSession(std::move(stream));
+}
+
+ClientSession ClientSession::dial_rpc(std::uint16_t port,
+                                      const ClientSessionOptions& options,
+                                      int* retries_out) {
+  return dial(
+      port, options,
+      [](TcpStream& stream) {
+        std::vector<char> payload;
+        rpc::encode_hello(payload, rpc::kRpcProtocolVersion);
+        send_message(stream, static_cast<std::uint32_t>(rpc::RpcTag::kHello),
+                     payload.data(), payload.size());
+        std::vector<char> reply;
+        const std::uint32_t tag = recv_message(stream, reply);
+        if (tag == static_cast<std::uint32_t>(rpc::RpcTag::kError)) {
+          throw RpcRemoteError(rpc::decode_error_response(reply));
+        }
+        if (tag != static_cast<std::uint32_t>(rpc::RpcTag::kHelloAck)) {
+          throw Error("rpc handshake: unexpected tag " + std::to_string(tag));
+        }
+        const std::uint32_t version = rpc::decode_hello(reply);
+        if (version != rpc::kRpcProtocolVersion) {
+          throw Error("rpc handshake: server acked version " +
+                      std::to_string(version) + ", want " +
+                      std::to_string(rpc::kRpcProtocolVersion));
+        }
+      },
+      retries_out);
+}
+
+std::string ClientSession::fetch(std::uint16_t port, const std::string& target,
+                                 const ClientSessionOptions& options) {
+  ClientSession session = dial(port, options);
+  TcpStream& stream = session.stream();
+  const std::string request = "GET /" + target + " HTTP/1.0\r\n\r\n";
+  stream.send_all(request.data(), request.size());
+  std::string response;
+  try {
+    char c = 0;
+    for (;;) {
+      stream.recv_all(&c, 1);
+      response.push_back(c);
+    }
+  } catch (const TimeoutError&) {
+    throw;  // a stalled server is an error, not end-of-response
+  } catch (const Error&) {
+    // Peer close terminates the response (Connection: close).
+  }
+  const std::string::size_type split = response.find("\r\n\r\n");
+  if (split == std::string::npos) {
+    throw Error("malformed response from port " + std::to_string(port));
+  }
+  return response.substr(split + 4);
+}
+
+rpc::SolveResponse ClientSession::solve(const rpc::SolveRequest& request) {
+  std::vector<char> payload;
+  rpc::encode_solve_request(payload, request);
+  send_message(stream_,
+               static_cast<std::uint32_t>(rpc::RpcTag::kSolveRequest),
+               payload.data(), payload.size());
+  std::vector<char> reply;
+  const std::uint32_t tag = recv_message(stream_, reply);
+  if (tag == static_cast<std::uint32_t>(rpc::RpcTag::kError)) {
+    throw RpcRemoteError(rpc::decode_error_response(reply));
+  }
+  if (tag != static_cast<std::uint32_t>(rpc::RpcTag::kSolveResponse)) {
+    throw Error("rpc solve: unexpected tag " + std::to_string(tag));
+  }
+  rpc::SolveResponse response = rpc::decode_solve_response(reply);
+  if (response.request_id != request.request_id) {
+    throw Error("rpc solve: response echoes request " +
+                std::to_string(response.request_id) + ", want " +
+                std::to_string(request.request_id));
+  }
+  return response;
+}
+
+void ClientSession::shutdown_server() {
+  send_message(stream_, static_cast<std::uint32_t>(rpc::RpcTag::kShutdown),
+               nullptr, 0);
+}
+
+}  // namespace redist

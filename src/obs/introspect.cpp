@@ -181,6 +181,14 @@ IntrospectionServer::Response IntrospectionServer::respond(
     std::int64_t queue_depth = 0;
     std::int64_t queue_depth_max = 0;
     bool have_pool_gauge = false;
+    // Scheduler-daemon cache section: surfaced when any service.cache.*
+    // instrument exists in the installed registry (docs/SERVICE.md).
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_misses = 0;
+    std::uint64_t cache_near_misses = 0;
+    std::uint64_t cache_evictions = 0;
+    std::int64_t cache_entries = 0;
+    bool have_cache = false;
     if (metrics_ != nullptr) {
       const MetricsSnapshot snapshot = metrics_->snapshot();
       for (const auto& [name, gauge] : snapshot.gauges) {
@@ -188,6 +196,24 @@ IntrospectionServer::Response IntrospectionServer::respond(
           queue_depth = gauge.value;
           queue_depth_max = gauge.max;
           have_pool_gauge = true;
+        } else if (name == "service.cache.entries") {
+          cache_entries = gauge.value;
+          have_cache = true;
+        }
+      }
+      for (const auto& [name, count] : snapshot.counters) {
+        if (name == "service.cache.hits") {
+          cache_hits = count;
+          have_cache = true;
+        } else if (name == "service.cache.misses") {
+          cache_misses = count;
+          have_cache = true;
+        } else if (name == "service.cache.near_misses") {
+          cache_near_misses = count;
+          have_cache = true;
+        } else if (name == "service.cache.evictions") {
+          cache_evictions = count;
+          have_cache = true;
         }
       }
     }
@@ -196,6 +222,19 @@ IntrospectionServer::Response IntrospectionServer::respond(
          << ",\"pool_queue_depth_max\":" << queue_depth_max;
     } else {
       os << ",\"pool_queue_depth\":null";
+    }
+    if (have_cache) {
+      const std::uint64_t lookups = cache_hits + cache_misses;
+      os << ",\"cache\":{\"entries\":" << cache_entries
+         << ",\"hits\":" << cache_hits << ",\"misses\":" << cache_misses
+         << ",\"near_misses\":" << cache_near_misses
+         << ",\"evictions\":" << cache_evictions << ",\"hit_rate\":"
+         << json_number(lookups == 0 ? 0.0
+                                     : static_cast<double>(cache_hits) /
+                                           static_cast<double>(lookups))
+         << "}";
+    } else {
+      os << ",\"cache\":null";
     }
     os << "}\n";
     response.content_type = "application/json";

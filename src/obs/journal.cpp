@@ -22,7 +22,8 @@ constexpr const char* kKindNames[] = {
     "solve_begin",    "solve_end",  "peel_step",     "ledger_hit",
     "ledger_miss",    "pool_enqueue", "pool_start",  "pool_finish",
     "retry",          "fault_injected", "attempt_begin", "attempt_end",
-    "recovery_spliced",
+    "recovery_spliced", "rpc_request", "cache_hit",   "cache_miss",
+    "cache_warm_seed", "cache_evict",
 };
 
 }  // namespace
@@ -31,7 +32,7 @@ const char* journal_event_kind_name(JournalEventKind kind) {
   const auto index = static_cast<std::size_t>(kind);
   constexpr std::size_t kCount = sizeof(kKindNames) / sizeof(kKindNames[0]);
   static_assert(kCount ==
-                    static_cast<std::size_t>(JournalEventKind::kRecoverySpliced) +
+                    static_cast<std::size_t>(JournalEventKind::kCacheEvict) +
                         1,
                 "kind name table out of sync with JournalEventKind");
   return index < kCount ? kKindNames[index] : "unknown";

@@ -58,6 +58,11 @@ enum class JournalEventKind : std::uint8_t {
   kAttemptBegin,     ///< a=socket run attempt index
   kAttemptEnd,       ///< a=attempt index, b=1 when the attempt failed
   kRecoverySpliced,  ///< a=attempt index, b=residual pairs re-solved
+  kRpcRequest,       ///< service request decoded; a=rpc tag, b=payload bytes
+  kCacheHit,         ///< exact fingerprint hit; a=entry hit count
+  kCacheMiss,        ///< no cached entry; a=entries currently cached
+  kCacheWarmSeed,    ///< near-miss warm seed installed; b=L1 weight distance
+  kCacheEvict,       ///< LFU eviction; a=evicted hit count, b=entries left
 };
 
 /// Stable wire name for a kind ("solve_begin", ...).

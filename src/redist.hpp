@@ -80,5 +80,12 @@
 #include "mpilite/alltoallv.hpp"
 #include "mpilite/comm.hpp"
 #include "mpilite/redistribute.hpp"
+#include "net/client_session.hpp"
 #include "net/message.hpp"
+#include "net/rpc.hpp"
 #include "net/socket.hpp"
+
+#include "service/fingerprint.hpp"
+#include "service/port_file.hpp"
+#include "service/scheduler_service.hpp"
+#include "service/solve_cache.hpp"

@@ -1,6 +1,7 @@
 #include "runtime/token_bucket.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <thread>
 
 #include "common/error.hpp"
@@ -11,18 +12,59 @@ TokenBucket::TokenBucket(double rate_bps, Bytes burst_bytes)
     : rate_bps_(rate_bps),
       burst_(static_cast<double>(burst_bytes)),
       tokens_(static_cast<double>(burst_bytes)),
-      last_refill_(Clock::now()) {
+      last_refill_ns_(now_ns()) {
   REDIST_CHECK_MSG(rate_bps > 0, "token bucket rate must be positive");
   REDIST_CHECK_MSG(burst_bytes > 0, "token bucket burst must be positive");
 }
 
-void TokenBucket::refill_locked(Clock::time_point now) {
-  const double elapsed =
-      std::chrono::duration<double>(now - last_refill_).count();
-  if (elapsed > 0) {
-    tokens_ = std::min(burst_, tokens_ + elapsed * rate_bps_);
-    last_refill_ = now;
+std::uint64_t TokenBucket::now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void TokenBucket::refill() {
+  const std::uint64_t now = now_ns();
+  std::uint64_t last = last_refill_ns_.load(std::memory_order_relaxed);
+  while (now > last) {
+    if (!last_refill_ns_.compare_exchange_weak(last, now,
+                                               std::memory_order_relaxed,
+                                               std::memory_order_relaxed)) {
+      continue;  // `last` reloaded; exit if another thread claimed past now
+    }
+    // This thread owns the [last, now) span; credit it exactly once.
+    const double credit =
+        static_cast<double>(now - last) * 1e-9 * rate_bps_;
+    double cur = tokens_.load(std::memory_order_relaxed);
+    for (;;) {
+      const double next = std::min(burst_, cur + credit);
+      if (tokens_.compare_exchange_weak(cur, next, std::memory_order_relaxed,
+                                        std::memory_order_relaxed)) {
+        return;
+      }
+    }
   }
+}
+
+bool TokenBucket::try_take(double want) {
+  refill();
+  double cur = tokens_.load(std::memory_order_relaxed);
+  while (cur >= want) {
+    if (tokens_.compare_exchange_weak(cur, cur - want,
+                                      std::memory_order_relaxed,
+                                      std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool TokenBucket::try_acquire(Bytes n) {
+  REDIST_CHECK(n >= 0);
+  const double want = static_cast<double>(n);
+  if (want > burst_) return false;
+  return try_take(want);
 }
 
 void TokenBucket::acquire(Bytes n) {
@@ -30,37 +72,18 @@ void TokenBucket::acquire(Bytes n) {
   double want = static_cast<double>(n);
   while (want > 0) {
     const double gulp = std::min(want, burst_);
-    for (;;) {
-      double wait_seconds = 0;
-      {
-        MutexLock lock(bucket_mutex_);
-        refill_locked(Clock::now());
-        if (tokens_ >= gulp) {
-          tokens_ -= gulp;
-          break;
-        }
-        wait_seconds = (gulp - tokens_) / rate_bps_;
-      }
-      // Sleep outside the lock so concurrent acquirers can race for the
-      // refill — that race IS the fair sharing between competing flows.
+    while (!try_take(gulp)) {
+      const double deficit =
+          gulp - tokens_.load(std::memory_order_relaxed);
+      const double wait_seconds = std::max(deficit, 0.0) / rate_bps_;
+      // Sleep outside any shared state so concurrent acquirers can race
+      // for the refill — that race IS the fair sharing between competing
+      // flows.
       std::this_thread::sleep_for(std::chrono::duration<double>(
           std::clamp(wait_seconds, 50e-6, 0.05)));
     }
     want -= gulp;
   }
-}
-
-bool TokenBucket::try_acquire(Bytes n) {
-  REDIST_CHECK(n >= 0);
-  const double want = static_cast<double>(n);
-  if (want > burst_) return false;
-  MutexLock lock(bucket_mutex_);
-  refill_locked(Clock::now());
-  if (tokens_ >= want) {
-    tokens_ -= want;
-    return true;
-  }
-  return false;
 }
 
 }  // namespace redist

@@ -1,0 +1,55 @@
+#include "service/port_file.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace redist::service {
+
+void write_port_file(const std::string& path, std::uint16_t port) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    throw Error("cannot create " + tmp + ": " + std::strerror(errno));
+  }
+  char buf[8];
+  const int len = std::snprintf(buf, sizeof(buf), "%u\n",
+                                static_cast<unsigned>(port));
+  std::size_t done = 0;
+  while (done < static_cast<std::size_t>(len)) {
+    const ssize_t n = ::write(fd, buf + done,
+                              static_cast<std::size_t>(len) - done);
+    if (n > 0) {
+      done += static_cast<std::size_t>(n);
+    } else if (n < 0 && errno == EINTR) {
+      continue;
+    } else {
+      const int saved = errno;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      throw Error("cannot write " + tmp + ": " + std::strerror(saved));
+    }
+  }
+  // fsync before rename: the rename must never make a not-yet-durable (or
+  // empty) file visible under the published name.
+  if (::fsync(fd) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw Error("cannot fsync " + tmp + ": " + std::strerror(saved));
+  }
+  ::close(fd);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int saved = errno;
+    ::unlink(tmp.c_str());
+    throw Error("cannot rename " + tmp + " to " + path + ": " +
+                std::strerror(saved));
+  }
+}
+
+}  // namespace redist::service

@@ -1,0 +1,31 @@
+// Atomic port-file publication for daemon harnesses.
+//
+// A harness that starts a daemon discovers its ephemeral port by polling a
+// --port-file. Two failure modes make a naive ofstream write racy:
+//
+//  * ordering — publishing before the listener accepts makes the harness
+//    connect into nothing. Callers must publish only after the accepting
+//    socket exists (both daemons bind + start accepting in their
+//    constructors, so call this after construction).
+//  * torn reads — a reader can observe a created-but-empty file, or a
+//    partially flushed number, between the open and the flush.
+//
+// write_port_file removes both: the port is written to <path>.tmp, fsynced
+// to stable storage, then renamed over <path> — readers see either no file
+// or the complete fsynced contents, never an intermediate state.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/contract_annotations.hpp"
+
+REDIST_LAYER("service");
+
+namespace redist::service {
+
+/// Publishes `port` at `path` atomically (tmp + fsync + rename). Throws
+/// redist::Error when any step fails.
+void write_port_file(const std::string& path, std::uint16_t port);
+
+}  // namespace redist::service

@@ -7,6 +7,7 @@
 #include "graph/graphio.hpp"
 #include "kpbs/schedule_io.hpp"
 #include "kpbs/solver.hpp"
+#include "net/rpc.hpp"
 #include "workload/random_graphs.hpp"
 #include "workload/scenario.hpp"
 
@@ -226,6 +227,221 @@ TEST(ParserFuzz, MalformedScenariosThrowError) {
   for (const char* text : cases) {
     EXPECT_THROW(scenario_from_string(text), Error) << "input: " << text;
   }
+}
+
+// ---------------------------------------------------------------------------
+// rpc.v1 binary codecs (net/rpc.hpp): the daemon decodes these payloads
+// straight off untrusted sockets, so every decoder must be total — any
+// byte sequence either decodes to an in-domain struct or throws
+// redist::Error. Crashing, hanging or over-reading is a security bug.
+
+std::vector<char> mutate_bytes(Rng& rng, std::vector<char> bytes) {
+  const int edits = static_cast<int>(rng.uniform_int(1, 8));
+  for (int e = 0; e < edits && !bytes.empty(); ++e) {
+    const auto pos = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(bytes.size()) - 1));
+    switch (rng.uniform_int(0, 3)) {
+      case 0:  // flip to a random byte
+        bytes[pos] = static_cast<char>(rng.uniform_int(0, 255));
+        break;
+      case 1:  // delete
+        bytes.erase(bytes.begin() + static_cast<std::ptrdiff_t>(pos));
+        break;
+      case 2: {  // duplicate a chunk
+        const std::size_t n = std::min<std::size_t>(8, bytes.size() - pos);
+        std::vector<char> chunk(bytes.begin() + static_cast<std::ptrdiff_t>(pos),
+                                bytes.begin() +
+                                    static_cast<std::ptrdiff_t>(pos + n));
+        bytes.insert(bytes.begin() + static_cast<std::ptrdiff_t>(pos),
+                     chunk.begin(), chunk.end());
+        break;
+      }
+      default:  // truncate
+        bytes.resize(pos);
+        break;
+    }
+  }
+  return bytes;
+}
+
+rpc::SolveRequest random_solve_request(Rng& rng) {
+  rpc::SolveRequest req;
+  req.request_id = rng.next();
+  req.k = static_cast<std::int32_t>(rng.uniform_int(1, 8));
+  req.beta = rng.uniform_int(0, 5);
+  req.algorithm = rng.uniform_int(0, 1) == 0 ? Algorithm::kOGGP
+                                             : Algorithm::kGGP;
+  req.engine = rng.uniform_int(0, 1) == 0 ? MatchingEngine::kWarm
+                                          : MatchingEngine::kCold;
+  req.senders = static_cast<NodeId>(rng.uniform_int(1, 12));
+  req.receivers = static_cast<NodeId>(rng.uniform_int(1, 12));
+  const int entries = static_cast<int>(rng.uniform_int(0, 20));
+  for (int i = 0; i < entries; ++i) {
+    req.entries.push_back({static_cast<NodeId>(
+                               rng.uniform_int(0, req.senders - 1)),
+                           static_cast<NodeId>(
+                               rng.uniform_int(0, req.receivers - 1)),
+                           rng.uniform_int(1, 1 << 20)});
+  }
+  return req;
+}
+
+TEST_P(ParserFuzz, RpcSolveRequestRoundTripIsIdentity) {
+  Rng rng(GetParam() ^ 0x52C0);
+  for (int trial = 0; trial < 200; ++trial) {
+    const rpc::SolveRequest req = random_solve_request(rng);
+    std::vector<char> wire;
+    rpc::encode_solve_request(wire, req);
+    const rpc::SolveRequest parsed = rpc::decode_solve_request(wire);
+    ASSERT_EQ(parsed.request_id, req.request_id);
+    ASSERT_EQ(parsed.k, req.k);
+    ASSERT_EQ(parsed.beta, req.beta);
+    ASSERT_EQ(parsed.algorithm, req.algorithm);
+    ASSERT_EQ(parsed.engine, req.engine);
+    ASSERT_EQ(parsed.senders, req.senders);
+    ASSERT_EQ(parsed.receivers, req.receivers);
+    ASSERT_EQ(parsed.entries.size(), req.entries.size());
+    for (std::size_t i = 0; i < req.entries.size(); ++i) {
+      ASSERT_EQ(parsed.entries[i].sender, req.entries[i].sender);
+      ASSERT_EQ(parsed.entries[i].receiver, req.entries[i].receiver);
+      ASSERT_EQ(parsed.entries[i].bytes, req.entries[i].bytes);
+    }
+    // Re-encoding the parse reproduces the identical byte sequence.
+    std::vector<char> rewire;
+    rpc::encode_solve_request(rewire, parsed);
+    ASSERT_EQ(rewire, wire);
+  }
+}
+
+TEST_P(ParserFuzz, RpcSolveRequestDecoderNeverCrashes) {
+  Rng rng(GetParam() ^ 0x52C1);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<char> wire;
+    rpc::encode_solve_request(wire, random_solve_request(rng));
+    const std::vector<char> mutated = mutate_bytes(rng, std::move(wire));
+    try {
+      const rpc::SolveRequest parsed = rpc::decode_solve_request(mutated);
+      // If it decoded, every domain constraint the decoder promises holds.
+      EXPECT_GE(parsed.k, 1);
+      EXPECT_GE(parsed.beta, 0);
+      EXPECT_GE(parsed.senders, 1);
+      EXPECT_GE(parsed.receivers, 1);
+      for (const rpc::TrafficEntry& entry : parsed.entries) {
+        EXPECT_GE(entry.sender, 0);
+        EXPECT_LT(entry.sender, parsed.senders);
+        EXPECT_GE(entry.receiver, 0);
+        EXPECT_LT(entry.receiver, parsed.receivers);
+        EXPECT_GT(entry.bytes, 0);
+      }
+    } catch (const Error&) {
+      // rejected: fine
+    }
+  }
+}
+
+TEST_P(ParserFuzz, RpcSolveResponseRoundTripAndFuzz) {
+  Rng rng(GetParam() ^ 0x52C2);
+  for (int trial = 0; trial < 200; ++trial) {
+    rpc::SolveResponse resp;
+    resp.request_id = rng.next();
+    resp.solve_id = rng.next();
+    resp.served_from = static_cast<rpc::ServedFrom>(rng.uniform_int(0, 2));
+    resp.solve_ms = static_cast<double>(rng.uniform_int(0, 1000)) / 8.0;
+    resp.lb_min_steps = rng.uniform_int(0, 100);
+    resp.lb_num = rng.uniform_int(0, 1 << 20);
+    resp.lb_den = rng.uniform_int(1, 64);
+    resp.evaluation_ratio = 1.0 + static_cast<double>(rng.uniform_int(0, 64)) / 64.0;
+    const int len = static_cast<int>(rng.uniform_int(0, 200));
+    for (int c = 0; c < len; ++c) {
+      resp.schedule_text.push_back(static_cast<char>(rng.uniform_int(32, 126)));
+    }
+    std::vector<char> wire;
+    rpc::encode_solve_response(wire, resp);
+    const rpc::SolveResponse parsed = rpc::decode_solve_response(wire);
+    ASSERT_EQ(parsed.request_id, resp.request_id);
+    ASSERT_EQ(parsed.solve_id, resp.solve_id);
+    ASSERT_EQ(parsed.served_from, resp.served_from);
+    ASSERT_EQ(parsed.lb_min_steps, resp.lb_min_steps);
+    ASSERT_EQ(parsed.lb_num, resp.lb_num);
+    ASSERT_EQ(parsed.lb_den, resp.lb_den);
+    ASSERT_EQ(parsed.schedule_text, resp.schedule_text);
+
+    const std::vector<char> mutated = mutate_bytes(rng, std::move(wire));
+    try {
+      (void)rpc::decode_solve_response(mutated);
+    } catch (const Error&) {
+      // rejected: fine
+    }
+  }
+}
+
+TEST_P(ParserFuzz, RpcErrorAndHelloDecodersNeverCrash) {
+  Rng rng(GetParam() ^ 0x52C3);
+  for (int trial = 0; trial < 200; ++trial) {
+    rpc::ErrorResponse err;
+    err.request_id = rng.next();
+    err.code = static_cast<rpc::RpcErrorCode>(rng.uniform_int(1, 5));
+    const int len = static_cast<int>(rng.uniform_int(0, 60));
+    for (int c = 0; c < len; ++c) {
+      err.message.push_back(static_cast<char>(rng.uniform_int(32, 126)));
+    }
+    std::vector<char> wire;
+    rpc::encode_error_response(wire, err);
+    const rpc::ErrorResponse parsed = rpc::decode_error_response(wire);
+    ASSERT_EQ(parsed.request_id, err.request_id);
+    ASSERT_EQ(parsed.code, err.code);
+    ASSERT_EQ(parsed.message, err.message);
+    try {
+      (void)rpc::decode_error_response(mutate_bytes(rng, std::move(wire)));
+    } catch (const Error&) {
+    }
+
+    std::vector<char> hello;
+    rpc::encode_hello(hello, rpc::kRpcProtocolVersion);
+    ASSERT_EQ(rpc::decode_hello(hello), rpc::kRpcProtocolVersion);
+    try {
+      (void)rpc::decode_hello(mutate_bytes(rng, std::move(hello)));
+    } catch (const Error&) {
+    }
+  }
+}
+
+// Every strict prefix of a valid encoding must be rejected: the decoders
+// read length-prefixed fields sequentially and trailing truncation cannot
+// silently produce a shorter-but-valid message.
+TEST(ParserFuzz, RpcTruncatedPayloadsThrowError) {
+  Rng rng(77);
+  const rpc::SolveRequest req = random_solve_request(rng);
+  std::vector<char> wire;
+  rpc::encode_solve_request(wire, req);
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    const std::vector<char> prefix(wire.begin(),
+                                   wire.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_THROW((void)rpc::decode_solve_request(prefix), Error)
+        << "prefix length " << cut;
+  }
+  // Trailing garbage is equally rejected (expect_end contract).
+  std::vector<char> padded = wire;
+  padded.push_back('\0');
+  EXPECT_THROW((void)rpc::decode_solve_request(padded), Error);
+}
+
+// Absurd entry counts must be rejected before any allocation is attempted:
+// a 16-byte payload claiming 2^60 entries would otherwise ask the decoder
+// to reserve exabytes.
+TEST(ParserFuzz, RpcAbsurdEntryCountRejectedCheaply) {
+  rpc::SolveRequest req;
+  req.k = 1;
+  req.senders = 2;
+  req.receivers = 2;
+  req.entries.push_back({0, 0, 1});
+  std::vector<char> wire;
+  rpc::encode_solve_request(wire, req);
+  // The entry count is the u32 immediately before the 16-byte entry block.
+  const std::size_t count_at = wire.size() - 16 - 4;
+  for (int b = 0; b < 4; ++b) wire[count_at + static_cast<std::size_t>(b)] =
+      static_cast<char>(0xFF);
+  EXPECT_THROW((void)rpc::decode_solve_request(wire), Error);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz,

@@ -332,7 +332,7 @@ int rank_of(const std::string& module) {
       {"kpbs", 3},
       {"runtime", 4},     {"validate", 4}, {"netsim", 4},      {"baselines", 4},
       {"dynamic", 5},     {"net", 5},
-      {"mpilite", 6},
+      {"mpilite", 6},     {"service", 6},
       {"src-root", 90},   // the umbrella header sees every module
   };
   auto it = kRanks.find(module);

@@ -48,6 +48,27 @@
 //             [--last=N] [--timeout-ms=2000]
 //       Probes a live serve process over loopback and prints the response
 //       bodies (all four endpoints by default, with section headers).
+//   daemon    [--threads=2] [--cache-capacity=64] [--io-timeout-ms=5000]
+//             [--rate-rps=512] [--burst=64] [--linger-ms=0]
+//             [--port-file=FILE] [--journal-out=FILE]
+//             [--journal-capacity=8192]
+//       Runs the long-lived scheduler daemon (service/scheduler_service):
+//       accepts rpc.v1 solve requests on an ephemeral loopback port,
+//       answers from the fingerprint-keyed warm solve cache, and enforces
+//       lock-free token-bucket admission. --linger-ms=0 (default) runs
+//       until a client sends the rpc shutdown frame; positive values bound
+//       the lifetime. The port is printed, and published to --port-file
+//       (write + fsync + atomic rename, only after the listener accepts)
+//       so wrapper scripts never race a half-written file. See
+//       docs/SERVICE.md.
+//   submit    --port=P --in=FILE[,FILE...] [--repeat=1] [--k=4] [--beta=1]
+//             [--algo=oggp] [--engine=warm|cold] [--timeout-ms=5000]
+//             [--shutdown] [--quiet]
+//       Submits graphs to a live daemon over rpc.v1 (one connection, one
+//       request per graph per repeat) and prints each response's cache
+//       provenance (cold | cache_hit | warm_near_miss), service time and
+//       quality ratio. --shutdown sends the shutdown frame after the last
+//       response. Exits non-zero on typed rpc errors.
 //
 // The solve, batch, and verify subcommands accept --metrics-out=FILE (flat
 // metrics JSON, or CSV when FILE ends in .csv) and --trace-out=FILE (Chrome
@@ -69,8 +90,8 @@ using namespace redist;
 // All solver subcommands share the --k/--beta/--algo/--engine surface via
 // solver_options_from_flags (kpbs/options.hpp); the CLI's historical
 // defaults differ from the library's only in k.
-constexpr SolverOptions kCliDefaults{4, 1, Algorithm::kOGGP,
-                                     MatchingEngine::kWarm};
+const SolverOptions kCliDefaults{4, 1, Algorithm::kOGGP,
+                                 MatchingEngine::kWarm};
 
 std::vector<std::string> split_list(const std::string& value) {
   std::vector<std::string> parts;
@@ -401,11 +422,11 @@ int cmd_serve(Flags& flags) {
             << Table::fmt(linger_ms, 0) << " ms ("
             << solves << " solves journaled)\n"
             << std::flush;
-  if (!port_file.empty()) {
-    std::ofstream os(port_file);
-    if (!os) throw Error("cannot write: " + port_file);
-    os << server.port() << '\n';
-  }
+  // Published only now, after the IntrospectionServer constructor returned
+  // with its accept loop live — a reader that sees the file can connect
+  // immediately. write_port_file persists (fsync) then renames atomically,
+  // so a crash mid-publish leaves no truncated file behind.
+  if (!port_file.empty()) service::write_port_file(port_file, server.port());
 
   // Linger in short ticks so SIGTERM-less harnesses can bound our
   // lifetime precisely via --linger-ms.
@@ -428,31 +449,14 @@ int cmd_serve(Flags& flags) {
   return 0;
 }
 
-// One introspection exchange: send the request line, read until the server
-// closes, return the body (bytes after the blank header line).
+// One introspection exchange via the shared client dial policy
+// (net/client_session.hpp): connect with retries, send the request line,
+// return the body after the blank header line.
 std::string inspect_fetch(std::uint16_t port, const std::string& target,
                           int timeout_ms) {
-  TcpStream stream = TcpStream::connect_loopback(port);
-  stream.set_io_timeout_ms(timeout_ms);
-  const std::string request = "GET /" + target + " HTTP/1.0\r\n\r\n";
-  stream.send_all(request.data(), request.size());
-  std::string response;
-  try {
-    char c = 0;
-    for (;;) {
-      stream.recv_all(&c, 1);
-      response.push_back(c);
-    }
-  } catch (const TimeoutError&) {
-    throw;  // a stalled server is an error, not end-of-response
-  } catch (const Error&) {
-    // Peer close terminates the response (Connection: close).
-  }
-  const std::string::size_type split = response.find("\r\n\r\n");
-  if (split == std::string::npos) {
-    throw Error("malformed response from port " + std::to_string(port));
-  }
-  return response.substr(split + 4);
+  ClientSessionOptions options;
+  options.io_timeout_ms = timeout_ms;
+  return ClientSession::fetch(port, target, options);
 }
 
 int cmd_inspect(Flags& flags) {
@@ -493,6 +497,144 @@ int cmd_inspect(Flags& flags) {
               " (want all|healthz|statusz|metricsz|journalz)");
 }
 
+int cmd_daemon(Flags& flags) {
+  service::SchedulerServiceOptions options;
+  options.threads = static_cast<int>(flags.get_int("threads", 2));
+  options.cache_capacity =
+      static_cast<std::size_t>(flags.get_int("cache-capacity", 64));
+  options.io_timeout_ms =
+      static_cast<int>(flags.get_int("io-timeout-ms", 5000));
+  options.admission_rate_rps = flags.get_double("rate-rps", 512.0);
+  options.admission_burst = flags.get_int("burst", 64);
+  const double linger_ms = flags.get_double("linger-ms", 0.0);
+  const std::string port_file = flags.get_string("port-file", "");
+  const std::string journal_out = flags.get_string("journal-out", "");
+  const std::size_t journal_capacity =
+      static_cast<std::size_t>(flags.get_int("journal-capacity", 8192));
+  flags.check_unused();
+
+  // Full observability stack for the daemon's lifetime: the cache and the
+  // rpc handlers journal and count through these process-wide sinks.
+  obs::MetricsRegistry registry;
+  obs::Journal journal(journal_capacity);
+  obs::ScopedTelemetry telemetry(&registry, nullptr);
+  obs::ScopedJournal scoped_journal(&journal);
+
+  service::SchedulerService daemon(options);
+  std::cout << "daemon on 127.0.0.1:" << daemon.port() << " (threads="
+            << options.threads << ", cache=" << options.cache_capacity
+            << ", rate=" << Table::fmt(options.admission_rate_rps, 0)
+            << " rps";
+  if (linger_ms > 0) {
+    std::cout << ", linger=" << Table::fmt(linger_ms, 0) << " ms)\n";
+  } else {
+    std::cout << ", until rpc shutdown)\n";
+  }
+  std::cout << std::flush;
+  // Published only after the SchedulerService constructor returned with
+  // its accept loop live; write + fsync + atomic rename means a reader
+  // never sees a torn or pre-listen port file.
+  if (!port_file.empty()) service::write_port_file(port_file, daemon.port());
+
+  double elapsed_ms = 0;
+  while (!daemon.stopping() &&
+         (linger_ms <= 0 || elapsed_ms < linger_ms)) {
+    robust::sleep_ms(50);
+    elapsed_ms += 50;
+  }
+  daemon.stop();
+
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t near = 0;
+  for (const auto& [name, count] : registry.snapshot().counters) {
+    if (name == "service.cache.hits") hits = count;
+    if (name == "service.cache.misses") misses = count;
+    if (name == "service.cache.near_misses") near = count;
+  }
+  std::cout << "served " << daemon.requests_served()
+            << " request(s): " << hits << " cache hit(s), " << misses
+            << " miss(es) (" << near << " warm-seeded), "
+            << daemon.cache().entry_count() << " entries cached\n";
+
+  if (!journal_out.empty()) {
+    std::ofstream os(journal_out);
+    if (!os) throw Error("cannot write: " + journal_out);
+    obs::write_journal_jsonl(os, journal);
+    std::cout << "journal written to " << journal_out << '\n';
+  }
+  return 0;
+}
+
+int cmd_submit(Flags& flags) {
+  const int port = static_cast<int>(flags.get_int("port", 0));
+  if (port <= 0 || port > 65535) {
+    throw Error("submit requires --port=P of a live `redist_cli daemon`");
+  }
+  const std::string in = flags.get_string("in", "");
+  if (in.empty()) throw Error("submit requires --in=FILE[,FILE...]");
+  const SolverOptions solver = solver_options_from_flags(flags, kCliDefaults);
+  const int repeat = static_cast<int>(flags.get_int("repeat", 1));
+  const int timeout_ms = static_cast<int>(flags.get_int("timeout-ms", 5000));
+  const bool shutdown = flags.get_bool("shutdown", false);
+  const bool quiet = flags.get_bool("quiet", false);
+  flags.check_unused();
+  if (repeat < 1) throw Error("--repeat must be >= 1");
+
+  const std::vector<std::string> paths = split_list(in);
+  if (paths.empty()) throw Error("submit requires at least one graph file");
+
+  // One rpc.v1 request per graph, reused across repeats: repeats after the
+  // first should come back as cache hits, which is the whole point.
+  std::vector<rpc::SolveRequest> requests;
+  requests.reserve(paths.size());
+  for (const std::string& path : paths) {
+    const BipartiteGraph g = load_graph(path);
+    rpc::SolveRequest request;
+    request.k = solver.k;
+    request.beta = solver.beta;
+    request.algorithm = solver.algorithm;
+    request.engine = solver.engine;
+    request.senders = g.left_count();
+    request.receivers = g.right_count();
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      if (!g.alive(e)) continue;
+      const Edge& edge = g.edge(e);
+      request.entries.push_back(
+          {edge.left, edge.right, static_cast<Bytes>(edge.weight)});
+    }
+    requests.push_back(std::move(request));
+  }
+
+  ClientSessionOptions dial_options;
+  dial_options.io_timeout_ms = timeout_ms;
+  ClientSession session =
+      ClientSession::dial_rpc(static_cast<std::uint16_t>(port), dial_options);
+
+  Table summary({"instance", "served_from", "steps", "ratio", "server_ms"});
+  std::uint64_t next_request_id = 1;
+  for (int r = 0; r < repeat; ++r) {
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      requests[i].request_id = next_request_id++;
+      const rpc::SolveResponse response = session.solve(requests[i]);
+      const Schedule s = schedule_from_string(response.schedule_text);
+      if (!quiet || r == repeat - 1) {
+        summary.add_row(
+            {paths[i], rpc::served_from_name(response.served_from),
+             Table::fmt(static_cast<std::int64_t>(s.step_count())),
+             Table::fmt(response.evaluation_ratio, 4),
+             Table::fmt(response.solve_ms, 3)});
+      }
+    }
+  }
+  summary.print(std::cout);
+  if (shutdown) {
+    session.shutdown_server();
+    std::cout << "shutdown frame sent\n";
+  }
+  return 0;
+}
+
 int cmd_gantt(Flags& flags) {
   const std::string in = flags.get_string("in", "");
   const std::string out = flags.get_string("out", "");
@@ -531,7 +673,7 @@ int main(int argc, char** argv) {
     if (argc < 2) {
       std::cerr << "usage: redist_cli "
                    "<generate|solve|batch|lb|simulate|analyze|gantt|verify|"
-                   "serve|inspect> "
+                   "serve|inspect|daemon|submit> "
                    "[--flags...]\n(see the file header for details)\n";
       return 2;
     }
@@ -547,6 +689,8 @@ int main(int argc, char** argv) {
     if (cmd == "verify") return cmd_verify(flags);
     if (cmd == "serve") return cmd_serve(flags);
     if (cmd == "inspect") return cmd_inspect(flags);
+    if (cmd == "daemon") return cmd_daemon(flags);
+    if (cmd == "submit") return cmd_submit(flags);
     std::cerr << "unknown subcommand: " << cmd << '\n';
     return 2;
   } catch (const std::exception& e) {
